@@ -1,0 +1,60 @@
+//! Per-update cost of every algorithm in the comparison — the measured
+//! counterpart of Table 2's complexity column (and the ordering behind
+//! Figure 6's runtime axis).
+
+use class_core::stats::SplitMix64;
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection};
+use competitors::{build, CompetitorKind, SeriesContext};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn warmed(kind: CompetitorKind, window: usize) -> Box<dyn StreamingSegmenter> {
+    let ctx = SeriesContext {
+        width: 40,
+        window_size: window,
+    };
+    let mut seg = build(kind, ctx);
+    let mut rng = SplitMix64::new(11);
+    let mut cps = Vec::new();
+    for i in 0..2 * window {
+        seg.step((i as f64 * 0.15).sin() + 0.05 * rng.next_f64(), &mut cps);
+    }
+    seg
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let window = 2000;
+    let mut group = c.benchmark_group("step");
+    group.sample_size(20);
+    // ClaSS.
+    group.bench_function("ClaSS", |b| {
+        let mut cfg = ClassConfig::with_window_size(window);
+        cfg.width = WidthSelection::Fixed(40);
+        let mut class = ClassSegmenter::new(cfg);
+        let mut rng = SplitMix64::new(3);
+        let mut cps = Vec::new();
+        for i in 0..2 * window {
+            class.step((i as f64 * 0.15).sin() + 0.05 * rng.next_f64(), &mut cps);
+        }
+        b.iter(|| {
+            class.step(black_box(rng.next_f64()), &mut cps);
+            cps.clear();
+        });
+    });
+    // Every baseline.
+    for kind in CompetitorKind::baselines() {
+        group.bench_function(kind.name(), |b| {
+            let mut seg = warmed(kind, window);
+            let mut rng = SplitMix64::new(5);
+            let mut cps = Vec::new();
+            b.iter(|| {
+                seg.step(black_box(rng.next_f64()), &mut cps);
+                cps.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks validating the paper's two technical
+//! contributions (§4.4 runtime decomposition):
+//!
+//! * the exact streaming k-NN (O(d) per update) vs. recomputing dot
+//!   products (O(d·w)) vs. naive distances (the paper's 36 h / 212 h /
+//!   2513 h decomposition), and
+//! * the incremental O(d) cross-validation vs. the original O(d^2)
+//!   per-update evaluation.
+
+use bench::naive::{naive_full_profile, naive_knn_newest, recomputed_dot_knn_newest};
+use class_core::crossval::{CrossVal, ScoreFn};
+use class_core::knn::{KnnConfig, StreamingKnn};
+use class_core::stats::SplitMix64;
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn filled_knn(d: usize, w: usize) -> (StreamingKnn, SplitMix64) {
+    let mut rng = SplitMix64::new(42);
+    let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+    for _ in 0..2 * d {
+        knn.update(rng.next_f64() * 2.0 - 1.0);
+    }
+    (knn, rng)
+}
+
+fn bench_knn_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_update");
+    group.sample_size(20);
+    for &d in &[1000usize, 2000, 4000] {
+        let w = 50;
+        group.bench_with_input(BenchmarkId::new("streaming", d), &d, |b, _| {
+            let (mut knn, mut rng) = filled_knn(d, w);
+            b.iter(|| {
+                knn.update(black_box(rng.next_f64() * 2.0 - 1.0));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("recomputed_dots", d), &d, |b, _| {
+            let (mut knn, mut rng) = filled_knn(d, w);
+            b.iter(|| {
+                knn.update(rng.next_f64() * 2.0 - 1.0);
+                black_box(recomputed_dot_knn_newest(&knn, 3));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_distances", d), &d, |b, _| {
+            let (mut knn, mut rng) = filled_knn(d, w);
+            b.iter(|| {
+                knn.update(rng.next_f64() * 2.0 - 1.0);
+                black_box(naive_knn_newest(&knn, 3));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossval");
+    group.sample_size(20);
+    for &d in &[1000usize, 2000, 4000] {
+        let w = 50;
+        let (knn, _) = filled_knn(d, w);
+        group.bench_with_input(BenchmarkId::new("incremental", d), &d, |b, _| {
+            let mut cv = CrossVal::new(ScoreFn::MacroF1);
+            b.iter(|| {
+                black_box(cv.compute(&knn, knn.qstart()));
+            });
+        });
+        // The naive O(d^2) variant is far too slow at large d for equal
+        // sample counts; criterion handles this, it is just slow — keep the
+        // smallest size only.
+        if d == 1000 {
+            group.bench_with_input(BenchmarkId::new("naive_quadratic", d), &d, |b, _| {
+                b.iter(|| {
+                    black_box(naive_full_profile(&knn, knn.qstart(), ScoreFn::MacroF1));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_class_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("class_step");
+    group.sample_size(20);
+    for &d in &[1000usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("end_to_end", d), &d, |b, _| {
+            let mut cfg = ClassConfig::with_window_size(d);
+            cfg.width = WidthSelection::Fixed(50);
+            let mut class = ClassSegmenter::new(cfg);
+            let mut rng = SplitMix64::new(7);
+            let mut cps = Vec::new();
+            for i in 0..2 * d {
+                class.step((i as f64 * 0.2).sin() + 0.05 * rng.next_f64(), &mut cps);
+            }
+            b.iter(|| {
+                class.step(black_box(rng.next_f64()), &mut cps);
+                cps.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_update, bench_crossval, bench_class_step);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Minimal command-line argument parsing for the experiment binaries
+//! (kept dependency-free on purpose; see DESIGN.md's crate policy).
+
+/// Common experiment options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Multiplier on the laptop-profile dataset sizes.
+    pub scale: f64,
+    /// Use the paper's original (unscaled) dataset sizes.
+    pub paper_sizes: bool,
+    /// Sliding window size `d` for ClaSS/FLOSS.
+    pub window: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Free-form sub-command (used by the ablation binary's `--choice`).
+    pub choice: Option<String>,
+    /// Quick mode: 20% subsample of the series (the paper's tuning split).
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            paper_sizes: false,
+            window: eval::DEFAULT_WINDOW_SIZE,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            seed: 0xC1A55,
+            choice: None,
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`; unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut grab = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => out.scale = grab("--scale").parse().expect("numeric --scale"),
+                "--paper-sizes" => out.paper_sizes = true,
+                "--window" => out.window = grab("--window").parse().expect("numeric --window"),
+                "--threads" => out.threads = grab("--threads").parse().expect("numeric --threads"),
+                "--seed" => out.seed = grab("--seed").parse().expect("numeric --seed"),
+                "--choice" => out.choice = Some(grab("--choice")),
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale F --paper-sizes --window N --threads N --seed N \
+                         --choice NAME --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        out
+    }
+
+    /// Dataset generation config derived from the arguments.
+    pub fn gen_config(&self) -> datasets::GenConfig {
+        datasets::GenConfig {
+            scale: self.scale,
+            paper_sizes: self.paper_sizes,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse("");
+        assert_eq!(a.scale, 1.0);
+        assert!(!a.paper_sizes);
+        let a = parse("--scale 0.5 --window 1500 --threads 2 --seed 7 --quick");
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.window, 1500);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.seed, 7);
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn choice_flag() {
+        let a = parse("--choice window-size");
+        assert_eq!(a.choice.as_deref(), Some("window-size"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_flag_panics() {
+        let _ = parse("--frobnicate");
+    }
+}

@@ -1,0 +1,120 @@
+//! Regenerates the **§4.2 ablation study**: the seven major design choices
+//! of ClaSS, each evaluated on the ~20% tuning split of the benchmark TS
+//! while the others stay at their defaults.
+//!
+//! Choices: `window-size` (a), `wss` (b), `knn` (c, d: similarity and k),
+//! `score` (e), `significance` (f, g: level and sample size), or `all`.
+
+use bench::{eval_group, mean_pct, tuning_split, Args};
+use class_core::{ClassConfig, SampleSize, ScoreFn, Similarity, WidthSelection, WssMethod};
+use datasets::benchmark_series;
+use eval::{summarize, AlgoSpec};
+
+fn run_variant(
+    label: String,
+    cfg: ClassConfig,
+    series: &[datasets::AnnotatedSeries],
+    threads: usize,
+) -> (String, f64, f64, usize) {
+    let g = eval_group("ablation", &[AlgoSpec::Class(cfg)], series, threads);
+    let scores = &g.methods[0].scores;
+    let s = summarize(scores);
+    // wins are counted against the other variants by the caller; store raw.
+    (label, mean_pct(scores), s.std * 100.0, 0)
+}
+
+fn print_rows(title: &str, mut rows: Vec<(String, f64, f64, usize)>) {
+    println!("\n## {title}\n");
+    println!("| variant | mean Covering (%) | std (%) |");
+    println!("|---|---|---|");
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (label, mean, std, _) in rows {
+        println!("| {label} | {mean:.1} | {std:.1} |");
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.gen_config();
+    let series = tuning_split(&benchmark_series(&cfg));
+    let choice = args.choice.clone().unwrap_or_else(|| "all".into());
+    eprintln!(
+        "ablation '{choice}' on {} tuning series, {} threads",
+        series.len(),
+        args.threads
+    );
+    println!("# Ablation study (§4.2) on the 20% tuning split");
+    let base = ClassConfig::with_window_size(args.window);
+
+    if choice == "window-size" || choice == "all" {
+        let mut rows = Vec::new();
+        for mult in [2usize, 4, 6, 8, 10, 14, 20] {
+            let d = args.window * mult / 10;
+            let mut c = base.clone();
+            c.window_size = d;
+            rows.push(run_variant(format!("d={d}"), c, &series, args.threads));
+        }
+        print_rows("(a) sliding window size", rows);
+    }
+    if choice == "wss" || choice == "all" {
+        let mut rows = Vec::new();
+        for m in WssMethod::all() {
+            let mut c = base.clone();
+            c.width = WidthSelection::Learn(m);
+            rows.push(run_variant(m.name().to_string(), c, &series, args.threads));
+        }
+        print_rows("(b) window size selection", rows);
+    }
+    if choice == "knn" || choice == "all" {
+        let mut rows = Vec::new();
+        for sim in [Similarity::Pearson, Similarity::Euclidean, Similarity::Cid] {
+            for k in [1usize, 3, 5, 7] {
+                let mut c = base.clone();
+                c.similarity = sim;
+                c.k = k;
+                rows.push(run_variant(
+                    format!("{} k={k}", sim.name()),
+                    c,
+                    &series,
+                    args.threads,
+                ));
+            }
+        }
+        print_rows("(c, d) similarity measure and k", rows);
+    }
+    if choice == "score" || choice == "all" {
+        let mut rows = Vec::new();
+        for score in [ScoreFn::MacroF1, ScoreFn::BalancedAccuracy] {
+            let mut c = base.clone();
+            c.score = score;
+            rows.push(run_variant(
+                score.name().to_string(),
+                c,
+                &series,
+                args.threads,
+            ));
+        }
+        print_rows("(e) classification score", rows);
+    }
+    if choice == "significance" || choice == "all" {
+        let mut rows = Vec::new();
+        for log10_alpha in [-10.0, -30.0, -50.0, -70.0, -100.0] {
+            for sample in [
+                SampleSize::Variable,
+                SampleSize::Fixed(100),
+                SampleSize::Fixed1000,
+            ] {
+                let mut c = base.clone();
+                c.log10_alpha = log10_alpha;
+                c.sample_size = sample;
+                rows.push(run_variant(
+                    format!("alpha=1e{log10_alpha:.0} sample={}", sample.name()),
+                    c,
+                    &series,
+                    args.threads,
+                ));
+            }
+        }
+        print_rows("(f, g) significance level and sample size", rows);
+    }
+}

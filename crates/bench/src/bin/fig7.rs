@@ -1,0 +1,102 @@
+//! Regenerates **Figure 7**: per-series scalability of ClaSS vs FLOSS —
+//! runtime against Covering score, subsequence width, series length and
+//! number of change points. Prints the scatter rows (TSV) plus binned
+//! medians for the shape comparison.
+
+use bench::{eval_group, Args};
+use datasets::all_series;
+use eval::AlgoSpec;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.gen_config();
+    let series = all_series(&cfg);
+    let algos = vec![
+        AlgoSpec::Class(class_core::ClassConfig::with_window_size(args.window)),
+        AlgoSpec::Baseline {
+            kind: competitors::CompetitorKind::Floss,
+            window_size: args.window,
+        },
+    ];
+    eprintln!(
+        "running {} series x 2 algos on {} threads...",
+        series.len(),
+        args.threads
+    );
+    let g = eval_group("all", &algos, &series, args.threads);
+
+    println!("# Figure 7 — scalability of ClaSS vs FLOSS (per-series)");
+    println!("\n## scatter rows\n");
+    println!("algo\tseries\truntime_ms\tcovering\twidth\tlength\tn_cps");
+    let widths: Vec<usize> = series.iter().map(|s| s.width).collect();
+    let lens: Vec<usize> = series.iter().map(|s| s.len()).collect();
+    let cps: Vec<usize> = series.iter().map(|s| s.change_points.len()).collect();
+    let n = series.len();
+    for (i, r) in g.results.iter().enumerate() {
+        let s = i % n;
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}\t{}\t{}\t{}",
+            r.algo,
+            r.series,
+            r.runtime.as_secs_f64() * 1e3,
+            r.covering,
+            widths[s],
+            lens[s],
+            cps[s]
+        );
+    }
+
+    // Binned medians of runtime vs length: the paper's headline shape is
+    // "both grow with length; ClaSS consistently faster for large TS".
+    println!("\n## runtime vs length (binned medians)\n");
+    println!("| length bin | ClaSS median ms | FLOSS median ms | speedup |");
+    println!("|---|---|---|---|");
+    let max_len = *lens.iter().max().unwrap_or(&1);
+    let bins = 6usize;
+    for b in 0..bins {
+        let lo = max_len * b / bins;
+        let hi = max_len * (b + 1) / bins;
+        let sel = |algo: &str| -> Vec<f64> {
+            g.results
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| {
+                    let s = i % n;
+                    r.algo == algo && lens[s] > lo && lens[s] <= hi
+                })
+                .map(|(_, r)| r.runtime.as_secs_f64() * 1e3)
+                .collect()
+        };
+        let med = |mut v: Vec<f64>| -> Option<f64> {
+            if v.is_empty() {
+                return None;
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            Some(v[v.len() / 2])
+        };
+        if let (Some(c), Some(f)) = (med(sel("ClaSS")), med(sel("FLOSS"))) {
+            println!(
+                "| ({lo}, {hi}] | {c:.1} | {f:.1} | {:.2}x |",
+                f / c.max(1e-9)
+            );
+        }
+    }
+
+    // Totals (the paper: ClaSS 109 h vs FLOSS 1109 h on their testbed).
+    let t_class: f64 = g
+        .results
+        .iter()
+        .filter(|r| r.algo == "ClaSS")
+        .map(|r| r.runtime.as_secs_f64())
+        .sum();
+    let t_floss: f64 = g
+        .results
+        .iter()
+        .filter(|r| r.algo == "FLOSS")
+        .map(|r| r.runtime.as_secs_f64())
+        .sum();
+    println!(
+        "\ntotal runtime: ClaSS {t_class:.1} s, FLOSS {t_floss:.1} s (FLOSS/ClaSS = {:.2}x)",
+        t_floss / t_class.max(1e-9)
+    );
+}

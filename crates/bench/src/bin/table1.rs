@@ -1,0 +1,50 @@
+//! Regenerates **Table 1**: technical specifications of the evaluation
+//! series — paper values next to the generated stand-ins.
+
+use bench::Args;
+use datasets::Archive;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.gen_config();
+    println!("# Table 1 — technical specifications of TS used for experiments");
+    println!(
+        "(paper sizes vs generated; laptop profile scale, see DESIGN.md; \
+         --paper-sizes restores magnitudes)\n"
+    );
+    println!(
+        "| Name | No. TS | paper len min/med/max | gen len min/med/max | paper segs | gen segs |"
+    );
+    println!("|---|---|---|---|---|---|");
+    for archive in Archive::all() {
+        let spec = archive.spec();
+        let series = archive.generate(&cfg);
+        let mut lens: Vec<usize> = series.iter().map(|s| s.len()).collect();
+        lens.sort_unstable();
+        let mut segs: Vec<usize> = series.iter().map(|s| s.n_segments()).collect();
+        segs.sort_unstable();
+        let med = |v: &[usize]| v[v.len() / 2];
+        println!(
+            "| {} | {} | {} / {} / {} | {} / {} / {} | {} / {} / {} | {} / {} / {} |",
+            spec.name,
+            series.len(),
+            spec.len.0,
+            spec.len.1,
+            spec.len.2,
+            lens[0],
+            med(&lens),
+            lens[lens.len() - 1],
+            spec.segments.0,
+            spec.segments.1,
+            spec.segments.2,
+            segs[0],
+            med(&segs),
+            segs[segs.len() - 1],
+        );
+    }
+    let total: usize = Archive::all()
+        .iter()
+        .map(|a| a.generate(&cfg).iter().map(|s| s.len()).sum::<usize>())
+        .sum();
+    println!("\ntotal generated data points: {total}");
+}

@@ -1,0 +1,156 @@
+//! Shared experiment drivers used by the table/figure binaries.
+
+use datasets::AnnotatedSeries;
+use eval::{covering_matrix, run_matrix, AlgoSpec, MethodScores, RunResult};
+
+/// One evaluated group (the paper reports "benchmarks" and "data archives"
+/// separately).
+pub struct GroupEval {
+    /// Group label.
+    pub label: &'static str,
+    /// Raw results (algo-major, series-minor).
+    pub results: Vec<RunResult>,
+    /// Per-method score columns, aligned with `algos`.
+    pub methods: Vec<MethodScores>,
+}
+
+/// Runs a line-up of algorithms over a group of series.
+pub fn eval_group(
+    label: &'static str,
+    algos: &[AlgoSpec],
+    series: &[AnnotatedSeries],
+    threads: usize,
+) -> GroupEval {
+    let results = run_matrix(algos, series, threads);
+    let scores = covering_matrix(&results, algos.len(), series.len());
+    let methods = algos
+        .iter()
+        .zip(scores)
+        .map(|(a, s)| MethodScores {
+            name: a.name().to_string(),
+            scores: s,
+        })
+        .collect();
+    GroupEval {
+        label,
+        results,
+        methods,
+    }
+}
+
+/// Deterministic ~20% subsample of the series (the paper's hyper-parameter
+/// tuning split: "20% randomly chosen benchmark TS (21 out of 107)").
+pub fn tuning_split(series: &[AnnotatedSeries]) -> Vec<AnnotatedSeries> {
+    series
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 2)
+        .map(|(_, s)| s.clone())
+        .collect()
+}
+
+/// Mean covering across a method's scores, in percent.
+pub fn mean_pct(scores: &[f64]) -> f64 {
+    if scores.is_empty() {
+        0.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64 * 100.0
+    }
+}
+
+/// Total runtime of one algorithm across its results, in seconds.
+pub fn total_runtime_secs(results: &[RunResult], algo: &str) -> f64 {
+    results
+        .iter()
+        .filter(|r| r.algo == algo)
+        .map(|r| r.runtime.as_secs_f64())
+        .sum()
+}
+
+/// Mean standalone throughput of one algorithm, in points per second.
+pub fn mean_throughput(results: &[RunResult], algo: &str) -> f64 {
+    let rs: Vec<f64> = results
+        .iter()
+        .filter(|r| r.algo == algo)
+        .map(|r| r.throughput())
+        .collect();
+    if rs.is_empty() {
+        0.0
+    } else {
+        rs.iter().sum::<f64>() / rs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use competitors::CompetitorKind;
+    use datasets::{build_series, NoiseSpec, Regime};
+
+    fn series_pair() -> Vec<AnnotatedSeries> {
+        (0..2)
+            .map(|k| {
+                build_series(
+                    format!("t/{k}"),
+                    "test",
+                    &[
+                        (
+                            Regime::Sine {
+                                period: 20.0,
+                                amp: 1.0,
+                                phase: 0.0,
+                            },
+                            1200,
+                        ),
+                        (
+                            Regime::Noise {
+                                level: 0.0,
+                                sigma: 0.6,
+                            },
+                            1200,
+                        ),
+                    ],
+                    NoiseSpec::benchmark(),
+                    k,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eval_group_produces_aligned_columns() {
+        let algos = vec![
+            AlgoSpec::Baseline {
+                kind: CompetitorKind::Ddm,
+                window_size: 800,
+            },
+            AlgoSpec::Baseline {
+                kind: CompetitorKind::Hddm,
+                window_size: 800,
+            },
+        ];
+        let series = series_pair();
+        let g = eval_group("test", &algos, &series, 2);
+        assert_eq!(g.methods.len(), 2);
+        assert_eq!(g.methods[0].scores.len(), 2);
+        assert_eq!(g.results.len(), 4);
+        assert!(mean_pct(&g.methods[0].scores) >= 0.0);
+        assert!(total_runtime_secs(&g.results, "DDM") > 0.0);
+        assert!(mean_throughput(&g.results, "DDM") > 0.0);
+    }
+
+    #[test]
+    fn tuning_split_is_about_a_fifth() {
+        let series: Vec<AnnotatedSeries> = (0..107)
+            .map(|k| AnnotatedSeries {
+                name: format!("s{k}"),
+                values: vec![0.0; 10],
+                change_points: vec![],
+                width: 5,
+                archive: "x",
+            })
+            .collect();
+        let split = tuning_split(&series);
+        assert_eq!(split.len(), 21);
+    }
+}

@@ -1,0 +1,28 @@
+//! # bench — benchmark harness regenerating every table and figure
+//!
+//! One binary per artefact of the paper's evaluation section:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset specifications |
+//! | `table2` | Table 2 — competitor update complexities (measured) |
+//! | `table3` | Table 3 — summary Covering performances |
+//! | `fig5` | Figure 5 — CD diagrams + box plots |
+//! | `fig6` | Figure 6 — runtime vs quality, throughput, d-sweep |
+//! | `fig7` | Figure 7 — scalability ClaSS vs FLOSS |
+//! | `ablation` | §4.2 — design-choice ablations (a)-(g) |
+//! | `flink_throughput` | §4.4 — stream-engine window operator throughput |
+//!
+//! Criterion micro-benchmarks (`cargo bench -p bench`) validate the two
+//! core algorithmic speedups against naive baselines.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+pub mod naive;
+
+pub use args::Args;
+pub use experiments::{
+    eval_group, mean_pct, mean_throughput, total_runtime_secs, tuning_split, GroupEval,
+};

@@ -1,0 +1,459 @@
+//! Incremental self-supervised cross-validation (paper §3.2, Algorithm 3).
+//!
+//! For every hypothetical split of the scored sliding-window range into a
+//! left (label 0) and right (label 1) part, a leave-one-out k-NN classifier
+//! is evaluated: each subsequence's prediction is the majority label of its
+//! k nearest neighbours. The resulting classification score per split forms
+//! the ClaSP profile.
+//!
+//! A naive evaluation costs O(d) per split and O(d^2) per stream update.
+//! The incremental algorithm exploits that consecutive splits differ in the
+//! ground-truth label of exactly one subsequence: flipping that label only
+//! affects the predictions of subsequences having it among their k-NN
+//! (found via the reverse-NN adjacency), and the confusion matrix is patched
+//! in O(1) per affected prediction. Because the total reverse-NN degree is
+//! exactly `k * n`, the full profile costs O(k·d).
+//!
+//! Neighbours whose subsequence id lies *before* the scored range (including
+//! ids that already left the sliding window) are permanent class-0 votes —
+//! the paper's "negative offsets belong to class zero by design".
+
+use crate::knn::StreamingKnn;
+use crate::stats::BinaryGroups;
+
+/// Classification score derived from the running confusion matrix
+/// (paper ablation (e): macro F1 is the default, macro/balanced accuracy the
+/// alternative; both are computable in O(1) from the confusion matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreFn {
+    /// Macro-averaged F1 over both classes (paper default).
+    #[default]
+    MacroF1,
+    /// Balanced (macro-averaged) accuracy.
+    BalancedAccuracy,
+}
+
+impl ScoreFn {
+    /// Identifier used by the ablation harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreFn::MacroF1 => "macro-f1",
+            ScoreFn::BalancedAccuracy => "balanced-accuracy",
+        }
+    }
+
+    /// Score from a 2x2 confusion matrix `m[true][pred]`.
+    #[inline]
+    pub fn score(self, m: &[[i64; 2]; 2]) -> f64 {
+        match self {
+            ScoreFn::MacroF1 => {
+                let f1 = |c: usize| {
+                    let tp = m[c][c];
+                    let fp = m[1 - c][c];
+                    let fn_ = m[c][1 - c];
+                    let denom = 2 * tp + fp + fn_;
+                    if denom == 0 {
+                        0.0
+                    } else {
+                        2.0 * tp as f64 / denom as f64
+                    }
+                };
+                0.5 * (f1(0) + f1(1))
+            }
+            ScoreFn::BalancedAccuracy => {
+                let rec = |c: usize| {
+                    let denom = m[c][0] + m[c][1];
+                    if denom == 0 {
+                        0.0
+                    } else {
+                        m[c][c] as f64 / denom as f64
+                    }
+                };
+                0.5 * (rec(0) + rec(1))
+            }
+        }
+    }
+}
+
+/// Reusable cross-validation engine. All scratch buffers are kept between
+/// calls so the per-update hot path performs no allocation once warmed up.
+#[derive(Debug, Clone)]
+pub struct CrossVal {
+    score_fn: ScoreFn,
+    zeros: Vec<i32>,
+    ones: Vec<i32>,
+    ypred: Vec<u8>,
+    r_off: Vec<u32>,
+    r_dat: Vec<u32>,
+    profile: Vec<f64>,
+    left_ones: Vec<u32>,
+    tot_ones: Vec<u32>,
+    nn: usize,
+}
+
+impl CrossVal {
+    /// Creates an engine with the given split score.
+    pub fn new(score_fn: ScoreFn) -> Self {
+        Self {
+            score_fn,
+            zeros: Vec::new(),
+            ones: Vec::new(),
+            ypred: Vec::new(),
+            r_off: Vec::new(),
+            r_dat: Vec::new(),
+            profile: Vec::new(),
+            left_ones: Vec::new(),
+            tot_ones: Vec::new(),
+            nn: 0,
+        }
+    }
+
+    /// Score function in use.
+    pub fn score_fn(&self) -> ScoreFn {
+        self.score_fn
+    }
+
+    /// Number of subsequences scored by the last [`CrossVal::compute`].
+    pub fn len(&self) -> usize {
+        self.nn
+    }
+
+    /// Whether the last computation scored nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nn == 0
+    }
+
+    /// The ClaSP profile of the last computation: `profile()[p]` is the
+    /// cross-validation score of the split placing the first `p` scored
+    /// subsequences into class 0. Valid for `p` in `1..len()`; index 0 is 0.
+    pub fn profile(&self) -> &[f64] {
+        &self.profile[..self.nn]
+    }
+
+    /// Predicted-label group counts at split `p`, as needed by the
+    /// significance test (paper §3.3).
+    pub fn groups_at(&self, p: usize) -> BinaryGroups {
+        debug_assert!(p >= 1 && p < self.nn);
+        let left = self.left_ones[p] as u64;
+        let tot = self.tot_ones[p] as u64;
+        BinaryGroups {
+            n_left: p as u64,
+            ones_left: left,
+            n_right: (self.nn - p) as u64,
+            ones_right: tot - left,
+        }
+    }
+
+    /// Computes the profile over the k-NN slots `[start_slot, m_max)`.
+    /// Returns the number of scored subsequences `nn` (0 if fewer than two
+    /// subsequences are in range).
+    pub fn compute(&mut self, knn: &StreamingKnn, start_slot: usize) -> usize {
+        let m_max = knn.max_subsequences();
+        debug_assert!(start_slot >= knn.qstart());
+        let nn = m_max.saturating_sub(start_slot);
+        self.nn = nn;
+        if nn < 2 {
+            self.nn = 0;
+            return 0;
+        }
+        let start_sid = knn.sid_of_slot(start_slot);
+        let k = knn.config().k;
+
+        // --- Resize scratch (no-ops once warmed up). ---
+        self.zeros.clear();
+        self.zeros.resize(nn, 0);
+        self.ones.clear();
+        self.ones.resize(nn, 0);
+        self.ypred.clear();
+        self.ypred.resize(nn, 0);
+        self.r_off.clear();
+        self.r_off.resize(nn + 1, 0);
+        self.r_dat.clear();
+        self.r_dat.resize(nn * k, 0);
+        self.profile.clear();
+        self.profile.resize(nn, 0.0);
+        self.left_ones.clear();
+        self.left_ones.resize(nn, 0);
+        self.tot_ones.clear();
+        self.tot_ones.resize(nn, 0);
+
+        // --- Initial label counts & reverse-NN degrees. ---
+        for j in 0..nn {
+            let (sids, _) = knn.neighbors(start_slot + j);
+            let mut z = 0i32;
+            for &nsid in sids {
+                if nsid < start_sid {
+                    z += 1; // permanent class-0 vote
+                } else {
+                    let t = (nsid - start_sid) as usize;
+                    debug_assert!(t < nn);
+                    self.r_off[t + 1] += 1;
+                }
+            }
+            self.zeros[j] = z;
+            self.ones[j] = sids.len() as i32 - z;
+        }
+        for t in 0..nn {
+            self.r_off[t + 1] += self.r_off[t];
+        }
+        // Fill the CSR adjacency (owners per in-range target).
+        {
+            let mut cursor: Vec<u32> = self.r_off[..nn].to_vec();
+            for j in 0..nn {
+                let (sids, _) = knn.neighbors(start_slot + j);
+                for &nsid in sids {
+                    if nsid >= start_sid {
+                        let t = (nsid - start_sid) as usize;
+                        self.r_dat[cursor[t] as usize] = j as u32;
+                        cursor[t] += 1;
+                    }
+                }
+            }
+        }
+
+        // --- Initial predictions and confusion matrix (all true = 1). ---
+        let mut m = [[0i64; 2]; 2];
+        let mut tot_ones_run: i64 = 0;
+        for j in 0..nn {
+            let pred = u8::from(self.zeros[j] < self.ones[j]);
+            self.ypred[j] = pred;
+            m[1][pred as usize] += 1;
+            tot_ones_run += i64::from(pred);
+        }
+
+        // --- Sweep all splits, patching labels incrementally. ---
+        let mut left_ones_run: i64 = 0;
+        self.profile[0] = 0.0;
+        self.left_ones[0] = 0;
+        self.tot_ones[0] = tot_ones_run as u32;
+        for p in 1..nn {
+            let jf = p - 1; // subsequence whose true label flips 1 -> 0
+            let pf = self.ypred[jf] as usize;
+            m[1][pf] -= 1;
+            m[0][pf] += 1;
+            left_ones_run += i64::from(self.ypred[jf]);
+            let (lo, hi) = (self.r_off[jf] as usize, self.r_off[jf + 1] as usize);
+            for di in lo..hi {
+                let j = self.r_dat[di] as usize;
+                self.zeros[j] += 1;
+                self.ones[j] -= 1;
+                let newpred = u8::from(self.zeros[j] < self.ones[j]);
+                let oldpred = self.ypred[j];
+                if newpred != oldpred {
+                    let yt = usize::from(j >= p);
+                    m[yt][oldpred as usize] -= 1;
+                    m[yt][newpred as usize] += 1;
+                    let delta = i64::from(newpred) - i64::from(oldpred);
+                    tot_ones_run += delta;
+                    if j < p {
+                        left_ones_run += delta;
+                    }
+                    self.ypred[j] = newpred;
+                }
+            }
+            self.profile[p] = self.score_fn.score(&m);
+            self.left_ones[p] = left_ones_run as u32;
+            self.tot_ones[p] = tot_ones_run as u32;
+        }
+        nn
+    }
+}
+
+/// Naive reference: evaluates one split from scratch in O(k·n). Used by
+/// tests and the benchmark harness to validate and time the incremental
+/// algorithm against the paper's O(d^2) baseline.
+pub fn naive_split_score(
+    knn: &StreamingKnn,
+    start_slot: usize,
+    p: usize,
+    score_fn: ScoreFn,
+) -> f64 {
+    let m_max = knn.max_subsequences();
+    let nn = m_max - start_slot;
+    let start_sid = knn.sid_of_slot(start_slot);
+    let split_sid = start_sid + p as i64;
+    let mut m = [[0i64; 2]; 2];
+    for j in 0..nn {
+        let (sids, _) = knn.neighbors(start_slot + j);
+        let mut zeros = 0;
+        let mut ones = 0;
+        for &nsid in sids {
+            if nsid < split_sid {
+                zeros += 1;
+            } else {
+                ones += 1;
+            }
+        }
+        let pred = usize::from(zeros < ones);
+        let truth = usize::from(j >= p);
+        m[truth][pred] += 1;
+    }
+    score_fn.score(&m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{KnnConfig, StreamingKnn};
+    use crate::stats::SplitMix64;
+
+    fn feed(n: usize, d: usize, w: usize, k: usize, seed: u64) -> StreamingKnn {
+        let mut rng = SplitMix64::new(seed);
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, k));
+        for _ in 0..n {
+            knn.update(rng.next_f64() * 2.0 - 1.0);
+        }
+        knn
+    }
+
+    fn feed_two_regimes(n: usize, d: usize, w: usize, k: usize, seed: u64) -> StreamingKnn {
+        let mut rng = SplitMix64::new(seed);
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, k));
+        for i in 0..n {
+            let base = if i < n / 2 {
+                (i as f64 * 0.7).sin()
+            } else {
+                ((i as f64 * 0.1).sin() * 3.0).tanh() * 2.0
+            };
+            knn.update(base + 0.05 * (rng.next_f64() - 0.5));
+        }
+        knn
+    }
+
+    #[test]
+    fn incremental_matches_naive_random() {
+        let knn = feed(180, 120, 6, 3, 21);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let start = knn.qstart();
+        let nn = cv.compute(&knn, start);
+        assert!(nn > 2);
+        for p in 1..nn {
+            let want = naive_split_score(&knn, start, p, ScoreFn::MacroF1);
+            let got = cv.profile()[p];
+            assert!((got - want).abs() < 1e-12, "p = {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_with_eviction_and_offsets() {
+        // Long stream so neighbours expire; also score a sub-range.
+        let knn = feed(500, 150, 8, 3, 22);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let start = knn.qstart() + 37;
+        let nn = cv.compute(&knn, start);
+        assert!(nn > 2);
+        for p in 1..nn {
+            let want = naive_split_score(&knn, start, p, ScoreFn::MacroF1);
+            let got = cv.profile()[p];
+            assert!((got - want).abs() < 1e-12, "p = {p}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_balanced_accuracy() {
+        let knn = feed(260, 130, 7, 5, 23);
+        let mut cv = CrossVal::new(ScoreFn::BalancedAccuracy);
+        let start = knn.qstart();
+        let nn = cv.compute(&knn, start);
+        for p in 1..nn {
+            let want = naive_split_score(&knn, start, p, ScoreFn::BalancedAccuracy);
+            let got = cv.profile()[p];
+            assert!((got - want).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn group_counts_match_direct_recount() {
+        let knn = feed(300, 140, 6, 3, 24);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let start = knn.qstart();
+        let nn = cv.compute(&knn, start);
+        // Recount ypred at a few splits by replaying naive predictions.
+        let start_sid = knn.sid_of_slot(start);
+        for &p in &[1usize, nn / 3, nn / 2, nn - 1] {
+            let split_sid = start_sid + p as i64;
+            let mut ones_left = 0u64;
+            let mut ones_right = 0u64;
+            for j in 0..nn {
+                let (sids, _) = knn.neighbors(start + j);
+                let zeros = sids.iter().filter(|&&s| s < split_sid).count();
+                let pred = zeros * 2 < sids.len();
+                if pred {
+                    if j < p {
+                        ones_left += 1;
+                    } else {
+                        ones_right += 1;
+                    }
+                }
+            }
+            let g = cv.groups_at(p);
+            assert_eq!(g.n_left, p as u64);
+            assert_eq!(g.ones_left, ones_left, "p = {p}");
+            assert_eq!(g.ones_right, ones_right, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn profile_peaks_near_true_change_point() {
+        // Two clearly different regimes; the best split should fall near the
+        // middle of the scored range.
+        let n = 400;
+        let knn = feed_two_regimes(n, 400, 10, 3, 25);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let nn = cv.compute(&knn, knn.qstart());
+        assert!(nn > 10);
+        let margin = 30;
+        let best = (margin..nn - margin)
+            .max_by(|&a, &b| cv.profile()[a].partial_cmp(&cv.profile()[b]).unwrap())
+            .unwrap();
+        let true_split = nn / 2;
+        assert!(
+            (best as i64 - true_split as i64).unsigned_abs() < 40,
+            "best split {best}, expected ~{true_split}"
+        );
+        assert!(
+            cv.profile()[best] > 0.85,
+            "peak score {}",
+            cv.profile()[best]
+        );
+    }
+
+    #[test]
+    fn too_small_range_returns_zero() {
+        let knn = feed(40, 60, 6, 3, 26);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let nn = cv.compute(&knn, knn.max_subsequences() - 1);
+        assert_eq!(nn, 0);
+        assert!(cv.is_empty());
+    }
+
+    #[test]
+    fn engine_is_reusable_across_different_sizes() {
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        for (n, d, w) in [(150usize, 100usize, 6usize), (260, 130, 9), (90, 80, 4)] {
+            let knn = feed(n, d, w, 3, 27);
+            let start = knn.qstart();
+            let nn = cv.compute(&knn, start);
+            for p in (1..nn).step_by(7) {
+                let want = naive_split_score(&knn, start, p, ScoreFn::MacroF1);
+                assert!((cv.profile()[p] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn score_fn_confusion_matrix_basics() {
+        // Perfect prediction.
+        let m = [[10, 0], [0, 10]];
+        assert!((ScoreFn::MacroF1.score(&m) - 1.0).abs() < 1e-12);
+        assert!((ScoreFn::BalancedAccuracy.score(&m) - 1.0).abs() < 1e-12);
+        // All predicted 1 with balanced truth: F1(0) = 0, F1(1) = 2/3.
+        let m = [[0, 10], [0, 10]];
+        assert!((ScoreFn::MacroF1.score(&m) - (2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert!((ScoreFn::BalancedAccuracy.score(&m) - 0.5).abs() < 1e-12);
+        // Empty matrix must not divide by zero.
+        let m = [[0, 0], [0, 0]];
+        assert_eq!(ScoreFn::MacroF1.score(&m), 0.0);
+        assert_eq!(ScoreFn::BalancedAccuracy.score(&m), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! A small self-contained radix-2 FFT.
+//!
+//! Used by the window size selection methods (dominant Fourier frequency and
+//! FFT-based autocorrelation, §3.4) so that no external FFT crate is needed.
+//! The implementation is an iterative in-place Cooley-Tukey transform over
+//! interleaved `(re, im)` pairs.
+
+use core::f64::consts::PI;
+
+/// In-place complex FFT of `buf` (interleaved `re, im` pairs).
+///
+/// `inverse = true` computes the unscaled inverse transform; divide by `n`
+/// afterwards to invert exactly (done by [`ifft`]).
+///
+/// # Panics
+/// Panics if the number of complex points is not a power of two.
+pub fn fft_inplace(buf: &mut [f64], inverse: bool) {
+    assert_eq!(buf.len() % 2, 0, "interleaved complex buffer");
+    let n = buf.len() / 2;
+    assert!(
+        n.is_power_of_two(),
+        "FFT size must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            buf.swap(2 * i, 2 * j);
+            buf.swap(2 * i + 1, 2 * j + 1);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let (w_re, w_im) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = 2 * (i + k);
+                let b = 2 * (i + k + len / 2);
+                let (br, bi) = (buf[b], buf[b + 1]);
+                let tr = br * cur_re - bi * cur_im;
+                let ti = br * cur_im + bi * cur_re;
+                let (ar, ai) = (buf[a], buf[a + 1]);
+                buf[b] = ar - tr;
+                buf[b + 1] = ai - ti;
+                buf[a] = ar + tr;
+                buf[a + 1] = ai + ti;
+                let nr = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = nr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two that
+/// is at least `min_len`. Returns the interleaved complex spectrum.
+pub fn rfft_padded(x: &[f64], min_len: usize) -> Vec<f64> {
+    let n = min_len.max(x.len()).max(1).next_power_of_two();
+    let mut buf = vec![0.0; 2 * n];
+    for (i, &v) in x.iter().enumerate() {
+        buf[2 * i] = v;
+    }
+    fft_inplace(&mut buf, false);
+    buf
+}
+
+/// Exact inverse FFT (in place, including the `1/n` scaling).
+pub fn ifft(buf: &mut [f64]) {
+    fft_inplace(buf, true);
+    let n = (buf.len() / 2) as f64;
+    for v in buf.iter_mut() {
+        *v /= n;
+    }
+}
+
+/// Biased sample autocorrelation of `x` for lags `0..max_lag`, computed via
+/// FFT of the mean-centred signal in O(n log n). `acf[0]` is normalised
+/// to 1 unless the signal is constant (then all entries are 0).
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 || max_lag == 0 {
+        return vec![];
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let centred: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+    // Pad to >= 2n to make the circular convolution linear.
+    let mut spec = rfft_padded(&centred, 2 * n);
+    // Power spectrum.
+    let m = spec.len() / 2;
+    for i in 0..m {
+        let (re, im) = (spec[2 * i], spec[2 * i + 1]);
+        spec[2 * i] = re * re + im * im;
+        spec[2 * i + 1] = 0.0;
+    }
+    ifft(&mut spec);
+    let c0 = spec[0];
+    let lags = max_lag.min(n);
+    let mut acf = Vec::with_capacity(lags);
+    if c0 <= 1e-12 {
+        acf.resize(lags, 0.0);
+        return acf;
+    }
+    for lag in 0..lags {
+        acf.push(spec[2 * lag] / c0);
+    }
+    acf
+}
+
+/// Naive O(n^2) DFT reference used by tests.
+#[cfg(test)]
+pub fn naive_dft(x: &[f64]) -> Vec<(f64, f64)> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                re += v * ang.cos();
+                im += v * ang.sin();
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x = [1.0, 2.0, -1.0, 0.5, 3.0, -2.0, 0.0, 1.5];
+        let mut buf = vec![0.0; 16];
+        for (i, &v) in x.iter().enumerate() {
+            buf[2 * i] = v;
+        }
+        fft_inplace(&mut buf, false);
+        let want = naive_dft(&x);
+        for (k, &(re, im)) in want.iter().enumerate() {
+            assert!((buf[2 * k] - re).abs() < 1e-9, "re[{k}]");
+            assert!((buf[2 * k + 1] - im).abs() < 1e-9, "im[{k}]");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut buf = vec![0.0; 128];
+        for (i, &v) in x.iter().enumerate() {
+            buf[2 * i] = v;
+        }
+        fft_inplace(&mut buf, false);
+        ifft(&mut buf);
+        for (i, &v) in x.iter().enumerate() {
+            assert!((buf[2 * i] - v).abs() < 1e-9);
+            assert!(buf[2 * i + 1].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![0.0; 6];
+        fft_inplace(&mut buf, false);
+    }
+
+    #[test]
+    fn autocorrelation_of_sine_peaks_at_period() {
+        let period = 25usize;
+        let x: Vec<f64> = (0..500)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let acf = autocorrelation(&x, 100);
+        assert!((acf[0] - 1.0).abs() < 1e-9);
+        // Find the highest ACF value for lag >= 2: should be near the period.
+        let best = (2..acf.len())
+            .max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).unwrap())
+            .unwrap();
+        assert!(
+            (best as i64 - period as i64).abs() <= 1,
+            "peak at {best}, expected ~{period}"
+        );
+    }
+
+    #[test]
+    fn autocorrelation_matches_naive() {
+        let x = [0.5, 1.0, -0.5, 2.0, 0.0, -1.0, 1.5, 0.25, -0.75, 1.0];
+        let n = x.len();
+        let mean = x.iter().sum::<f64>() / n as f64;
+        let c: Vec<f64> = x.iter().map(|v| v - mean).collect();
+        let c0: f64 = c.iter().map(|v| v * v).sum();
+        let acf = autocorrelation(&x, n);
+        for lag in 0..n {
+            let mut s = 0.0;
+            for i in 0..n - lag {
+                s += c[i] * c[i + lag];
+            }
+            assert!((acf[lag] - s / c0).abs() < 1e-9, "lag {lag}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_constant_signal_is_zero() {
+        let x = [5.0; 32];
+        let acf = autocorrelation(&x, 10);
+        assert!(acf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn autocorrelation_empty_and_zero_lag() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert!(autocorrelation(&[1.0, 2.0], 0).is_empty());
+    }
+}

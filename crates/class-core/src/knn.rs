@@ -1,0 +1,684 @@
+//! Exact streaming k-nearest-neighbour index over sliding-window
+//! subsequences (paper §3.1, Algorithm 2).
+//!
+//! For every new stream value the index
+//!
+//! 1. computes the similarity between the newest width-`w` subsequence and
+//!    every other subsequence in the window in O(d) total, by maintaining
+//!    the (w-1)-length dot products of the previous step (Eq. 3-5, the
+//!    STOMP recurrence adapted to streaming),
+//! 2. selects the k nearest neighbours of the newest subsequence with k
+//!    sequential scans (O(k·d)), honouring a trivial-match exclusion radius
+//!    of 1.5·w, and
+//! 3. updates the stored neighbour lists of all older subsequences for which
+//!    the newest subsequence is a closer neighbour than their current k-th.
+//!
+//! Neighbour identities are stored as *absolute* subsequence ids (the
+//! position of the subsequence start in the stream). This avoids the O(k·d)
+//! index-decrement pass of the paper's Algorithm 2 line 21 while preserving
+//! its semantics exactly: ids that have dropped out of the window simply
+//! compare as "older than everything in range", which is the paper's
+//! "negative offsets belong to class zero by design".
+
+use crate::buffer::{ShiftBuffer, ShiftMatrix};
+use crate::similarity::{pearson_from_dot, sq_cid_from_dot, sq_euclidean_from_dot, Similarity};
+
+/// Largest supported neighbour count; the ablation study uses k in
+/// {1, 3, 5, 7}, so 16 leaves generous headroom while letting the scratch
+/// candidate list live on the stack.
+pub const MAX_K: usize = 16;
+
+/// Configuration of the streaming k-NN index.
+#[derive(Debug, Clone)]
+pub struct KnnConfig {
+    /// Sliding window size `d` in data points.
+    pub window_size: usize,
+    /// Subsequence width `w` in data points.
+    pub width: usize,
+    /// Number of neighbours `k`.
+    pub k: usize,
+    /// Similarity measure used for ranking.
+    pub similarity: Similarity,
+    /// Trivial-match exclusion radius in subsequence starts. `None` selects
+    /// the paper's default of `ceil(1.5 * w)`.
+    pub exclusion: Option<usize>,
+    /// If `true` (ClaSS behaviour), newly arriving subsequences are inserted
+    /// into the neighbour lists of older subsequences when closer than their
+    /// current k-th neighbour. `false` restricts neighbours to the past only
+    /// (the one-directional constraint used by FLOSS).
+    pub update_existing: bool,
+}
+
+impl KnnConfig {
+    /// Convenience constructor with paper defaults for the free parameters.
+    pub fn new(window_size: usize, width: usize, k: usize) -> Self {
+        Self {
+            window_size,
+            width,
+            k,
+            similarity: Similarity::Pearson,
+            exclusion: None,
+            update_existing: true,
+        }
+    }
+
+    /// Effective exclusion radius in subsequence starts.
+    pub fn exclusion_radius(&self) -> usize {
+        self.exclusion
+            .unwrap_or((3 * self.width).div_ceil(2))
+            .max(1)
+    }
+
+    fn validate(&self) {
+        assert!(self.window_size >= 4, "window size too small");
+        assert!(
+            self.width >= 2 && self.width < self.window_size,
+            "width must satisfy 2 <= w < d (w = {}, d = {})",
+            self.width,
+            self.window_size
+        );
+        assert!(
+            self.k >= 1 && self.k <= MAX_K,
+            "k must be in 1..={MAX_K}, got {}",
+            self.k
+        );
+    }
+}
+
+/// Exact streaming k-NN over sliding-window subsequences.
+///
+/// See the module documentation for the algorithm; all state is pre-sized at
+/// construction, and [`StreamingKnn::update`] performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct StreamingKnn {
+    cfg: KnnConfig,
+    excl: usize,
+    m_max: usize,
+    /// Raw window values.
+    win: ShiftBuffer<f64>,
+    /// Per-subsequence moments, aligned with subsequence offsets.
+    mu: ShiftBuffer<f64>,
+    sig: ShiftBuffer<f64>,
+    ssq: ShiftBuffer<f64>,
+    /// Squared complexity estimates (only maintained for CID).
+    ce2: ShiftBuffer<f64>,
+    /// Slot-indexed (w-1)-length dot products (the `Q` of Algorithm 2).
+    /// Values never move between slots; see module docs.
+    q: Vec<f64>,
+    /// Scratch: similarity score of every subsequence vs. the newest.
+    scores: Vec<f64>,
+    /// Neighbour ids (absolute subsequence start positions), k per row.
+    nn_sid: ShiftMatrix<i64>,
+    /// Neighbour scores, aligned with `nn_sid`, sorted descending.
+    nn_score: ShiftMatrix<f64>,
+    /// Number of valid neighbours per row.
+    nn_len: ShiftBuffer<u8>,
+    /// Absolute id (stream start position) of the next subsequence.
+    next_sid: i64,
+}
+
+impl StreamingKnn {
+    /// Creates an empty index.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (see [`KnnConfig`]).
+    pub fn new(cfg: KnnConfig) -> Self {
+        cfg.validate();
+        let m_max = cfg.window_size - cfg.width + 1;
+        let k = cfg.k;
+        let excl = cfg.exclusion_radius();
+        Self {
+            excl,
+            m_max,
+            win: ShiftBuffer::new(cfg.window_size),
+            mu: ShiftBuffer::new(m_max),
+            sig: ShiftBuffer::new(m_max),
+            ssq: ShiftBuffer::new(m_max),
+            ce2: ShiftBuffer::new(m_max),
+            q: vec![0.0; m_max],
+            scores: vec![0.0; m_max],
+            nn_sid: ShiftMatrix::new(m_max, k),
+            nn_score: ShiftMatrix::new(m_max, k),
+            nn_len: ShiftBuffer::new(m_max),
+            next_sid: 0,
+            cfg,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &KnnConfig {
+        &self.cfg
+    }
+
+    /// Subsequence width `w`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.cfg.width
+    }
+
+    /// Maximum number of co-resident subsequences (`d - w + 1`).
+    #[inline]
+    pub fn max_subsequences(&self) -> usize {
+        self.m_max
+    }
+
+    /// Number of subsequences currently in the window.
+    #[inline]
+    pub fn n_subsequences(&self) -> usize {
+        self.mu.len()
+    }
+
+    /// First slot holding a live subsequence (`m_max - n_subsequences`).
+    #[inline]
+    pub fn qstart(&self) -> usize {
+        self.m_max - self.n_subsequences()
+    }
+
+    /// Absolute id (stream start position) of the newest subsequence, or
+    /// `None` before the first subsequence completes.
+    #[inline]
+    pub fn newest_sid(&self) -> Option<i64> {
+        (self.next_sid > 0).then(|| self.next_sid - 1)
+    }
+
+    /// Absolute id of the oldest subsequence still in the window.
+    #[inline]
+    pub fn oldest_sid(&self) -> Option<i64> {
+        self.newest_sid()
+            .map(|n| n - (self.n_subsequences() as i64 - 1))
+    }
+
+    /// Absolute id of the subsequence in `slot` (slots are right-aligned:
+    /// slot `m_max - 1` is the newest).
+    #[inline]
+    pub fn sid_of_slot(&self, slot: usize) -> i64 {
+        debug_assert!(slot >= self.qstart() && slot < self.m_max);
+        self.next_sid - 1 - (self.m_max - 1 - slot) as i64
+    }
+
+    /// Slot of the subsequence with absolute id `sid` (must be live).
+    #[inline]
+    pub fn slot_of_sid(&self, sid: i64) -> usize {
+        let newest = self.next_sid - 1;
+        debug_assert!(sid <= newest && newest - sid < self.n_subsequences() as i64);
+        self.m_max - 1 - (newest - sid) as usize
+    }
+
+    /// Neighbour ids and scores of the subsequence in `slot`, best first.
+    #[inline]
+    pub fn neighbors(&self, slot: usize) -> (&[i64], &[f64]) {
+        let qs = self.qstart();
+        debug_assert!(slot >= qs && slot < self.m_max);
+        let r = slot - qs;
+        let len = self.nn_len.get(r) as usize;
+        (&self.nn_sid.row(r)[..len], &self.nn_score.row(r)[..len])
+    }
+
+    /// Similarity score of every live subsequence against the newest one, as
+    /// computed by the latest [`StreamingKnn::update`]. Indexed by slot;
+    /// only `[qstart(), m_max)` is meaningful.
+    #[inline]
+    pub fn latest_scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Raw window contents, oldest value first.
+    #[inline]
+    pub fn window(&self) -> &[f64] {
+        self.win.as_slice()
+    }
+
+    /// Ingests one stream value. Returns `true` if a new subsequence was
+    /// completed (i.e. at least `w` values have been seen).
+    pub fn update(&mut self, x: f64) -> bool {
+        let grew = !self.win.is_full();
+        self.win.push(x);
+        let l = self.win.len();
+        let w = self.cfg.width;
+        if l < w {
+            return false;
+        }
+        let sid = self.next_sid;
+        self.next_sid += 1;
+
+        // --- Per-subsequence moments of the newest subsequence (O(w)). ---
+        {
+            let win = self.win.as_slice();
+            let newest = &win[l - w..];
+            let mut sum = 0.0;
+            let mut ssq = 0.0;
+            for &v in newest {
+                sum += v;
+                ssq += v * v;
+            }
+            let mu = sum / w as f64;
+            let var = (ssq / w as f64 - mu * mu).max(0.0);
+            self.mu.push(mu);
+            self.sig.push(var.sqrt());
+            self.ssq.push(ssq);
+            if self.cfg.similarity == Similarity::Cid {
+                let mut c = 0.0;
+                for p in newest.windows(2) {
+                    let dd = p[1] - p[0];
+                    c += dd * dd;
+                }
+                self.ce2.push(c);
+            } else {
+                self.ce2.push(0.0);
+            }
+        }
+
+        let n_subs = l - w + 1;
+        let qstart = self.m_max - n_subs;
+
+        // --- Q maintenance & similarity scores (Eq. 3-5). ---
+        {
+            let win = self.win.as_slice();
+            if grew {
+                // A new leftmost slot appeared: fill the recursion hole with
+                // an explicit (w-1)-length dot product (Algorithm 2 line 7).
+                let a = &win[0..w - 1];
+                let b = &win[l - w..l - 1];
+                let mut d = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    d += x * y;
+                }
+                self.q[qstart] = d;
+            }
+            let last = win[l - 1];
+            let first_of_newest = win[l - w];
+            let wf = w as f64;
+            let mu = self.mu.as_slice();
+            let sig = self.sig.as_slice();
+            let ssq = self.ssq.as_slice();
+            let ce2 = self.ce2.as_slice();
+            let o_new = n_subs - 1;
+            match self.cfg.similarity {
+                Similarity::Pearson => {
+                    let (mu_n, sig_n) = (mu[o_new], sig[o_new]);
+                    for s in qstart..self.m_max {
+                        let o = s - qstart;
+                        let dot = self.q[s] + win[o + w - 1] * last;
+                        self.scores[s] = pearson_from_dot(dot, wf, mu[o], sig[o], mu_n, sig_n);
+                        self.q[s] = dot - win[o] * first_of_newest;
+                    }
+                }
+                Similarity::Euclidean => {
+                    let ssq_n = ssq[o_new];
+                    for s in qstart..self.m_max {
+                        let o = s - qstart;
+                        let dot = self.q[s] + win[o + w - 1] * last;
+                        self.scores[s] = -sq_euclidean_from_dot(dot, ssq[o], ssq_n);
+                        self.q[s] = dot - win[o] * first_of_newest;
+                    }
+                }
+                Similarity::Cid => {
+                    let (ssq_n, ce2_n) = (ssq[o_new], ce2[o_new]);
+                    for s in qstart..self.m_max {
+                        let o = s - qstart;
+                        let dot = self.q[s] + win[o + w - 1] * last;
+                        self.scores[s] = -sq_cid_from_dot(dot, ssq[o], ssq_n, ce2[o], ce2_n);
+                        self.q[s] = dot - win[o] * first_of_newest;
+                    }
+                }
+            }
+        }
+
+        // --- k-NN selection for the newest subsequence (k scans). ---
+        let k = self.cfg.k;
+        let elig_end = self.m_max - self.excl; // exclusive slot bound
+        let n_elig = elig_end.saturating_sub(qstart);
+        let kk = k.min(n_elig);
+        let mut chosen = [usize::MAX; MAX_K];
+        let mut row_sid = [i64::MIN; MAX_K];
+        let mut row_score = [f64::NEG_INFINITY; MAX_K];
+        for pass in 0..kk {
+            let mut best = usize::MAX;
+            let mut best_score = f64::NEG_INFINITY;
+            'cand: for s in qstart..elig_end {
+                for &c in &chosen[..pass] {
+                    if c == s {
+                        continue 'cand;
+                    }
+                }
+                if self.scores[s] > best_score {
+                    best_score = self.scores[s];
+                    best = s;
+                }
+            }
+            chosen[pass] = best;
+            row_sid[pass] = self.sid_of_slot(best);
+            row_score[pass] = best_score;
+        }
+        self.nn_sid.push_row(&row_sid[..k]);
+        self.nn_score.push_row(&row_score[..k]);
+        self.nn_len.push(kk as u8);
+
+        // --- Insert the newest subsequence into older neighbour lists. ---
+        if self.cfg.update_existing {
+            let rows = self.nn_sid.rows();
+            debug_assert_eq!(rows, n_subs);
+            // Rows are ordered oldest -> newest; only rows at slot distance
+            // >= excl from the newest are eligible, i.e. row indices
+            // 0 .. n_subs - excl (matching the eligibility of the initial
+            // selection above).
+            let upto = n_subs.saturating_sub(self.excl);
+            for r in 0..upto {
+                let s = qstart + r;
+                let sc = self.scores[s];
+                let len = self.nn_len.get(r) as usize;
+                if len == k && sc <= self.nn_score.row(r)[k - 1] {
+                    continue;
+                }
+                // Insertion position by descending score.
+                let mut pos = 0;
+                {
+                    let sr = self.nn_score.row(r);
+                    while pos < len && sr[pos] >= sc {
+                        pos += 1;
+                    }
+                }
+                let end = len.min(k - 1);
+                {
+                    let sr = self.nn_score.row_mut(r);
+                    for j in (pos..end).rev() {
+                        sr[j + 1] = sr[j];
+                    }
+                    sr[pos] = sc;
+                }
+                {
+                    let ir = self.nn_sid.row_mut(r);
+                    for j in (pos..end).rev() {
+                        ir[j + 1] = ir[j];
+                    }
+                    ir[pos] = sid;
+                }
+                if len < k {
+                    self.nn_len.as_mut_slice()[r] += 1;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::naive;
+    use crate::stats::SplitMix64;
+
+    fn random_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect()
+    }
+
+    /// Brute-force mirror of the streaming semantics: same exclusion, same
+    /// insert-only updates, but naive dot products. Returns neighbour lists
+    /// by absolute sid after feeding the whole series.
+    struct NaiveMirror {
+        d: usize,
+        w: usize,
+        k: usize,
+        excl: usize,
+        sim: Similarity,
+        series: Vec<f64>,
+        rows: Vec<(i64, Vec<(i64, f64)>)>, // (sid, sorted neighbour list)
+    }
+
+    impl NaiveMirror {
+        fn score(&self, a: i64, b: i64) -> f64 {
+            let sa = &self.series[a as usize..a as usize + self.w];
+            let sb = &self.series[b as usize..b as usize + self.w];
+            match self.sim {
+                Similarity::Pearson => naive::pearson(sa, sb),
+                Similarity::Euclidean => -naive::sq_euclidean(sa, sb),
+                Similarity::Cid => -naive::sq_cid(sa, sb),
+            }
+        }
+
+        fn run(&mut self) {
+            let n = self.series.len();
+            for t in self.w - 1..n {
+                let sid = (t + 1 - self.w) as i64;
+                let oldest_point = (t + 1).saturating_sub(self.d);
+                let oldest_sid = oldest_point as i64;
+                // Selection among older, eligible subsequences.
+                let mut cands: Vec<(i64, f64)> = (oldest_sid..=sid - self.excl as i64)
+                    .map(|c| (c, self.score(c, sid)))
+                    .collect();
+                cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                cands.truncate(self.k);
+                self.rows.push((sid, cands));
+                // Insert-only update of older rows still in window.
+                for (rsid, list) in self.rows.iter_mut() {
+                    if *rsid < oldest_sid || sid - *rsid < self.excl as i64 || *rsid == sid {
+                        continue;
+                    }
+                    let sc = {
+                        let sa = &self.series[*rsid as usize..*rsid as usize + self.w];
+                        let sb = &self.series[sid as usize..sid as usize + self.w];
+                        match self.sim {
+                            Similarity::Pearson => naive::pearson(sa, sb),
+                            Similarity::Euclidean => -naive::sq_euclidean(sa, sb),
+                            Similarity::Cid => -naive::sq_cid(sa, sb),
+                        }
+                    };
+                    if list.len() < self.k {
+                        let pos = list.iter().position(|e| e.1 < sc).unwrap_or(list.len());
+                        list.insert(pos, (sid, sc));
+                    } else if sc > list.last().unwrap().1 {
+                        list.pop();
+                        let pos = list.iter().position(|e| e.1 < sc).unwrap_or(list.len());
+                        list.insert(pos, (sid, sc));
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_against_naive(n: usize, d: usize, w: usize, k: usize, sim: Similarity, seed: u64) {
+        let series = random_series(n, seed);
+        let cfg = KnnConfig {
+            window_size: d,
+            width: w,
+            k,
+            similarity: sim,
+            exclusion: None,
+            update_existing: true,
+        };
+        let excl = cfg.exclusion_radius();
+        let mut knn = StreamingKnn::new(cfg);
+        for &x in &series {
+            knn.update(x);
+        }
+        let mut mirror = NaiveMirror {
+            d,
+            w,
+            k,
+            excl,
+            sim,
+            series,
+            rows: Vec::new(),
+        };
+        mirror.run();
+        // Compare the live rows at the end.
+        let qs = knn.qstart();
+        for slot in qs..knn.max_subsequences() {
+            let sid = knn.sid_of_slot(slot);
+            let (got_sids, got_scores) = knn.neighbors(slot);
+            let (_, want) = mirror
+                .rows
+                .iter()
+                .find(|(s, _)| *s == sid)
+                .unwrap_or_else(|| panic!("missing naive row for sid {sid}"));
+            assert_eq!(got_sids.len(), want.len(), "sid {sid}: neighbour count");
+            for (i, &(wsid, wscore)) in want.iter().enumerate() {
+                // Scores must match; ids may differ only under exact ties.
+                assert!(
+                    (got_scores[i] - wscore).abs() < 1e-7,
+                    "sid {sid} nn{i}: score {} vs {}",
+                    got_scores[i],
+                    wscore
+                );
+                if (got_scores[i] - wscore).abs() < 1e-12 && got_sids[i] != wsid {
+                    // tie: accept either id with equal score
+                    continue;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_knn_matches_naive_pearson_short() {
+        check_against_naive(120, 200, 8, 3, Similarity::Pearson, 1);
+    }
+
+    #[test]
+    fn streaming_knn_matches_naive_pearson_with_eviction() {
+        check_against_naive(300, 100, 7, 3, Similarity::Pearson, 2);
+    }
+
+    #[test]
+    fn streaming_knn_matches_naive_euclidean() {
+        check_against_naive(250, 90, 6, 2, Similarity::Euclidean, 3);
+    }
+
+    #[test]
+    fn streaming_knn_matches_naive_cid() {
+        check_against_naive(220, 80, 5, 3, Similarity::Cid, 4);
+    }
+
+    #[test]
+    fn streaming_knn_matches_naive_k1() {
+        check_against_naive(260, 110, 9, 1, Similarity::Pearson, 5);
+    }
+
+    #[test]
+    fn latest_scores_match_naive_pearson_each_step() {
+        let n = 240;
+        let (d, w) = (90, 7);
+        let series = random_series(n, 6);
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+        for (t, &x) in series.iter().enumerate() {
+            if !knn.update(x) {
+                continue;
+            }
+            let newest = knn.newest_sid().unwrap() as usize;
+            let sb = &series[newest..newest + w];
+            for slot in knn.qstart()..knn.max_subsequences() {
+                let sid = knn.sid_of_slot(slot) as usize;
+                let sa = &series[sid..sid + w];
+                let want = naive::pearson(sa, sb);
+                let got = knn.latest_scores()[slot];
+                assert!(
+                    (got - want).abs() < 1e-7,
+                    "t={t} slot={slot}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_radius_is_respected() {
+        let series = random_series(400, 7);
+        let cfg = KnnConfig::new(150, 10, 3);
+        let excl = cfg.exclusion_radius();
+        let mut knn = StreamingKnn::new(cfg);
+        for &x in &series {
+            knn.update(x);
+        }
+        for slot in knn.qstart()..knn.max_subsequences() {
+            let sid = knn.sid_of_slot(slot);
+            let (sids, _) = knn.neighbors(slot);
+            for &nsid in sids {
+                assert!(
+                    (nsid - sid).unsigned_abs() as usize >= excl,
+                    "sid {sid} has trivial neighbour {nsid} (excl {excl})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_scores_sorted_descending() {
+        let series = random_series(500, 8);
+        let mut knn = StreamingKnn::new(KnnConfig::new(120, 9, 5));
+        for &x in &series {
+            knn.update(x);
+        }
+        for slot in knn.qstart()..knn.max_subsequences() {
+            let (_, scores) = knn.neighbors(slot);
+            for p in scores.windows(2) {
+                assert!(p[0] >= p[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn update_returns_false_until_width_reached() {
+        let mut knn = StreamingKnn::new(KnnConfig::new(50, 10, 3));
+        for i in 0..9 {
+            assert!(!knn.update(i as f64), "step {i}");
+        }
+        assert!(knn.update(9.0));
+        assert_eq!(knn.n_subsequences(), 1);
+    }
+
+    #[test]
+    fn constant_stream_is_handled_gracefully() {
+        let mut knn = StreamingKnn::new(KnnConfig::new(60, 8, 3));
+        for _ in 0..200 {
+            knn.update(1.0);
+        }
+        // Flat subsequences: Pearson degenerates to 0 everywhere; the index
+        // must stay finite and populated.
+        for slot in knn.qstart()..knn.max_subsequences() {
+            let (_, scores) = knn.neighbors(slot);
+            assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sid_slot_roundtrip() {
+        let series = random_series(300, 9);
+        let mut knn = StreamingKnn::new(KnnConfig::new(100, 6, 3));
+        for &x in &series {
+            knn.update(x);
+        }
+        for slot in knn.qstart()..knn.max_subsequences() {
+            assert_eq!(knn.slot_of_sid(knn.sid_of_slot(slot)), slot);
+        }
+        assert_eq!(knn.oldest_sid().unwrap(), knn.sid_of_slot(knn.qstart()));
+    }
+
+    #[test]
+    fn one_directional_mode_never_points_forward() {
+        let series = random_series(400, 10);
+        let mut cfg = KnnConfig::new(120, 8, 1);
+        cfg.update_existing = false;
+        let mut knn = StreamingKnn::new(cfg);
+        for &x in &series {
+            knn.update(x);
+        }
+        for slot in knn.qstart()..knn.max_subsequences() {
+            let sid = knn.sid_of_slot(slot);
+            let (sids, _) = knn.neighbors(slot);
+            for &nsid in sids {
+                assert!(nsid < sid, "forward arc {nsid} from {sid}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_width_larger_than_window() {
+        let _ = StreamingKnn::new(KnnConfig::new(50, 60, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_k() {
+        let _ = StreamingKnn::new(KnnConfig::new(50, 5, 0));
+    }
+}

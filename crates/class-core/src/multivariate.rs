@@ -1,0 +1,433 @@
+//! Multivariate ClaSS — the paper's future-work extension (§6: "we plan to
+//! extend ClaSS to the multivariate setting, exploring sensor fusion and
+//! dimension selection to improve accuracy").
+//!
+//! The design follows the paper's sketch: one univariate ClaSS instance per
+//! selected channel ("temporal patterns are distributed across various
+//! channels"), with
+//!
+//! * **dimension selection** — channels can be ranked during a probe phase
+//!   and only the most informative ones segmented, and
+//! * **sensor fusion** — per-channel change point votes are fused; a change
+//!   point is emitted once a quorum of channels localises a change within a
+//!   tolerance, at the median of the votes.
+
+use crate::class::{ClassConfig, ClassSegmenter};
+use crate::segmenter::StreamingSegmenter;
+
+/// How per-channel change point votes are fused.
+#[derive(Debug, Clone, Copy)]
+pub enum FusionStrategy {
+    /// Emit when at least `min_votes` distinct channels report a change
+    /// point within `tolerance` positions of each other.
+    Quorum {
+        /// Minimum number of agreeing channels.
+        min_votes: usize,
+        /// Maximum distance between agreeing votes, in observations.
+        tolerance: u64,
+    },
+    /// Emit every per-channel change point (union; min_votes = 1 with
+    /// deduplication inside `tolerance`).
+    Any {
+        /// Deduplication distance, in observations.
+        tolerance: u64,
+    },
+}
+
+impl FusionStrategy {
+    fn tolerance(&self) -> u64 {
+        match *self {
+            FusionStrategy::Quorum { tolerance, .. } | FusionStrategy::Any { tolerance } => {
+                tolerance
+            }
+        }
+    }
+
+    fn min_votes(&self) -> usize {
+        match *self {
+            FusionStrategy::Quorum { min_votes, .. } => min_votes.max(1),
+            FusionStrategy::Any { .. } => 1,
+        }
+    }
+}
+
+/// Which channels are segmented.
+#[derive(Debug, Clone, Copy)]
+pub enum ChannelSelection {
+    /// Segment every channel.
+    All,
+    /// After a probe of `probe` observations, keep only the `k` channels
+    /// with the highest variance (dead or flat sensors carry no pattern).
+    TopVariance {
+        /// Number of channels to keep.
+        k: usize,
+        /// Probe length in observations.
+        probe: usize,
+    },
+}
+
+/// Configuration of the multivariate segmenter.
+#[derive(Debug, Clone)]
+pub struct MultivariateConfig {
+    /// Per-channel univariate configuration.
+    pub base: ClassConfig,
+    /// Vote fusion strategy.
+    pub fusion: FusionStrategy,
+    /// Channel selection strategy.
+    pub selection: ChannelSelection,
+}
+
+impl MultivariateConfig {
+    /// Quorum-of-half default on top of a univariate configuration.
+    pub fn new(base: ClassConfig, n_channels: usize) -> Self {
+        let tolerance = (base.window_size / 8).max(64) as u64;
+        Self {
+            base,
+            fusion: FusionStrategy::Quorum {
+                min_votes: n_channels.div_ceil(2).max(1),
+                tolerance,
+            },
+            selection: ChannelSelection::All,
+        }
+    }
+}
+
+/// One pending per-channel vote.
+#[derive(Debug, Clone, Copy)]
+struct Vote {
+    channel: usize,
+    cp: u64,
+}
+
+/// Multivariate streaming segmenter: per-channel ClaSS + vote fusion.
+pub struct MultivariateClass {
+    cfg: MultivariateConfig,
+    n_channels: usize,
+    /// One segmenter per channel; `None` for channels dropped by selection.
+    channels: Vec<Option<ClassSegmenter>>,
+    /// Probe statistics for TopVariance selection.
+    probe_sums: Vec<(f64, f64)>,
+    probe_seen: usize,
+    selected: bool,
+    votes: Vec<Vote>,
+    emitted: Vec<u64>,
+    scratch: Vec<u64>,
+    t: u64,
+}
+
+impl MultivariateClass {
+    /// Creates a multivariate segmenter over `n_channels` channels.
+    ///
+    /// # Panics
+    /// Panics if `n_channels` is 0 or the selection keeps 0 channels.
+    pub fn new(cfg: MultivariateConfig, n_channels: usize) -> Self {
+        assert!(n_channels >= 1, "need at least one channel");
+        if let ChannelSelection::TopVariance { k, .. } = cfg.selection {
+            assert!(k >= 1, "selection must keep at least one channel");
+        }
+        let channels = (0..n_channels)
+            .map(|i| {
+                let mut c = cfg.base.clone();
+                c.seed ^= (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                Some(ClassSegmenter::new(c))
+            })
+            .collect();
+        Self {
+            n_channels,
+            channels,
+            probe_sums: vec![(0.0, 0.0); n_channels],
+            probe_seen: 0,
+            selected: matches!(cfg.selection, ChannelSelection::All),
+            votes: Vec::new(),
+            emitted: Vec::new(),
+            scratch: Vec::new(),
+            cfg,
+            t: 0,
+        }
+    }
+
+    /// Number of channels expected by [`MultivariateClass::step`].
+    pub fn n_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// Indices of the channels currently being segmented.
+    pub fn active_channels(&self) -> Vec<usize> {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_some().then_some(i))
+            .collect()
+    }
+
+    /// Feeds one observation vector (one value per channel); fused change
+    /// points are appended to `cps`.
+    ///
+    /// # Panics
+    /// Panics if `xs.len() != n_channels`.
+    pub fn step(&mut self, xs: &[f64], cps: &mut Vec<u64>) {
+        assert_eq!(xs.len(), self.n_channels, "channel count mismatch");
+        let pos = self.t;
+        self.t += 1;
+        // Dimension selection probe.
+        if !self.selected {
+            if let ChannelSelection::TopVariance { k, probe } = self.cfg.selection {
+                for (i, &x) in xs.iter().enumerate() {
+                    self.probe_sums[i].0 += x;
+                    self.probe_sums[i].1 += x * x;
+                }
+                self.probe_seen += 1;
+                if self.probe_seen >= probe {
+                    let n = self.probe_seen as f64;
+                    let mut vars: Vec<(usize, f64)> = self
+                        .probe_sums
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(s, s2))| (i, (s2 / n - (s / n) * (s / n)).max(0.0)))
+                        .collect();
+                    vars.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                    let keep: Vec<usize> = vars.iter().take(k.max(1)).map(|&(i, _)| i).collect();
+                    for (i, ch) in self.channels.iter_mut().enumerate() {
+                        if !keep.contains(&i) {
+                            *ch = None;
+                        }
+                    }
+                    self.selected = true;
+                }
+            }
+        }
+        // Per-channel segmentation and vote collection.
+        let tolerance = self.cfg.fusion.tolerance();
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            let Some(seg) = ch else { continue };
+            self.scratch.clear();
+            seg.step(xs[i], &mut self.scratch);
+            for &cp in &self.scratch {
+                self.votes.push(Vote { channel: i, cp });
+            }
+        }
+        // Expire votes that can no longer join a quorum.
+        let horizon = 4 * tolerance + 1;
+        self.votes.retain(|v| v.cp + horizon >= pos);
+        self.emitted.retain(|&e| e + 2 * horizon >= pos);
+        // Fusion: find a cluster of votes from distinct channels.
+        let min_votes = self.cfg.fusion.min_votes();
+        let mut fused: Option<u64> = None;
+        'anchor: for a in 0..self.votes.len() {
+            let anchor = self.votes[a];
+            let mut members: Vec<&Vote> = self
+                .votes
+                .iter()
+                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
+                .collect();
+            // Distinct channels only.
+            members.sort_by_key(|v| v.channel);
+            members.dedup_by_key(|v| v.channel);
+            if members.len() >= min_votes {
+                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
+                positions.sort_unstable();
+                let cp = positions[positions.len() / 2];
+                // Suppress re-emission of the same change.
+                for &e in &self.emitted {
+                    if e.abs_diff(cp) <= 2 * tolerance {
+                        continue 'anchor;
+                    }
+                }
+                fused = Some(cp);
+                break;
+            }
+        }
+        if let Some(cp) = fused {
+            cps.push(cp);
+            self.emitted.push(cp);
+            self.votes.retain(|v| v.cp.abs_diff(cp) > tolerance);
+        }
+    }
+
+    /// Signals end-of-stream to every channel, fusing remaining votes.
+    pub fn finalize(&mut self, cps: &mut Vec<u64>) {
+        for (i, ch) in self.channels.iter_mut().enumerate() {
+            let Some(seg) = ch else { continue };
+            self.scratch.clear();
+            seg.finalize(&mut self.scratch);
+            for &cp in &self.scratch {
+                self.votes.push(Vote { channel: i, cp });
+            }
+        }
+        let tolerance = self.cfg.fusion.tolerance();
+        let min_votes = self.cfg.fusion.min_votes();
+        let mut votes = std::mem::take(&mut self.votes);
+        votes.sort_by_key(|v| v.cp);
+        let mut i = 0;
+        while i < votes.len() {
+            let anchor = votes[i];
+            let mut members: Vec<&Vote> = votes
+                .iter()
+                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
+                .collect();
+            members.sort_by_key(|v| v.channel);
+            members.dedup_by_key(|v| v.channel);
+            if members.len() >= min_votes {
+                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
+                positions.sort_unstable();
+                let cp = positions[positions.len() / 2];
+                if !self
+                    .emitted
+                    .iter()
+                    .any(|&e| e.abs_diff(cp) <= 2 * tolerance)
+                {
+                    cps.push(cp);
+                    self.emitted.push(cp);
+                }
+                let next = votes.iter().position(|v| v.cp > anchor.cp + tolerance);
+                i = next.unwrap_or(votes.len());
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::WidthSelection;
+    use crate::stats::SplitMix64;
+
+    /// Channels 0 and 1 change regime at `cp`; channel 2 is pure noise.
+    fn three_channel_stream(n: usize, cp: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|i| {
+                let f = if i < cp { 0.15 } else { 0.45 };
+                [
+                    (i as f64 * f).sin() + 0.05 * (rng.next_f64() - 0.5),
+                    (i as f64 * f * 1.1).cos() + 0.05 * (rng.next_f64() - 0.5),
+                    rng.next_f64() - 0.5,
+                ]
+            })
+            .collect()
+    }
+
+    fn base_cfg() -> ClassConfig {
+        let mut c = ClassConfig::with_window_size(1500);
+        c.width = WidthSelection::Fixed(30);
+        c.log10_alpha = -12.0;
+        c
+    }
+
+    #[test]
+    fn quorum_fusion_detects_shared_change() {
+        let xs = three_channel_stream(5000, 2500, 1);
+        let cfg = MultivariateConfig::new(base_cfg(), 3);
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        for row in &xs {
+            mv.step(row, &mut cps);
+        }
+        mv.finalize(&mut cps);
+        assert!(
+            cps.iter().any(|&c| (c as i64 - 2500).unsigned_abs() < 500),
+            "cps = {cps:?}"
+        );
+    }
+
+    #[test]
+    fn noise_channel_alone_cannot_fire_quorum() {
+        // All-noise streams: quorum 2 of 3 must stay quiet.
+        let mut rng = SplitMix64::new(2);
+        let cfg = MultivariateConfig::new(base_cfg(), 3);
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        for _ in 0..5000 {
+            let row = [
+                rng.next_f64() - 0.5,
+                rng.next_f64() - 0.5,
+                rng.next_f64() - 0.5,
+            ];
+            mv.step(&row, &mut cps);
+        }
+        assert!(cps.is_empty(), "false positives: {cps:?}");
+    }
+
+    #[test]
+    fn top_variance_selection_drops_flat_channel() {
+        let mut cfg = MultivariateConfig::new(base_cfg(), 3);
+        cfg.selection = ChannelSelection::TopVariance { k: 2, probe: 200 };
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        let mut rng = SplitMix64::new(3);
+        for i in 0..400 {
+            let row = [
+                (i as f64 * 0.2).sin(),
+                0.0, // dead sensor
+                rng.next_f64() - 0.5,
+            ];
+            mv.step(&row, &mut cps);
+        }
+        let active = mv.active_channels();
+        assert_eq!(active.len(), 2);
+        assert!(!active.contains(&1), "dead channel kept: {active:?}");
+    }
+
+    #[test]
+    fn any_fusion_is_more_eager_than_quorum() {
+        // Only channel 0 carries the change.
+        let mut rng = SplitMix64::new(4);
+        let xs: Vec<[f64; 2]> = (0..5000)
+            .map(|i| {
+                let f = if i < 2500 { 0.15 } else { 0.45 };
+                [
+                    (i as f64 * f).sin() + 0.05 * (rng.next_f64() - 0.5),
+                    (i as f64 * 0.2).sin() + 0.05 * (rng.next_f64() - 0.5),
+                ]
+            })
+            .collect();
+        let run = |fusion: FusionStrategy| -> Vec<u64> {
+            let mut cfg = MultivariateConfig::new(base_cfg(), 2);
+            cfg.fusion = fusion;
+            let mut mv = MultivariateClass::new(cfg, 2);
+            let mut cps = Vec::new();
+            for row in &xs {
+                mv.step(row, &mut cps);
+            }
+            mv.finalize(&mut cps);
+            cps
+        };
+        let any = run(FusionStrategy::Any { tolerance: 200 });
+        let quorum = run(FusionStrategy::Quorum {
+            min_votes: 2,
+            tolerance: 200,
+        });
+        assert!(
+            any.iter().any(|&c| (c as i64 - 2500).unsigned_abs() < 500),
+            "any missed: {any:?}"
+        );
+        assert!(any.len() >= quorum.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_channel_count_panics() {
+        let cfg = MultivariateConfig::new(base_cfg(), 2);
+        let mut mv = MultivariateClass::new(cfg, 2);
+        let mut cps = Vec::new();
+        mv.step(&[1.0], &mut cps);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let xs = three_channel_stream(4000, 2000, 5);
+        let run = || {
+            let cfg = MultivariateConfig::new(base_cfg(), 3);
+            let mut mv = MultivariateClass::new(cfg, 3);
+            let mut cps = Vec::new();
+            for row in &xs {
+                mv.step(row, &mut cps);
+            }
+            mv.finalize(&mut cps);
+            cps
+        };
+        assert_eq!(run(), run());
+    }
+}

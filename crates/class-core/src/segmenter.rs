@@ -1,0 +1,64 @@
+//! The common interface implemented by ClaSS and all competitor algorithms.
+
+/// A streaming time series segmentation algorithm.
+///
+/// Implementations consume one observation at a time and report change
+/// points (absolute 0-based stream positions) as soon as they are detected.
+/// `step` may report zero, one, or (rarely, e.g. during ClaSS's warm-up
+/// replay) several change points for a single observation; positions are
+/// appended to `cps`.
+pub trait StreamingSegmenter {
+    /// Ingests one observation, appending any detected change points.
+    fn step(&mut self, x: f64, cps: &mut Vec<u64>);
+
+    /// Signals the end of a finite stream, allowing implementations that
+    /// buffer (e.g. ClaSS during width learning) to flush pending output.
+    fn finalize(&mut self, _cps: &mut Vec<u64>) {}
+
+    /// Human-readable algorithm name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Convenience driver: feeds an entire finite series and returns all
+    /// reported change points in ascending order, deduplicated.
+    fn segment_series(&mut self, xs: &[f64]) -> Vec<u64> {
+        let mut cps = Vec::new();
+        for &x in xs {
+            self.step(x, &mut cps);
+        }
+        self.finalize(&mut cps);
+        cps.sort_unstable();
+        cps.dedup();
+        cps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct EveryN {
+        n: u64,
+        seen: u64,
+    }
+
+    impl StreamingSegmenter for EveryN {
+        fn step(&mut self, _x: f64, cps: &mut Vec<u64>) {
+            self.seen += 1;
+            if self.seen % self.n == 0 {
+                cps.push(self.seen - 1);
+            }
+        }
+        fn name(&self) -> &'static str {
+            "every-n"
+        }
+    }
+
+    #[test]
+    fn segment_series_collects_sorted_unique_cps() {
+        let mut s = EveryN { n: 3, seen: 0 };
+        let xs = vec![0.0; 10];
+        let cps = s.segment_series(&xs);
+        assert_eq!(cps, vec![2, 5, 8]);
+        assert_eq!(s.name(), "every-n");
+    }
+}

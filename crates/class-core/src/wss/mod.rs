@@ -1,0 +1,284 @@
+//! Window size selection (WSS): learning the subsequence width `w` from the
+//! first `d` stream observations (paper §3.4 and ablation study §4.2 (b)).
+//!
+//! Four methods are provided, mirroring the paper's ablation:
+//! * [`WssMethod::Suss`] — Summary Statistics Subsequence (the ClaSS
+//!   default; expected linear, worst-case log-linear runtime),
+//! * [`WssMethod::FftDominant`] — most dominant Fourier frequency,
+//! * [`WssMethod::Acf`] — highest autocorrelation offset,
+//! * [`WssMethod::Mwf`] — Multi-Window-Finder (moving-average periodicity
+//!   cost; see DESIGN.md for the approximation notes).
+
+mod mwf;
+mod spectral;
+mod suss;
+
+pub use mwf::mwf_width;
+pub use spectral::{acf_width, fft_dominant_width};
+pub use suss::{suss_score, suss_width};
+
+/// Inclusive bounds for the learned subsequence width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthBounds {
+    /// Smallest admissible width (default 10, as in the reference
+    /// implementation of SuSS).
+    pub min: usize,
+    /// Largest admissible width.
+    pub max: usize,
+}
+
+impl WidthBounds {
+    /// Default bounds for a warm-up buffer of `n` points inside a sliding
+    /// window of size `d`: widths from 10 up to `min(n / 4, d / 8, 1000)`.
+    /// The cap keeps `w << d` so that the window covers the "10 to 100
+    /// temporal patterns" the paper recommends (§3.5).
+    pub fn for_stream(n: usize, d: usize) -> Self {
+        let max = (n / 4).min(d / 8).min(1000).max(11);
+        Self { min: 10, max }
+    }
+
+    /// Clamps a width into the bounds.
+    pub fn clamp(&self, w: usize) -> usize {
+        w.clamp(self.min, self.max)
+    }
+}
+
+/// Window size selection method (ablation study §4.2 (b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WssMethod {
+    /// Summary Statistics Subsequence (paper default).
+    #[default]
+    Suss,
+    /// Most dominant Fourier frequency.
+    FftDominant,
+    /// Highest autocorrelation offset.
+    Acf,
+    /// Multi-Window-Finder.
+    Mwf,
+}
+
+impl WssMethod {
+    /// Identifier used by the ablation harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            WssMethod::Suss => "suss",
+            WssMethod::FftDominant => "fft",
+            WssMethod::Acf => "acf",
+            WssMethod::Mwf => "mwf",
+        }
+    }
+
+    /// All methods, in ablation order.
+    pub fn all() -> [WssMethod; 4] {
+        [
+            WssMethod::Suss,
+            WssMethod::FftDominant,
+            WssMethod::Acf,
+            WssMethod::Mwf,
+        ]
+    }
+}
+
+/// Learns a subsequence width from `x` with the chosen method. Returns a
+/// width within `bounds`; degenerate inputs (too short, constant, NaN) fall
+/// back to `bounds.min`.
+pub fn select_width(method: WssMethod, x: &[f64], bounds: WidthBounds) -> usize {
+    if x.len() < 2 * bounds.min || !x.iter().all(|v| v.is_finite()) {
+        return bounds.min;
+    }
+    let range = x
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if range.1 - range.0 < 1e-12 {
+        return bounds.min;
+    }
+    let w = match method {
+        WssMethod::Suss => suss_width(x, bounds),
+        WssMethod::FftDominant => fft_dominant_width(x, bounds),
+        WssMethod::Acf => acf_width(x, bounds),
+        WssMethod::Mwf => mwf_width(x, bounds),
+    };
+    bounds.clamp(w)
+}
+
+/// Rolling minimum and maximum over windows of size `w` (monotonic deque,
+/// O(n)). Returns `(mins, maxs)`, each of length `n - w + 1`.
+pub(crate) fn rolling_min_max(x: &[f64], w: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len();
+    assert!(w >= 1 && w <= n);
+    let m = n - w + 1;
+    let mut mins = Vec::with_capacity(m);
+    let mut maxs = Vec::with_capacity(m);
+    let mut dq_min: Vec<usize> = Vec::new();
+    let mut dq_max: Vec<usize> = Vec::new();
+    for i in 0..n {
+        while let Some(&b) = dq_min.last() {
+            if x[b] >= x[i] {
+                dq_min.pop();
+            } else {
+                break;
+            }
+        }
+        dq_min.push(i);
+        while let Some(&b) = dq_max.last() {
+            if x[b] <= x[i] {
+                dq_max.pop();
+            } else {
+                break;
+            }
+        }
+        dq_max.push(i);
+        if i + 1 >= w {
+            let lo = i + 1 - w;
+            if dq_min[0] < lo {
+                dq_min.remove(0);
+            }
+            if dq_max[0] < lo {
+                dq_max.remove(0);
+            }
+            mins.push(x[dq_min[0]]);
+            maxs.push(x[dq_max[0]]);
+        }
+    }
+    (mins, maxs)
+}
+
+/// Rolling mean and standard deviation over windows of size `w` via prefix
+/// sums, O(n). Returns `(means, stds)`, each of length `n - w + 1`.
+pub(crate) fn rolling_mean_std(x: &[f64], w: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = x.len();
+    assert!(w >= 1 && w <= n);
+    let m = n - w + 1;
+    let mut means = Vec::with_capacity(m);
+    let mut stds = Vec::with_capacity(m);
+    let mut sum = 0.0;
+    let mut ssq = 0.0;
+    for i in 0..n {
+        sum += x[i];
+        ssq += x[i] * x[i];
+        if i + 1 > w {
+            let out = x[i - w];
+            sum -= out;
+            ssq -= out * out;
+        }
+        if i + 1 >= w {
+            let mu = sum / w as f64;
+            means.push(mu);
+            stds.push((ssq / w as f64 - mu * mu).max(0.0).sqrt());
+        }
+    }
+    (means, stds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    pub(crate) fn sine_with_noise(n: usize, period: usize, seed: u64) -> Vec<f64> {
+        let mut rng = crate::stats::SplitMix64::new(seed);
+        (0..n)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin() + 0.05 * (rng.next_f64() - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn rolling_min_max_matches_naive() {
+        let x: Vec<f64> = (0..60).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        for w in [1usize, 2, 5, 13, 60] {
+            let (mins, maxs) = rolling_min_max(&x, w);
+            for i in 0..x.len() - w + 1 {
+                let win = &x[i..i + w];
+                let lo = win.iter().cloned().fold(f64::MAX, f64::min);
+                let hi = win.iter().cloned().fold(f64::MIN, f64::max);
+                assert_eq!(mins[i], lo, "w={w} i={i}");
+                assert_eq!(maxs[i], hi, "w={w} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_mean_std_matches_naive() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * 7) % 11) as f64 * 0.3 - 1.0).collect();
+        for w in [1usize, 3, 10, 50] {
+            let (means, stds) = rolling_mean_std(&x, w);
+            for i in 0..x.len() - w + 1 {
+                let win = &x[i..i + w];
+                let mu = win.iter().sum::<f64>() / w as f64;
+                let var = win.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / w as f64;
+                assert!((means[i] - mu).abs() < 1e-9);
+                assert!((stds[i] - var.sqrt()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_methods_recover_sine_period() {
+        let period = 50;
+        let x = sine_with_noise(2000, period, 1);
+        let bounds = WidthBounds { min: 10, max: 400 };
+        let w_fft = select_width(WssMethod::FftDominant, &x, bounds);
+        let w_acf = select_width(WssMethod::Acf, &x, bounds);
+        assert!(
+            (w_fft as i64 - period as i64).unsigned_abs() <= 3,
+            "fft width {w_fft}"
+        );
+        assert!(
+            (w_acf as i64 - period as i64).unsigned_abs() <= 3,
+            "acf width {w_acf}"
+        );
+    }
+
+    #[test]
+    fn suss_and_mwf_are_period_scale() {
+        let period = 40;
+        let x = sine_with_noise(2000, period, 2);
+        let bounds = WidthBounds { min: 10, max: 400 };
+        let w_suss = select_width(WssMethod::Suss, &x, bounds);
+        let w_mwf = select_width(WssMethod::Mwf, &x, bounds);
+        // SuSS and MWF do not return the exact period but must land on the
+        // right scale (a fraction to a small multiple of the period).
+        assert!(
+            (period / 4..=period * 4).contains(&w_suss),
+            "suss width {w_suss}"
+        );
+        assert!(
+            (period / 4..=period * 4).contains(&w_mwf),
+            "mwf width {w_mwf}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_min() {
+        let bounds = WidthBounds { min: 10, max: 100 };
+        for m in WssMethod::all() {
+            assert_eq!(select_width(m, &[], bounds), 10, "{:?} empty", m);
+            assert_eq!(select_width(m, &[1.0; 500], bounds), 10, "{:?} const", m);
+            let with_nan: Vec<f64> = (0..200)
+                .map(|i| if i == 77 { f64::NAN } else { i as f64 })
+                .collect();
+            assert_eq!(select_width(m, &with_nan, bounds), 10, "{:?} nan", m);
+        }
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let x = sine_with_noise(3000, 200, 3);
+        let bounds = WidthBounds { min: 16, max: 64 };
+        for m in WssMethod::all() {
+            let w = select_width(m, &x, bounds);
+            assert!((16..=64).contains(&w), "{:?} returned {w}", m);
+        }
+    }
+
+    #[test]
+    fn for_stream_bounds_are_sane() {
+        let b = WidthBounds::for_stream(10_000, 10_000);
+        assert_eq!(b.min, 10);
+        assert_eq!(b.max, 1000);
+        let b = WidthBounds::for_stream(100, 10_000);
+        assert_eq!(b.max, 25);
+        let b = WidthBounds::for_stream(8, 16);
+        assert!(b.max >= b.min || b.max == 11);
+    }
+}

@@ -1,0 +1,116 @@
+//! Multi-Window-Finder (Imani & Keogh, MileTS 2021) window size selection.
+//!
+//! MWF scores candidate window sizes by how well the moving-average curve
+//! repeats after one window length: for the true period, averages taken one
+//! period apart are nearly identical, so the displacement cost has a sharp
+//! local minimum there. We scan the candidate range (with subsampling for
+//! large ranges), pick the most prominent local minimum of the cost curve,
+//! and refine it at full resolution. This is a faithful variant of MWF's
+//! "moving average periodicity" principle; see DESIGN.md for the mapping.
+
+use super::{rolling_mean_std, WidthBounds};
+
+/// Displacement cost of window size `w`: mean absolute difference between
+/// moving-average values spaced `w` apart (lower = better periodic match).
+fn displacement_cost(x: &[f64], w: usize) -> f64 {
+    let (means, _) = rolling_mean_std(x, w);
+    if means.len() <= w {
+        return f64::MAX;
+    }
+    let mut acc = 0.0;
+    let cnt = means.len() - w;
+    for i in 0..cnt {
+        acc += (means[i + w] - means[i]).abs();
+    }
+    acc / cnt as f64
+}
+
+/// Learns a subsequence width with the Multi-Window-Finder cost.
+pub fn mwf_width(x: &[f64], bounds: WidthBounds) -> usize {
+    let n = x.len();
+    let max_w = bounds.max.min(n / 3).max(bounds.min);
+    if n < 3 * bounds.min || max_w <= bounds.min {
+        return bounds.min;
+    }
+    // Coarse scan.
+    let range = max_w - bounds.min;
+    let step = (range / 200).max(1);
+    let mut costs: Vec<(usize, f64)> = Vec::with_capacity(range / step + 1);
+    let mut w = bounds.min;
+    while w <= max_w {
+        costs.push((w, displacement_cost(x, w)));
+        w += step;
+    }
+    if costs.len() < 3 {
+        return bounds.min;
+    }
+    // The displacement cost has minima at every multiple of the period, so
+    // take the *first* local minimum whose cost is close to the global
+    // minimum (the fundamental period); fall back to the global argmin.
+    let cmin = costs.iter().map(|&(_, c)| c).fold(f64::MAX, f64::min);
+    let cmax = costs.iter().map(|&(_, c)| c).fold(f64::MIN, f64::max);
+    let thresh = cmin + 0.15 * (cmax - cmin);
+    let mut first_good: Option<usize> = None;
+    for i in 1..costs.len() - 1 {
+        let (wc, c) = costs[i];
+        if c <= costs[i - 1].1 && c <= costs[i + 1].1 && c <= thresh {
+            first_good = Some(wc);
+            break;
+        }
+    }
+    let coarse = first_good.unwrap_or_else(|| {
+        costs
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(w, _)| w)
+            .unwrap_or(bounds.min)
+    });
+    // Refine around the coarse optimum at step 1.
+    let lo = coarse.saturating_sub(step).max(bounds.min);
+    let hi = (coarse + step).min(max_w);
+    let refined = (lo..=hi)
+        .map(|w| (w, displacement_cost(x, w)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(w, _)| w)
+        .unwrap_or(coarse);
+    bounds.clamp(refined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    #[test]
+    fn cost_minimal_near_period() {
+        let period = 48;
+        let x: Vec<f64> = (0..3000)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let at_period = displacement_cost(&x, period);
+        let off_period = displacement_cost(&x, period + period / 2);
+        assert!(at_period < off_period, "{at_period} vs {off_period}");
+    }
+
+    #[test]
+    fn mwf_finds_period_for_clean_sine() {
+        let period = 64;
+        let x: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let w = mwf_width(&x, WidthBounds { min: 10, max: 400 });
+        // MWF may lock onto the period or a small multiple/fraction.
+        assert!(
+            w % period <= 4 || period % w <= 4 || (w as i64 - period as i64).unsigned_abs() <= 4,
+            "w = {w}"
+        );
+    }
+
+    #[test]
+    fn mwf_short_input_returns_min() {
+        assert_eq!(
+            mwf_width(&[1.0, 2.0, 3.0], WidthBounds { min: 10, max: 50 }),
+            10
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Spectral window size selection: most dominant Fourier frequency and
+//! highest autocorrelation offset (paper §4.2 (b), "whole-series" methods).
+
+use super::WidthBounds;
+use crate::fft::{autocorrelation, rfft_padded};
+
+/// Width from the most dominant Fourier frequency: the period of the
+/// spectral bin with the largest magnitude, restricted to periods within
+/// the bounds.
+pub fn fft_dominant_width(x: &[f64], bounds: WidthBounds) -> usize {
+    let n = x.len();
+    if n < 4 {
+        return bounds.min;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let centred: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+    let spec = rfft_padded(&centred, n);
+    let n_pad = spec.len() / 2;
+    // Bin k corresponds to period n_pad / k. Restrict k so the period lies
+    // within the admissible width range.
+    let k_min = (n_pad as f64 / bounds.max as f64).ceil().max(1.0) as usize;
+    let k_max = (n_pad as f64 / bounds.min as f64).floor() as usize;
+    let k_max = k_max.min(n_pad / 2);
+    if k_min > k_max {
+        return bounds.min;
+    }
+    let mut best_k = k_min;
+    let mut best_mag = f64::MIN;
+    for k in k_min..=k_max {
+        let (re, im) = (spec[2 * k], spec[2 * k + 1]);
+        let mag = re * re + im * im;
+        if mag > best_mag {
+            best_mag = mag;
+            best_k = k;
+        }
+    }
+    bounds.clamp((n_pad as f64 / best_k as f64).round() as usize)
+}
+
+/// Width from the autocorrelation function: the lag with the highest ACF
+/// value among local maxima within the bounds (falls back to the plain
+/// argmax when the ACF has no interior local maximum).
+pub fn acf_width(x: &[f64], bounds: WidthBounds) -> usize {
+    let n = x.len();
+    if n < 4 {
+        return bounds.min;
+    }
+    let max_lag = bounds.max.min(n - 1) + 1;
+    let acf = autocorrelation(x, max_lag + 1);
+    if acf.len() <= bounds.min + 1 {
+        return bounds.min;
+    }
+    let lo = bounds.min.max(2);
+    let hi = (acf.len() - 2).min(bounds.max);
+    if lo > hi {
+        return bounds.min;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for lag in lo..=hi {
+        if acf[lag] > acf[lag - 1]
+            && acf[lag] >= acf[lag + 1]
+            && best.is_none_or(|(_, v)| acf[lag] > v)
+        {
+            best = Some((lag, acf[lag]));
+        }
+    }
+    let lag = match best {
+        Some((lag, _)) => lag,
+        None => (lo..=hi)
+            .max_by(|&a, &b| acf[a].partial_cmp(&acf[b]).unwrap())
+            .unwrap_or(bounds.min),
+    };
+    bounds.clamp(lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    fn two_tone(n: usize, p1: usize, p2: usize, a2: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                (2.0 * PI * i as f64 / p1 as f64).sin()
+                    + a2 * (2.0 * PI * i as f64 / p2 as f64).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_picks_the_stronger_tone() {
+        let bounds = WidthBounds { min: 10, max: 300 };
+        // Strong 80-period tone with a weak 23-period tone on top.
+        let x = two_tone(4000, 80, 23, 0.2);
+        let w = fft_dominant_width(&x, bounds);
+        assert!((w as i64 - 80).unsigned_abs() <= 4, "w = {w}");
+        // Flip the amplitudes: the 23-period tone must win.
+        let x = two_tone(4000, 80, 23, 6.0);
+        let w = fft_dominant_width(&x, bounds);
+        assert!((w as i64 - 23).unsigned_abs() <= 2, "w = {w}");
+    }
+
+    #[test]
+    fn acf_prefers_local_maximum_over_slow_trend() {
+        // Random walk plus periodicity: the ACF decays slowly (trend) but
+        // has a local bump at the period.
+        let period = 60;
+        let mut rng = crate::stats::SplitMix64::new(5);
+        let mut level = 0.0;
+        let x: Vec<f64> = (0..4000)
+            .map(|i| {
+                level += 0.01 * (rng.next_f64() - 0.5);
+                (2.0 * PI * i as f64 / period as f64).sin() + level
+            })
+            .collect();
+        let w = acf_width(&x, WidthBounds { min: 10, max: 300 });
+        assert!((w as i64 - period as i64).unsigned_abs() <= 3, "w = {w}");
+    }
+
+    #[test]
+    fn spectral_methods_handle_tiny_inputs() {
+        let bounds = WidthBounds { min: 10, max: 50 };
+        assert_eq!(fft_dominant_width(&[1.0, 2.0], bounds), 10);
+        assert_eq!(acf_width(&[1.0, 2.0], bounds), 10);
+    }
+}

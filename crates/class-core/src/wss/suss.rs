@@ -1,0 +1,158 @@
+//! SuSS — Summary Statistics Subsequence window size selection
+//! (Ermshaus et al., AALTD 2022; the ClaSS default, §3.4).
+//!
+//! Idea: a window size is large enough once windowed summary statistics
+//! (mean, standard deviation, value range) of the min-max-normalised series
+//! closely match the global statistics. SuSS exponentially searches for the
+//! first width whose normalised score exceeds a threshold (0.89 in the
+//! reference implementation) and then binary-searches the exact width,
+//! giving the expected-linear / worst-case log-linear runtime quoted in the
+//! paper (§3.6).
+
+use super::{rolling_mean_std, rolling_min_max, WidthBounds};
+
+const SUSS_THRESHOLD: f64 = 0.89;
+
+/// Raw SuSS score of window size `w` on the min-max normalised series:
+/// the mean Euclidean distance between windowed and global summary
+/// statistics, scaled by `sqrt(w)` (lower = statistics better matched).
+pub fn suss_score(x: &[f64], w: usize, global: (f64, f64, f64)) -> f64 {
+    let (g_mean, g_std, g_range) = global;
+    let (means, stds) = rolling_mean_std(x, w);
+    let (mins, maxs) = rolling_min_max(x, w);
+    let mut acc = 0.0;
+    for i in 0..means.len() {
+        let dm = means[i] - g_mean;
+        let ds = stds[i] - g_std;
+        let dr = (maxs[i] - mins[i]) - g_range;
+        acc += (dm * dm + ds * ds + dr * dr).sqrt();
+    }
+    acc / means.len() as f64 / (w as f64).sqrt()
+}
+
+fn global_stats(x: &[f64]) -> (f64, f64, f64) {
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let (lo, hi) = x
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    (mean, var.sqrt(), hi - lo)
+}
+
+/// Learns a subsequence width with SuSS. The input is min-max normalised
+/// internally; callers should pre-validate degenerate inputs (constant or
+/// NaN series), as [`super::select_width`] does.
+pub fn suss_width(x: &[f64], bounds: WidthBounds) -> usize {
+    let n = x.len();
+    let max_w = bounds.max.min(n.saturating_sub(1)).max(bounds.min);
+    if n < 2 * bounds.min || max_w <= bounds.min {
+        return bounds.min;
+    }
+    // Min-max normalise.
+    let (lo, hi) = x
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-12);
+    let norm: Vec<f64> = x.iter().map(|&v| (v - lo) / span).collect();
+    let global = global_stats(&norm);
+
+    // Normalised acceptance score in [0, 1]: 1 at the full-series scale,
+    // 0 at the single-point scale.
+    let hi_score = suss_score(&norm, bounds.min.max(1), global);
+    let lo_score = suss_score(&norm, max_w, global);
+    let denom = hi_score - lo_score;
+    if denom.abs() < 1e-12 {
+        return bounds.min;
+    }
+    let accept = |w: usize, score: f64| -> bool {
+        let normed = 1.0 - (score - lo_score) / denom;
+        normed >= SUSS_THRESHOLD || w >= max_w
+    };
+
+    // Exponential search for the first accepted width...
+    let mut prev = bounds.min;
+    let mut cur = bounds.min * 2;
+    loop {
+        let w = cur.min(max_w);
+        if accept(w, suss_score(&norm, w, global)) {
+            cur = w;
+            break;
+        }
+        if w == max_w {
+            return max_w;
+        }
+        prev = w;
+        cur = w * 2;
+    }
+    // ...then binary search inside (prev, cur].
+    let (mut lo_w, mut hi_w) = (prev, cur);
+    while lo_w + 1 < hi_w {
+        let mid = (lo_w + hi_w) / 2;
+        if accept(mid, suss_score(&norm, mid, global)) {
+            hi_w = mid;
+        } else {
+            lo_w = mid;
+        }
+    }
+    hi_w.clamp(bounds.min, max_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    #[test]
+    fn suss_score_decreases_with_window_size_on_periodic_data() {
+        let x: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * PI * i as f64 / 30.0).sin())
+            .collect();
+        let (lo, hi) = x
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let norm: Vec<f64> = x.iter().map(|&v| (v - lo) / (hi - lo)).collect();
+        let g = global_stats(&norm);
+        let s_small = suss_score(&norm, 5, g);
+        let s_period = suss_score(&norm, 30, g);
+        let s_large = suss_score(&norm, 120, g);
+        assert!(s_small > s_period, "{s_small} vs {s_period}");
+        assert!(s_period > s_large * 0.5, "sanity: {s_period} vs {s_large}");
+    }
+
+    #[test]
+    fn suss_width_finds_period_scale_window() {
+        let period = 36;
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let w = suss_width(&x, WidthBounds { min: 10, max: 500 });
+        assert!(
+            (period / 4..=3 * period).contains(&w),
+            "suss width {w} for period {period}"
+        );
+    }
+
+    #[test]
+    fn suss_scales_with_period() {
+        // Larger periods should generally yield larger widths.
+        let make = |p: usize| -> Vec<f64> {
+            (0..3000)
+                .map(|i| (2.0 * PI * i as f64 / p as f64).sin())
+                .collect()
+        };
+        let b = WidthBounds { min: 10, max: 600 };
+        let w_small = suss_width(&make(20), b);
+        let w_large = suss_width(&make(120), b);
+        assert!(
+            w_large > w_small,
+            "expected monotone scale: {w_small} vs {w_large}"
+        );
+    }
+
+    #[test]
+    fn suss_short_input_returns_min() {
+        let x = [0.0, 1.0, 0.5, 0.25];
+        assert_eq!(suss_width(&x, WidthBounds { min: 10, max: 100 }), 10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Property-based tests of the core data structures and the central
+//! exactness invariants: the streaming computations must equal their naive
+//! batch counterparts on arbitrary inputs.
+
+use class_core::buffer::{ShiftBuffer, ShiftMatrix};
+use class_core::crossval::{naive_split_score, CrossVal, ScoreFn};
+use class_core::fft::{fft_inplace, ifft};
+use class_core::knn::{KnnConfig, StreamingKnn};
+use class_core::similarity::naive;
+use class_core::stats::{ln_p_ranksum_binary, BinaryGroups};
+use class_core::wss::{select_width, WidthBounds, WssMethod};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shift_buffer_behaves_like_vecdeque(
+        cap in 1usize..20,
+        ops in prop::collection::vec(-1000i64..1000, 0..400),
+    ) {
+        let mut buf = ShiftBuffer::new(cap);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for v in ops {
+            buf.push(v);
+            model.push_back(v);
+            if model.len() > cap {
+                model.pop_front();
+            }
+            prop_assert_eq!(buf.len(), model.len());
+            let view: Vec<i64> = buf.as_slice().to_vec();
+            let want: Vec<i64> = model.iter().copied().collect();
+            prop_assert_eq!(view, want);
+        }
+    }
+
+    #[test]
+    fn shift_matrix_behaves_like_vecdeque_of_rows(
+        cap in 1usize..10,
+        cols in 1usize..5,
+        rows in prop::collection::vec(prop::collection::vec(-100i64..100, 1..5), 0..120),
+    ) {
+        let mut m = ShiftMatrix::new(cap, cols);
+        let mut model: VecDeque<Vec<i64>> = VecDeque::new();
+        for mut row in rows {
+            row.resize(cols, 0);
+            m.push_row(&row);
+            model.push_back(row);
+            if model.len() > cap {
+                model.pop_front();
+            }
+            prop_assert_eq!(m.rows(), model.len());
+            for (r, want) in model.iter().enumerate() {
+                prop_assert_eq!(m.row(r), &want[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_signal(
+        log_n in 2u32..9,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let mut rng = class_core::SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+        let mut buf = vec![0.0; 2 * n];
+        for (i, &v) in x.iter().enumerate() {
+            buf[2 * i] = v;
+        }
+        fft_inplace(&mut buf, false);
+        ifft(&mut buf);
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert!((buf[2 * i] - v).abs() < 1e-8);
+            prop_assert!(buf[2 * i + 1].abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn ranksum_ln_p_is_nonpositive_and_symmetric(
+        n1 in 1u64..2000,
+        n2 in 1u64..2000,
+        f1 in 0.0f64..=1.0,
+        f2 in 0.0f64..=1.0,
+    ) {
+        let g = BinaryGroups {
+            n_left: n1,
+            ones_left: (n1 as f64 * f1) as u64,
+            n_right: n2,
+            ones_right: (n2 as f64 * f2) as u64,
+        };
+        let flipped = BinaryGroups {
+            n_left: g.n_right,
+            ones_left: g.ones_right,
+            n_right: g.n_left,
+            ones_right: g.ones_left,
+        };
+        let lp = ln_p_ranksum_binary(g);
+        prop_assert!(lp <= 0.0, "ln p = {lp}");
+        prop_assert!(lp.is_finite());
+        prop_assert!((lp - ln_p_ranksum_binary(flipped)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wss_result_is_always_within_bounds(
+        seed in any::<u64>(),
+        n in 64usize..1200,
+        min_w in 4usize..12,
+    ) {
+        let mut rng = class_core::SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+        let bounds = WidthBounds { min: min_w, max: (n / 3).max(min_w + 1) };
+        for m in WssMethod::all() {
+            let w = select_width(m, &x, bounds);
+            prop_assert!(w >= bounds.min && w <= bounds.max, "{:?}: {w}", m);
+        }
+    }
+}
+
+proptest! {
+    // The exactness invariants run fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn streaming_scores_equal_naive_pearson(
+        seed in any::<u64>(),
+        d in 60usize..160,
+        w in 4usize..12,
+        extra in 0usize..120,
+    ) {
+        let n = d + extra;
+        let mut rng = class_core::SplitMix64::new(seed);
+        let series: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+        for (t, &x) in series.iter().enumerate() {
+            if !knn.update(x) {
+                continue;
+            }
+            // Check a handful of slots per step to bound the test cost.
+            let newest = knn.newest_sid().unwrap() as usize;
+            let sb = &series[newest..newest + w];
+            let qs = knn.qstart();
+            let m = knn.max_subsequences();
+            for slot in [qs, qs + (m - qs) / 2, m - 1] {
+                let sid = knn.sid_of_slot(slot) as usize;
+                let want = naive::pearson(&series[sid..sid + w], sb);
+                let got = knn.latest_scores()[slot];
+                prop_assert!((got - want).abs() < 1e-7, "t={t} slot={slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_crossval_equals_naive(
+        seed in any::<u64>(),
+        d in 60usize..140,
+        w in 4usize..10,
+        extra in 0usize..100,
+        offset_frac in 0.0f64..0.5,
+    ) {
+        let n = d + extra;
+        let mut rng = class_core::SplitMix64::new(seed);
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+        for _ in 0..n {
+            knn.update(rng.next_f64() * 2.0 - 1.0);
+        }
+        let qs = knn.qstart();
+        let m = knn.max_subsequences();
+        if m - qs < 4 {
+            return Ok(());
+        }
+        let start = qs + ((m - qs) as f64 * offset_frac) as usize;
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let nn = cv.compute(&knn, start);
+        for p in 1..nn {
+            let want = naive_split_score(&knn, start, p, ScoreFn::MacroF1);
+            prop_assert!((cv.profile()[p] - want).abs() < 1e-12, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn knn_neighbors_respect_exclusion_and_sorting(
+        seed in any::<u64>(),
+        d in 60usize..160,
+        w in 4usize..12,
+        k in 1usize..5,
+    ) {
+        let mut rng = class_core::SplitMix64::new(seed);
+        let cfg = KnnConfig::new(d, w, k);
+        let excl = cfg.exclusion_radius() as i64;
+        let mut knn = StreamingKnn::new(cfg);
+        for _ in 0..2 * d {
+            knn.update(rng.next_f64() * 2.0 - 1.0);
+        }
+        for slot in knn.qstart()..knn.max_subsequences() {
+            let sid = knn.sid_of_slot(slot);
+            let (sids, scores) = knn.neighbors(slot);
+            for pair in scores.windows(2) {
+                prop_assert!(pair[0] >= pair[1]);
+            }
+            for &nsid in sids {
+                prop_assert!((nsid - sid).abs() >= excl);
+            }
+        }
+    }
+}
+
+/// Long-stream numerical stability: the STOMP-style dot-product recursion
+/// accumulates floating-point error over hundreds of thousands of updates;
+/// the correlations must stay within 1e-6 of an exact recomputation even
+/// for signals with large magnitudes.
+#[test]
+fn q_recursion_is_stable_over_long_streams() {
+    let d = 512;
+    let w = 24;
+    let n = 60_000;
+    let mut rng = class_core::SplitMix64::new(99);
+    let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+    let mut series = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Large-amplitude signal with drift to stress cancellation.
+        let x = 500.0 + 100.0 * (series.len() as f64 * 0.01).sin() + 50.0 * (rng.next_f64() - 0.5);
+        series.push(x);
+        knn.update(x);
+    }
+    let newest = knn.newest_sid().unwrap() as usize;
+    let sb = &series[newest..newest + w];
+    let mut worst: f64 = 0.0;
+    for slot in knn.qstart()..knn.max_subsequences() {
+        let sid = knn.sid_of_slot(slot) as usize;
+        let want = naive::pearson(&series[sid..sid + w], sb);
+        let got = knn.latest_scores()[slot];
+        worst = worst.max((got - want).abs());
+    }
+    assert!(
+        worst < 1e-6,
+        "worst correlation drift after {n} updates: {worst:e}"
+    );
+}

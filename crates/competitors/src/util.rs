@@ -1,0 +1,248 @@
+//! Shared utilities for the competitor implementations: online
+//! normalisation, residual binarisation, and detection cooldowns.
+
+/// Online z-normaliser using Welford's algorithm over everything seen.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineZNorm {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineZNorm {
+    /// Creates a fresh normaliser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests `x` and returns its z-score under the *previous* estimate
+    /// (returns 0 for the first observations or a flat prefix).
+    pub fn step(&mut self, x: f64) -> f64 {
+        let z = if self.n >= 2 {
+            let var = self.m2 / (self.n - 1) as f64;
+            if var > 1e-18 {
+                (x - self.mean) / var.sqrt()
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        z
+    }
+
+    /// Number of observations ingested.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Online min-max normaliser with an expanding range, mapping into [0, 1].
+#[derive(Debug, Clone)]
+pub struct OnlineMinMax {
+    lo: f64,
+    hi: f64,
+}
+
+impl Default for OnlineMinMax {
+    fn default() -> Self {
+        Self {
+            lo: f64::MAX,
+            hi: f64::MIN,
+        }
+    }
+}
+
+impl OnlineMinMax {
+    /// Creates a fresh normaliser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests `x` and returns it scaled into [0, 1] by the range seen so
+    /// far (0.5 while the range is degenerate).
+    pub fn step(&mut self, x: f64) -> f64 {
+        if x.is_finite() {
+            self.lo = self.lo.min(x);
+            self.hi = self.hi.max(x);
+        }
+        let span = self.hi - self.lo;
+        if span > 1e-18 {
+            ((x - self.lo) / span).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+}
+
+/// Turns a real-valued stream into a {0, 1} "model error" stream, as needed
+/// by the drift detectors (DDM, HDDM) that monitor a classifier error rate.
+///
+/// The base model is a damped trend forecaster; the indicator fires when the
+/// absolute residual exceeds `factor` times an EWMA of past absolute
+/// residuals (i.e. the observation is a surprise under the recent regime).
+#[derive(Debug, Clone)]
+pub struct ResidualBinarizer {
+    alpha: f64,
+    factor: f64,
+    level: Option<f64>,
+    trend: f64,
+    abs_resid: f64,
+    warm: u32,
+}
+
+impl ResidualBinarizer {
+    /// `alpha`: forecaster smoothing (0..1), `factor`: surprise multiplier.
+    pub fn new(alpha: f64, factor: f64) -> Self {
+        Self {
+            alpha,
+            factor,
+            level: None,
+            trend: 0.0,
+            abs_resid: 0.0,
+            warm: 0,
+        }
+    }
+
+    /// Paper-tuned default (forecast smoothing 0.3, surprise factor 2).
+    pub fn default_paper() -> Self {
+        Self::new(0.3, 2.0)
+    }
+
+    /// Ingests `x`, returning 1 if the observation is a model error
+    /// ("surprise"), 0 otherwise.
+    pub fn step(&mut self, x: f64) -> u8 {
+        let Some(level) = self.level else {
+            self.level = Some(x);
+            return 0;
+        };
+        let pred = level + self.trend;
+        let resid = (x - pred).abs();
+        let err = u8::from(self.warm >= 8 && resid > self.factor * self.abs_resid.max(1e-12));
+        // Update the forecaster and the residual scale.
+        let new_level = self.alpha * x + (1.0 - self.alpha) * pred;
+        self.trend = 0.9 * self.trend + 0.1 * (new_level - level);
+        self.level = Some(new_level);
+        self.abs_resid = 0.98 * self.abs_resid + 0.02 * resid;
+        self.warm = self.warm.saturating_add(1);
+        err
+    }
+}
+
+/// Suppresses detections within `cooldown` observations of the previous
+/// one — the "exclusion zone to prevent series of closely located splits"
+/// the paper applies to the score-based competitors (§4.1).
+#[derive(Debug, Clone)]
+pub struct Cooldown {
+    cooldown: u64,
+    last_fire: Option<u64>,
+}
+
+impl Cooldown {
+    /// Creates a cooldown gate of the given length.
+    pub fn new(cooldown: u64) -> Self {
+        Self {
+            cooldown,
+            last_fire: None,
+        }
+    }
+
+    /// Returns `true` (and arms the gate) if a detection at time `t` is
+    /// admissible.
+    pub fn fire(&mut self, t: u64) -> bool {
+        match self.last_fire {
+            Some(prev) if t.saturating_sub(prev) < self.cooldown => false,
+            _ => {
+                self.last_fire = Some(t);
+                true
+            }
+        }
+    }
+
+    /// Resets the gate.
+    pub fn reset(&mut self) {
+        self.last_fire = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znorm_standardises_a_gaussianish_stream() {
+        let mut zn = OnlineZNorm::new();
+        let mut acc = 0.0;
+        let mut cnt = 0;
+        for i in 0..10_000 {
+            let x = 5.0 + ((i * 2654435761u64) % 1000) as f64 / 1000.0; // uniform-ish
+            let z = zn.step(x as f64);
+            if i > 100 {
+                acc += z;
+                cnt += 1;
+            }
+        }
+        assert!((acc / cnt as f64).abs() < 0.2);
+        assert_eq!(zn.count(), 10_000);
+    }
+
+    #[test]
+    fn znorm_flat_stream_yields_zero() {
+        let mut zn = OnlineZNorm::new();
+        for _ in 0..100 {
+            assert_eq!(zn.step(3.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn minmax_maps_into_unit_interval() {
+        let mut mm = OnlineMinMax::new();
+        assert_eq!(mm.step(5.0), 0.5); // degenerate range
+        let a = mm.step(10.0);
+        let b = mm.step(0.0);
+        let c = mm.step(7.5);
+        assert_eq!(a, 1.0);
+        assert_eq!(b, 0.0);
+        assert!((c - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_ignores_non_finite() {
+        let mut mm = OnlineMinMax::new();
+        mm.step(1.0);
+        mm.step(2.0);
+        let v = mm.step(f64::NAN);
+        assert!(v.is_nan() || (0.0..=1.0).contains(&v));
+        // Range must not have been poisoned.
+        assert!((mm.step(1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarizer_flags_level_shift() {
+        let mut bin = ResidualBinarizer::default_paper();
+        let mut errs_before = 0;
+        for i in 0..500 {
+            let x = (i as f64 * 0.1).sin() * 0.01;
+            errs_before += bin.step(x) as u32;
+        }
+        // Big level shift must produce an error.
+        let e = bin.step(50.0);
+        assert_eq!(e, 1);
+        assert!(errs_before < 50, "too noisy: {errs_before}");
+    }
+
+    #[test]
+    fn cooldown_suppresses_nearby_fires() {
+        let mut cd = Cooldown::new(10);
+        assert!(cd.fire(100));
+        assert!(!cd.fire(105));
+        assert!(!cd.fire(109));
+        assert!(cd.fire(110));
+        cd.reset();
+        assert!(cd.fire(111));
+    }
+}

@@ -1,0 +1,29 @@
+//! # datasets — synthetic workloads mirroring the paper's Table 1
+//!
+//! The paper evaluates on two public benchmarks (TSSB, UTSA) and six
+//! annotated data archives (mHealth, MIT-BIH Arr/VE, PAMAP, Sleep DB,
+//! WESAD). This crate generates deterministic synthetic stand-ins with the
+//! same structural properties — series counts, length and segment-count
+//! distributions, per-domain signal character — and exact ground-truth
+//! change points (see DESIGN.md §3 for the substitution rationale).
+//!
+//! ```
+//! use datasets::{Archive, GenConfig};
+//!
+//! let cfg = GenConfig::default();
+//! let tssb = Archive::Tssb.generate(&cfg);
+//! assert_eq!(tssb.len(), 75);
+//! assert!(tssb[0].n_segments() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archives;
+pub mod multivariate;
+pub mod regimes;
+pub mod series;
+
+pub use archives::{all_series, archive_series, benchmark_series, Archive, ArchiveSpec, GenConfig};
+pub use multivariate::{generate_multivariate, MultivariateSeries, MultivariateSpec};
+pub use regimes::Regime;
+pub use series::{build_series, random_segment_lengths, AnnotatedSeries, NoiseSpec};

@@ -1,0 +1,157 @@
+//! The Covering segmentation quality measure (paper Eq. 6, following
+//! van den Burg & Williams 2020).
+//!
+//! Covering reports the best-scoring weighted overlap (Jaccard index)
+//! between ground-truth and predicted segmentations, in [0, 1], higher
+//! better. Both segmentations are induced by change point lists plus the
+//! implicit boundaries 0 and n.
+
+/// A half-open segment `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+}
+
+impl Segment {
+    /// Segment length.
+    pub fn len(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Jaccard index of two segments.
+    pub fn jaccard(&self, other: &Segment) -> f64 {
+        let inter_lo = self.start.max(other.start);
+        let inter_hi = self.end.min(other.end);
+        let inter = inter_hi.saturating_sub(inter_lo);
+        if inter == 0 {
+            return 0.0;
+        }
+        let union = self.len() + other.len() - inter;
+        inter as f64 / union as f64
+    }
+}
+
+/// Converts a sorted change point list into segments over `[0, n)`.
+/// Change points outside `(0, n)` and duplicates are ignored.
+pub fn segments_from_cps(cps: &[u64], n: u64) -> Vec<Segment> {
+    let mut segs = Vec::with_capacity(cps.len() + 1);
+    let mut prev = 0u64;
+    for &cp in cps {
+        if cp <= prev || cp >= n {
+            continue;
+        }
+        segs.push(Segment {
+            start: prev,
+            end: cp,
+        });
+        prev = cp;
+    }
+    segs.push(Segment {
+        start: prev,
+        end: n,
+    });
+    segs
+}
+
+/// Covering score of a predicted segmentation against the ground truth
+/// (paper Eq. 6). `n` is the series length. Returns 1.0 for the trivial
+/// case of an empty series.
+pub fn covering(gt_cps: &[u64], pred_cps: &[u64], n: u64) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let gt = segments_from_cps(gt_cps, n);
+    let pred = segments_from_cps(pred_cps, n);
+    let mut acc = 0.0;
+    for s in &gt {
+        let best = pred.iter().map(|p| s.jaccard(p)).fold(0.0, f64::max);
+        acc += s.len() as f64 * best;
+    }
+    acc / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gt = vec![300, 700];
+        assert!((covering(&gt, &gt, 1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prediction_on_single_segment_scores_one() {
+        assert!((covering(&[], &[], 1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prediction_on_two_segments() {
+        // gt: [0,500), [500,1000); pred: [0,1000).
+        // Each gt segment overlaps the single pred segment with J = 0.5.
+        let c = covering(&[500], &[], 1000);
+        assert!((c - 0.5).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn slightly_shifted_prediction_scores_high() {
+        let c = covering(&[500], &[520], 1000);
+        assert!(c > 0.9, "c = {c}");
+        let worse = covering(&[500], &[800], 1000);
+        assert!(worse < c, "{worse} vs {c}");
+    }
+
+    #[test]
+    fn over_segmentation_is_penalised() {
+        let exact = covering(&[500], &[500], 1000);
+        let over = covering(&[500], &[100, 200, 300, 400, 500, 600, 700, 800, 900], 1000);
+        assert!(over < exact);
+        assert!(over < 0.6, "over = {over}");
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_cps_are_ignored() {
+        let a = covering(&[500], &[500, 500, 0, 1000, 2000], 1000);
+        let b = covering(&[500], &[500], 1000);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covering_is_weighted_by_segment_length() {
+        // A missed tiny segment hurts less than a missed huge one.
+        let miss_small = covering(&[950], &[], 1000);
+        let miss_large = covering(&[500], &[], 1000);
+        assert!(miss_small > miss_large);
+    }
+
+    #[test]
+    fn segments_from_cps_basics() {
+        let segs = segments_from_cps(&[10, 20], 30);
+        assert_eq!(
+            segs,
+            vec![
+                Segment { start: 0, end: 10 },
+                Segment { start: 10, end: 20 },
+                Segment { start: 20, end: 30 }
+            ]
+        );
+        assert_eq!(segs[0].len(), 10);
+        assert!(!segs[0].is_empty());
+    }
+
+    #[test]
+    fn jaccard_identity_and_disjoint() {
+        let a = Segment { start: 0, end: 10 };
+        let b = Segment { start: 10, end: 20 };
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Detection-delay measurement for early streaming segmentation.
+//!
+//! The paper's §4.5 closes with: "In future research, a benchmark study
+//! should be conducted to quantitatively evaluate early segmentation."
+//! This module implements that study's metrics: for every ground-truth
+//! change point, the *detection delay* is the number of observations
+//! between the change and the first report that localises it within a
+//! tolerance; undetected changes count against the detection rate.
+
+use class_core::StreamingSegmenter;
+
+/// A change point report with the time it was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedReport {
+    /// Stream position at which the report was emitted.
+    pub emitted_at: u64,
+    /// Reported change point position.
+    pub cp: u64,
+}
+
+/// Runs a segmenter over a series recording *when* each change point was
+/// reported (not just where).
+pub fn run_timed(seg: &mut dyn StreamingSegmenter, xs: &[f64]) -> Vec<TimedReport> {
+    let mut reports = Vec::new();
+    let mut cps = Vec::new();
+    for (t, &x) in xs.iter().enumerate() {
+        let before = cps.len();
+        seg.step(x, &mut cps);
+        for &cp in &cps[before..] {
+            reports.push(TimedReport {
+                emitted_at: t as u64,
+                cp,
+            });
+        }
+    }
+    let before = cps.len();
+    seg.finalize(&mut cps);
+    for &cp in &cps[before..] {
+        reports.push(TimedReport {
+            emitted_at: xs.len() as u64,
+            cp,
+        });
+    }
+    reports
+}
+
+/// Delay statistics of one run against the ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayStats {
+    /// Per ground-truth change point: the delay (emission time minus true
+    /// change time) of the first report within `tolerance`, or `None`.
+    pub delays: Vec<Option<u64>>,
+    /// Number of reports that did not localise any ground-truth change
+    /// (false alarms under the tolerance).
+    pub false_alarms: usize,
+}
+
+impl DelayStats {
+    /// Fraction of ground-truth change points detected.
+    pub fn detection_rate(&self) -> f64 {
+        if self.delays.is_empty() {
+            return 1.0;
+        }
+        self.delays.iter().filter(|d| d.is_some()).count() as f64 / self.delays.len() as f64
+    }
+
+    /// Mean delay over the detected change points (`None` if none).
+    pub fn mean_delay(&self) -> Option<f64> {
+        let hit: Vec<u64> = self.delays.iter().flatten().copied().collect();
+        if hit.is_empty() {
+            None
+        } else {
+            Some(hit.iter().sum::<u64>() as f64 / hit.len() as f64)
+        }
+    }
+}
+
+/// Matches timed reports against ground-truth change points: a report
+/// detects the closest undetected true change within `tolerance` of its
+/// *position*; its delay is `emitted_at - true_cp` (reports from before the
+/// change — possible for profile-based methods re-localising — count as
+/// delay 0).
+pub fn delay_stats(gt_cps: &[u64], reports: &[TimedReport], tolerance: u64) -> DelayStats {
+    let mut delays: Vec<Option<u64>> = vec![None; gt_cps.len()];
+    let mut false_alarms = 0usize;
+    for rep in reports {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, &gt) in gt_cps.iter().enumerate() {
+            let dist = rep.cp.abs_diff(gt);
+            if dist <= tolerance && best.is_none_or(|(_, d)| dist < d) {
+                best = Some((i, dist));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                if delays[i].is_none() {
+                    delays[i] = Some(rep.emitted_at.saturating_sub(gt_cps[i]));
+                }
+                // Re-reports of an already-detected change are not false
+                // alarms (the stream keeps confirming the split).
+            }
+            None => false_alarms += 1,
+        }
+    }
+    DelayStats {
+        delays,
+        false_alarms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_match_first_valid_report() {
+        let gt = vec![1000, 2000];
+        let reports = vec![
+            TimedReport {
+                emitted_at: 1100,
+                cp: 980,
+            }, // detects 1000, delay 100
+            TimedReport {
+                emitted_at: 1500,
+                cp: 995,
+            }, // re-report, ignored
+            TimedReport {
+                emitted_at: 2300,
+                cp: 2040,
+            }, // detects 2000, delay 300
+            TimedReport {
+                emitted_at: 2500,
+                cp: 1500,
+            }, // false alarm
+        ];
+        let stats = delay_stats(&gt, &reports, 50);
+        assert_eq!(stats.delays, vec![Some(100), Some(300)]);
+        assert_eq!(stats.false_alarms, 1);
+        assert_eq!(stats.detection_rate(), 1.0);
+        assert_eq!(stats.mean_delay(), Some(200.0));
+    }
+
+    #[test]
+    fn undetected_changes_lower_the_rate() {
+        let gt = vec![500, 1500, 2500];
+        let reports = vec![TimedReport {
+            emitted_at: 600,
+            cp: 510,
+        }];
+        let stats = delay_stats(&gt, &reports, 50);
+        assert_eq!(stats.detection_rate(), 1.0 / 3.0);
+        assert_eq!(stats.mean_delay(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_ground_truth_is_perfect_until_false_alarms() {
+        let stats = delay_stats(&[], &[], 100);
+        assert_eq!(stats.detection_rate(), 1.0);
+        assert_eq!(stats.mean_delay(), None);
+        let stats = delay_stats(
+            &[],
+            &[TimedReport {
+                emitted_at: 10,
+                cp: 5,
+            }],
+            100,
+        );
+        assert_eq!(stats.false_alarms, 1);
+    }
+
+    #[test]
+    fn report_before_change_counts_as_zero_delay() {
+        // A method may localise a change slightly early (profile maximum a
+        // little left of the truth) — the delay floor is zero.
+        let gt = vec![1000];
+        let reports = vec![TimedReport {
+            emitted_at: 990,
+            cp: 970,
+        }];
+        let stats = delay_stats(&gt, &reports, 50);
+        assert_eq!(stats.delays, vec![Some(0)]);
+    }
+
+    #[test]
+    fn run_timed_records_emission_times() {
+        struct At(u64);
+        impl StreamingSegmenter for At {
+            fn step(&mut self, _x: f64, cps: &mut Vec<u64>) {
+                self.0 += 1;
+                if self.0 == 50 {
+                    cps.push(30);
+                }
+            }
+            fn name(&self) -> &'static str {
+                "at"
+            }
+        }
+        let xs = vec![0.0; 100];
+        let mut seg = At(0);
+        let reports = run_timed(&mut seg, &xs);
+        assert_eq!(
+            reports,
+            vec![TimedReport {
+                emitted_at: 49,
+                cp: 30
+            }]
+        );
+    }
+}

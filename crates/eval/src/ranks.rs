@@ -1,0 +1,227 @@
+//! Rank aggregation and critical-difference analysis (paper §4.1:
+//! "we compute the rank of the score for each method on each TS ... CD
+//! diagrams are used to statistically assess differences in the mean
+//! ranks", Demšar 2006).
+
+/// Per-dataset ranks of one method (1 = best; ties share the average rank).
+/// `scores[m][d]` is method `m`'s score on dataset `d` (higher = better).
+/// Returns `ranks[m][d]`.
+pub fn rank_matrix(scores: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = scores.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = scores[0].len();
+    let mut ranks = vec![vec![0.0; n]; k];
+    let mut order: Vec<usize> = Vec::with_capacity(k);
+    for d in 0..n {
+        order.clear();
+        order.extend(0..k);
+        order.sort_by(|&a, &b| scores[b][d].partial_cmp(&scores[a][d]).unwrap());
+        // Assign average ranks to tie groups.
+        let mut i = 0;
+        while i < k {
+            let mut j = i;
+            while j + 1 < k && (scores[order[j + 1]][d] - scores[order[i]][d]).abs() < 1e-12 {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &m in &order[i..=j] {
+                ranks[m][d] = avg;
+            }
+            i = j + 1;
+        }
+    }
+    ranks
+}
+
+/// Mean rank per method.
+pub fn mean_ranks(ranks: &[Vec<f64>]) -> Vec<f64> {
+    ranks
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / r.len().max(1) as f64)
+        .collect()
+}
+
+/// Friedman chi-squared statistic for `k` methods over `n` datasets.
+pub fn friedman_statistic(mean_ranks: &[f64], n: usize) -> f64 {
+    let k = mean_ranks.len() as f64;
+    let n = n as f64;
+    let sum_sq: f64 = mean_ranks.iter().map(|r| r * r).sum();
+    12.0 * n / (k * (k + 1.0)) * (sum_sq - k * (k + 1.0) * (k + 1.0) / 4.0)
+}
+
+/// Critical difference of the two-tailed Nemenyi test at alpha = 0.05.
+/// `k` methods, `n` datasets.
+pub fn nemenyi_cd(k: usize, n: usize) -> f64 {
+    // q_alpha values (studentized range / sqrt(2)) for alpha = 0.05.
+    const Q05: [f64; 19] = [
+        1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164, 3.219, 3.268, 3.313, 3.354,
+        3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+    ];
+    assert!((2..=20).contains(&k), "Nemenyi table covers 2..=20 methods");
+    let q = Q05[k - 2];
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+/// Pairwise comparison: fraction of datasets where method `a` scores at
+/// least as high as method `b` (the paper's "ClaSS outperforms all
+/// competitors in at least 77% of all cases").
+pub fn pairwise_wins(scores: &[Vec<f64>], a: usize, b: usize) -> f64 {
+    let n = scores[a].len();
+    if n == 0 {
+        return 0.0;
+    }
+    let wins = scores[a]
+        .iter()
+        .zip(&scores[b])
+        .filter(|(x, y)| x >= y)
+        .count();
+    wins as f64 / n as f64
+}
+
+/// Number of datasets on which each method achieves the maximum score
+/// (wins and ties, as counted in §4.3).
+pub fn wins_and_ties(scores: &[Vec<f64>]) -> Vec<usize> {
+    let k = scores.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = scores[0].len();
+    let mut wins = vec![0usize; k];
+    for d in 0..n {
+        let best = (0..k).map(|m| scores[m][d]).fold(f64::MIN, f64::max);
+        for (m, w) in wins.iter_mut().enumerate() {
+            if (scores[m][d] - best).abs() < 1e-12 {
+                *w += 1;
+            }
+        }
+    }
+    wins
+}
+
+/// Summary statistics of one method's scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Summary`] statistics (returns zeros for empty input).
+pub fn summarize(xs: &[f64]) -> Summary {
+    if xs.is_empty() {
+        return Summary {
+            mean: 0.0,
+            median: 0.0,
+            std: 0.0,
+            q1: 0.0,
+            q3: 0.0,
+            min: 0.0,
+            max: 0.0,
+        };
+    }
+    let mut s: Vec<f64> = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = s.len();
+    let mean = s.iter().sum::<f64>() / n as f64;
+    let var = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let at = |q: f64| s[((n - 1) as f64 * q).round() as usize];
+    Summary {
+        mean,
+        median: at(0.5),
+        std: var.sqrt(),
+        q1: at(0.25),
+        q3: at(0.75),
+        min: s[0],
+        max: s[n - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_matrix_simple_ordering() {
+        // Two datasets, three methods.
+        let scores = vec![vec![0.9, 0.5], vec![0.8, 0.7], vec![0.1, 0.6]];
+        let ranks = rank_matrix(&scores);
+        assert_eq!(ranks[0], vec![1.0, 3.0]);
+        assert_eq!(ranks[1], vec![2.0, 1.0]);
+        assert_eq!(ranks[2], vec![3.0, 2.0]);
+        let mr = mean_ranks(&ranks);
+        assert_eq!(mr, vec![2.0, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn ties_share_average_rank() {
+        let scores = vec![vec![0.5], vec![0.5], vec![0.1]];
+        let ranks = rank_matrix(&scores);
+        assert_eq!(ranks[0][0], 1.5);
+        assert_eq!(ranks[1][0], 1.5);
+        assert_eq!(ranks[2][0], 3.0);
+    }
+
+    #[test]
+    fn friedman_zero_when_no_differences() {
+        // All mean ranks equal (k+1)/2 -> statistic 0.
+        let mr = vec![2.0, 2.0, 2.0];
+        assert!(friedman_statistic(&mr, 10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friedman_grows_with_separation() {
+        let weak = friedman_statistic(&[1.8, 2.0, 2.2], 20);
+        let strong = friedman_statistic(&[1.0, 2.0, 3.0], 20);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn nemenyi_cd_matches_known_value() {
+        // Demsar 2006: k = 9, N = 107 -> CD ~ 1.16 (paper Fig. 5 geometry).
+        let cd = nemenyi_cd(9, 107);
+        assert!((cd - 1.16).abs() < 0.03, "cd = {cd}");
+        // More datasets shrink the CD.
+        assert!(nemenyi_cd(9, 485) < cd);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nemenyi_rejects_unsupported_k() {
+        let _ = nemenyi_cd(25, 10);
+    }
+
+    #[test]
+    fn pairwise_and_wins() {
+        let scores = vec![vec![0.9, 0.8, 0.3], vec![0.5, 0.8, 0.6]];
+        assert!((pairwise_wins(&scores, 0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        let wins = wins_and_ties(&scores);
+        assert_eq!(wins, vec![2, 2]); // dataset 2 is a tie
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert!((s.std - (2.0f64).sqrt()).abs() < 1e-12);
+        let empty = summarize(&[]);
+        assert_eq!(empty.mean, 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Text rendering of the paper's evaluation artefacts: critical-difference
+//! diagrams (Figure 5 top), box plots (Figure 5 bottom), and markdown
+//! tables (Tables 1 and 3).
+
+use crate::ranks::{mean_ranks, nemenyi_cd, rank_matrix, summarize, wins_and_ties};
+
+/// A named column of per-dataset scores.
+#[derive(Debug, Clone)]
+pub struct MethodScores {
+    /// Method name.
+    pub name: String,
+    /// One score per dataset (aligned across methods).
+    pub scores: Vec<f64>,
+}
+
+/// Renders a textual critical-difference analysis: methods sorted by mean
+/// rank, with groups of statistically indistinguishable methods (Nemenyi,
+/// alpha = 0.05) marked by shared group letters.
+pub fn cd_diagram(methods: &[MethodScores]) -> String {
+    let k = methods.len();
+    assert!(k >= 2, "need at least two methods");
+    let n = methods[0].scores.len();
+    let matrix: Vec<Vec<f64>> = methods.iter().map(|m| m.scores.clone()).collect();
+    let ranks = rank_matrix(&matrix);
+    let mr = mean_ranks(&ranks);
+    let cd = nemenyi_cd(k, n);
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| mr[a].partial_cmp(&mr[b]).unwrap());
+
+    // Maximal cliques of mutually-indistinguishable methods (interval
+    // structure: a group is a maximal run [i..j] with rank(j) - rank(i) <= CD).
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < k {
+        let mut j = i;
+        while j + 1 < k && mr[order[j + 1]] - mr[order[i]] <= cd {
+            j += 1;
+        }
+        if j > i && groups.last().is_none_or(|&(_, pj)| pj < j) {
+            groups.push((i, j));
+        }
+        i += 1;
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Critical difference (Nemenyi, alpha=0.05, k={k}, N={n}): CD = {cd:.3}\n"
+    ));
+    for (rank_pos, &m) in order.iter().enumerate() {
+        let mut letters = String::new();
+        for (gi, &(lo, hi)) in groups.iter().enumerate() {
+            if rank_pos >= lo && rank_pos <= hi {
+                letters.push((b'a' + (gi % 26) as u8) as char);
+            }
+        }
+        out.push_str(&format!(
+            "  {:<14} mean rank {:>5.2}  {}\n",
+            methods[m].name, mr[m], letters
+        ));
+    }
+    out.push_str("  (methods sharing a letter are not significantly different)\n");
+    out
+}
+
+/// Renders ASCII box plots of per-method score distributions (Figure 5
+/// bottom): min, quartiles, median and max over a fixed-width [0, 1] axis.
+pub fn box_plots(methods: &[MethodScores]) -> String {
+    const WIDTH: usize = 50;
+    let mut out = String::new();
+    out.push_str(&format!("  {:<14} 0.0 {} 1.0\n", "", "-".repeat(WIDTH)));
+    for m in methods {
+        let s = summarize(&m.scores);
+        let pos = |v: f64| ((v.clamp(0.0, 1.0)) * (WIDTH - 1) as f64).round() as usize;
+        let mut row = vec![' '; WIDTH];
+        for c in pos(s.q1)..=pos(s.q3) {
+            row[c] = '=';
+        }
+        for c in pos(s.min)..=pos(s.max) {
+            if row[c] == ' ' {
+                row[c] = '-';
+            }
+        }
+        row[pos(s.median)] = '|';
+        let bar: String = row.into_iter().collect();
+        out.push_str(&format!(
+            "  {:<14}     {}  med={:.2}\n",
+            m.name, bar, s.median
+        ));
+    }
+    out
+}
+
+/// Renders a markdown table of summary statistics per method, matching the
+/// layout of the paper's Table 3 (mean / median / std in percent).
+pub fn summary_table(methods: &[MethodScores]) -> String {
+    let mut rows: Vec<(String, f64, f64, f64)> = methods
+        .iter()
+        .map(|m| {
+            let s = summarize(&m.scores);
+            (
+                m.name.clone(),
+                s.mean * 100.0,
+                s.median * 100.0,
+                s.std * 100.0,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut out = String::new();
+    out.push_str("| Method | mean (%) | median (%) | std (%) |\n");
+    out.push_str("|---|---|---|---|\n");
+    for (name, mean, median, std) in rows {
+        out.push_str(&format!(
+            "| {name} | {mean:.1} | {median:.1} | {std:.1} |\n"
+        ));
+    }
+    out
+}
+
+/// Renders the wins/ties line of §4.3.
+pub fn wins_line(methods: &[MethodScores]) -> String {
+    let matrix: Vec<Vec<f64>> = methods.iter().map(|m| m.scores.clone()).collect();
+    let wins = wins_and_ties(&matrix);
+    let mut pairs: Vec<(String, usize)> = methods
+        .iter()
+        .zip(&wins)
+        .map(|(m, &w)| (m.name.clone(), w))
+        .collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1));
+    let n = methods[0].scores.len();
+    let body: Vec<String> = pairs.iter().map(|(n, w)| format!("{n} {w}")).collect();
+    format!("wins/ties over {n} series: {}\n", body.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_methods() -> Vec<MethodScores> {
+        // Method A dominates, B and C are similar.
+        let a = MethodScores {
+            name: "A".into(),
+            scores: (0..40).map(|i| 0.8 + 0.004 * (i % 5) as f64).collect(),
+        };
+        let b = MethodScores {
+            name: "B".into(),
+            scores: (0..40).map(|i| 0.5 + 0.01 * (i % 7) as f64).collect(),
+        };
+        let c = MethodScores {
+            name: "C".into(),
+            scores: (0..40).map(|i| 0.5 + 0.01 * ((i + 3) % 7) as f64).collect(),
+        };
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn cd_diagram_orders_by_rank_and_groups_equals() {
+        let out = cd_diagram(&fake_methods());
+        let a_pos = out.find("A ").unwrap();
+        let b_pos = out.find("B ").unwrap();
+        assert!(a_pos < b_pos, "{out}");
+        assert!(out.contains("CD ="), "{out}");
+        // B and C share a group letter; A is alone.
+        let lines: Vec<&str> = out.lines().filter(|l| l.contains("mean rank")).collect();
+        let b_line = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with('B'))
+            .unwrap();
+        let c_line = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with('C'))
+            .unwrap();
+        assert!(
+            b_line.trim_end().ends_with('a') && c_line.trim_end().ends_with('a'),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn box_plot_contains_median_markers() {
+        let out = box_plots(&fake_methods());
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("med=0.8"), "{out}");
+    }
+
+    #[test]
+    fn summary_table_is_sorted_by_mean() {
+        let out = summary_table(&fake_methods());
+        let a_pos = out.find("| A |").unwrap();
+        let b_pos = out.find("| B |").unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn wins_line_counts() {
+        let out = wins_line(&fake_methods());
+        assert!(out.starts_with("wins/ties over 40 series: A 40"), "{out}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the Covering measure and rank aggregation.
+
+use eval::{covering, rank_matrix, summarize};
+use proptest::prelude::*;
+
+fn cps_strategy(n: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1..n.max(2), 0..8).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn covering_is_bounded_and_normalised(
+        n in 10u64..5000,
+        gt in cps_strategy(5000),
+        pred in cps_strategy(5000),
+    ) {
+        let c = covering(&gt, &pred, n);
+        prop_assert!((0.0..=1.0).contains(&c), "c = {c}");
+    }
+
+    #[test]
+    fn exact_prediction_scores_one(
+        n in 10u64..5000,
+        gt in cps_strategy(5000),
+    ) {
+        let gt_in: Vec<u64> = gt.iter().copied().filter(|&c| c < n).collect();
+        let c = covering(&gt_in, &gt_in, n);
+        prop_assert!((c - 1.0).abs() < 1e-12, "c = {c}");
+    }
+
+    #[test]
+    fn shifting_a_prediction_away_never_helps(
+        n in 200u64..4000,
+        cp_frac in 0.2f64..0.8,
+        shift in 1u64..50,
+    ) {
+        let cp = (n as f64 * cp_frac) as u64;
+        let near = covering(&[cp], &[cp + shift], n);
+        let far = covering(&[cp], &[cp + 3 * shift], n);
+        prop_assert!(far <= near + 1e-12, "near {near} far {far}");
+    }
+
+    #[test]
+    fn covering_tolerates_unsorted_out_of_range_predictions(
+        n in 10u64..1000,
+        gt in cps_strategy(1000),
+        pred in prop::collection::vec(0u64..2000, 0..10),
+    ) {
+        let mut sorted = pred.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let c = covering(&gt, &sorted, n);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_with_ties_averaged(
+        scores in prop::collection::vec(
+            prop::collection::vec(0.0f64..1.0, 5),
+            2..6,
+        ),
+    ) {
+        let ranks = rank_matrix(&scores);
+        let k = scores.len();
+        for d in 0..5 {
+            let mut col: Vec<f64> = (0..k).map(|m| ranks[m][d]).collect();
+            // Rank sum is invariant: k (k + 1) / 2.
+            let sum: f64 = col.iter().sum();
+            prop_assert!((sum - (k * (k + 1)) as f64 / 2.0).abs() < 1e-9);
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in col.windows(2) {
+                prop_assert!(pair[1] >= pair[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_quartiles_are_ordered(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..200),
+    ) {
+        let s = summarize(&xs);
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-record processing latency measurement.
+//!
+//! The stream-processing comparison the paper cites (Karimov et al., ICDE
+//! 2018) evaluates engines on *latency* as well as throughput; this module
+//! adds a log-bucketed latency histogram so the ClaSS window operator can
+//! be characterised the same way.
+
+use std::time::Duration;
+
+/// A histogram of durations with power-of-two nanosecond buckets
+/// (1 ns .. ~4.3 s), constant memory, O(1) insert.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; 33],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 33],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(32);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1).
+    /// Bucket resolution is a factor of two, which is ample for tail
+    /// characterisation.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            acc += n;
+            if acc >= target {
+                return Duration::from_nanos(1u64 << (b + 1).min(63));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarises() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 2, 4, 8, 100] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.mean() >= Duration::from_micros(20));
+        assert!(h.max() >= Duration::from_micros(100));
+        // p50 within a factor-2 bucket of the true median (4 us).
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_micros(4) && p50 <= Duration::from_micros(16),
+            "{p50:?}"
+        );
+        // The tail quantile reflects the slow record.
+        assert!(h.quantile(0.99) >= Duration::from_micros(64));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_micros(10));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max() >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..1000u64 {
+            h.record(Duration::from_nanos(i * 37 % 100_000));
+        }
+        let mut prev = Duration::ZERO;
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "q={q}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # stream-engine — a miniature one-at-a-time stream processing runtime
+//!
+//! Stands in for Apache Flink in the paper's throughput experiment (§4.4):
+//! the paper wraps ClaSS as a Flink *window operator*, runs each of the 592
+//! series as an independent data stream loaded from RAM, and measures data
+//! points per second through the operator. This crate reproduces exactly
+//! that execution model:
+//!
+//! * [`Record`]s flow one at a time through a chain of [`Operator`]s
+//!   (event-at-a-time processing, Flink's model, as opposed to
+//!   micro-batching — see the Karimov et al. comparison cited in §5),
+//! * a [`Pipeline`] composes operators and drives a full stream to a sink,
+//! * [`parallel::run_streams`] executes many independent stream jobs on a
+//!   bounded worker pool with backpressured channels (Flink task slots and
+//!   network buffers), and
+//! * [`SegmenterOperator`] adapts any [`class_core::StreamingSegmenter`]
+//!   into a window operator emitting change point records.
+
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod operator;
+pub mod parallel;
+pub mod pipeline;
+
+pub use latency::LatencyHistogram;
+pub use operator::{FilterOperator, MapOperator, Operator, SegmenterOperator, TumblingWindowMean};
+pub use parallel::{run_streams, StreamJobResult};
+pub use pipeline::{Pipeline, ThroughputReport};
+
+/// A timestamped stream record. `timestamp` is the position in the source
+/// stream (processing time in the paper's setup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record<T> {
+    /// Source position / processing timestamp.
+    pub timestamp: u64,
+    /// Payload.
+    pub value: T,
+}
+
+impl<T> Record<T> {
+    /// Creates a record.
+    pub fn new(timestamp: u64, value: T) -> Self {
+        Self { timestamp, value }
+    }
+}

@@ -1,0 +1,67 @@
+//! ClaSS inside a stream-processing pipeline (paper §4.4).
+//!
+//! Run with `cargo run --example flink_pipeline --release`.
+//!
+//! Builds the Flink-style topology the paper deploys: a source feeding a
+//! pre-processing operator (tumbling-window smoothing) and the ClaSS window
+//! operator, whose output is a stream of change point records. Then runs
+//! many independent sensor streams on a bounded slot pool and reports the
+//! operator throughput.
+
+use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
+use datasets::{Archive, GenConfig};
+use stream_engine::{run_streams, Pipeline, SegmenterOperator};
+
+fn main() {
+    // --- Single pipeline: source -> smoothing -> ClaSS -> sink. ---
+    let series = &Archive::Wesad.generate(&GenConfig::default())[0];
+    let mut cfg = ClassConfig::with_window_size(2_000);
+    cfg.warmup = Some(1_500);
+    cfg.log10_alpha = -15.0;
+    let pipeline =
+        Pipeline::source_type::<f64>().then(SegmenterOperator::new(ClassSegmenter::new(cfg)));
+    println!("topology: {:?}", pipeline.stages());
+    let (cps, report) = pipeline.run(series.values.iter().copied());
+    println!(
+        "stream of {} points -> {} change point records at {:.0} points/s",
+        report.records_in,
+        cps.len(),
+        report.throughput()
+    );
+    for r in &cps {
+        println!(
+            "  cp at position {} (emitted at t = {})",
+            r.value, r.timestamp
+        );
+    }
+    println!("ground truth: {:?}", series.change_points);
+
+    // --- Many streams on a slot pool (the §4.4 experiment in miniature). ---
+    let streams: Vec<Vec<f64>> = Archive::Wesad
+        .generate(&GenConfig::default())
+        .into_iter()
+        .take(8)
+        .map(|s| s.values)
+        .collect();
+    let results = run_streams(
+        &streams,
+        |_| {
+            let mut c = ClassConfig::with_window_size(2_000);
+            c.width = WidthSelection::Learn(class_core::WssMethod::Suss);
+            c.warmup = Some(1_500);
+            SegmenterOperator::new(ClassSegmenter::new(c))
+        },
+        4,    // task slots
+        1024, // channel buffer (backpressure)
+    );
+    println!("\nparallel run of {} streams on 4 slots:", results.len());
+    for r in &results {
+        println!(
+            "  stream {}: {} points, {} cps, {:.0} points/s",
+            r.stream_index,
+            r.records_in,
+            r.output.len(),
+            r.throughput()
+        );
+    }
+}

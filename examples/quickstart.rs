@@ -1,0 +1,61 @@
+//! Quickstart: segment a streaming signal with ClaSS.
+//!
+//! Run with `cargo run --example quickstart --release`.
+//!
+//! A simulated sensor stream switches regime twice; ClaSS learns the
+//! subsequence width from the stream prefix, then reports change points
+//! with low latency as the data flows in.
+
+use class_core::stats::SplitMix64;
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter};
+
+fn main() {
+    // --- Simulate a stream: slow sine -> fast sine -> sawtooth. ---
+    let mut rng = SplitMix64::new(7);
+    let n = 9_000;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            let clean = if i < 3_000 {
+                (i as f64 * 0.15).sin()
+            } else if i < 6_000 {
+                (i as f64 * 0.45).sin()
+            } else {
+                ((i % 50) as f64 / 25.0) - 1.0
+            };
+            clean + 0.05 * (rng.next_f64() - 0.5)
+        })
+        .collect();
+
+    // --- Configure ClaSS. ---
+    let mut cfg = ClassConfig::with_window_size(2_000); // sliding window d
+    cfg.warmup = Some(1_000); // learn the width w from the first 1k points
+    cfg.log10_alpha = -15.0; // significance level 1e-15
+    let mut class = ClassSegmenter::new(cfg);
+
+    // --- Stream it, one observation at a time. ---
+    let mut cps = Vec::new();
+    for (t, &x) in signal.iter().enumerate() {
+        let before = cps.len();
+        class.step(x, &mut cps);
+        for &cp in &cps[before..] {
+            println!(
+                "t = {t:>5}: change point detected at position {cp} \
+                 (detection delay {} points)",
+                t as u64 - cp
+            );
+        }
+    }
+    class.finalize(&mut cps);
+
+    println!("\nlearned subsequence width: {:?}", class.width());
+    println!("change points: {cps:?} (ground truth: [3000, 6000])");
+    assert!(
+        cps.iter().any(|&c| (c as i64 - 3000).unsigned_abs() < 500),
+        "first change point missed"
+    );
+    assert!(
+        cps.iter().any(|&c| (c as i64 - 6000).unsigned_abs() < 500),
+        "second change point missed"
+    );
+    println!("both regime changes found.");
+}

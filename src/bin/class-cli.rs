@@ -1,0 +1,177 @@
+//! `class-cli` — command-line streaming time series segmentation.
+//!
+//! Reads one observation per line (plain number, or a chosen column of a
+//! CSV) from a file or stdin and prints change points as they are detected,
+//! exactly as a downstream user would deploy ClaSS on a live feed:
+//!
+//! ```text
+//! cat sensor.csv | class-cli --window 10000 --alpha 1e-50
+//! class-cli --input recording.txt --width 125 --format tsv
+//! ```
+
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection, WssMethod};
+use std::io::{BufRead, BufReader, Read, Write};
+
+struct CliArgs {
+    input: Option<String>,
+    window: usize,
+    width: Option<usize>,
+    wss: WssMethod,
+    alpha: f64,
+    column: usize,
+    delimiter: char,
+    format: String,
+    relearn: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            input: None,
+            window: 10_000,
+            width: None,
+            wss: WssMethod::Suss,
+            alpha: 1e-50,
+            column: 0,
+            delimiter: ',',
+            format: "text".into(),
+            relearn: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+class-cli — streaming time series segmentation (ClaSS, VLDB 2024)
+
+USAGE:
+    class-cli [OPTIONS]
+
+OPTIONS:
+    --input FILE       read from FILE instead of stdin
+    --window N         sliding window size d (default 10000)
+    --width N          fixed subsequence width (default: learned via SuSS)
+    --wss METHOD       width selection: suss | fft | acf | mwf
+    --alpha P          significance level (default 1e-50)
+    --column N         0-based CSV column to read (default 0)
+    --delimiter C      CSV delimiter (default ',')
+    --format FMT       output: text | tsv
+    --relearn          re-learn the width after each change point
+    --help             print this help
+";
+
+fn parse_args() -> CliArgs {
+    let mut args = CliArgs::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--input" => args.input = Some(grab("--input")),
+            "--window" => args.window = grab("--window").parse().expect("numeric --window"),
+            "--width" => args.width = Some(grab("--width").parse().expect("numeric --width")),
+            "--wss" => {
+                args.wss = match grab("--wss").as_str() {
+                    "suss" => WssMethod::Suss,
+                    "fft" => WssMethod::FftDominant,
+                    "acf" => WssMethod::Acf,
+                    "mwf" => WssMethod::Mwf,
+                    other => {
+                        eprintln!("error: unknown WSS method {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--alpha" => args.alpha = grab("--alpha").parse().expect("numeric --alpha"),
+            "--column" => args.column = grab("--column").parse().expect("numeric --column"),
+            "--delimiter" => args.delimiter = grab("--delimiter").chars().next().unwrap_or(','),
+            "--format" => args.format = grab("--format"),
+            "--relearn" => args.relearn = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = ClassConfig::with_window_size(args.window);
+    cfg.width = match args.width {
+        Some(w) => WidthSelection::Fixed(w),
+        None => WidthSelection::Learn(args.wss),
+    };
+    cfg.log10_alpha = args.alpha.log10();
+    cfg.relearn_width = args.relearn;
+    let mut class = ClassSegmenter::new(cfg);
+
+    let reader: Box<dyn Read> = match &args.input {
+        Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdin()),
+    };
+    let reader = BufReader::new(reader);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    let tsv = args.format == "tsv";
+    if tsv {
+        writeln!(out, "detected_at\tchange_point").unwrap();
+    }
+    let mut cps = Vec::new();
+    let mut t: u64 = 0;
+    let mut skipped = 0usize;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: read failure: {e}");
+                std::process::exit(1);
+            }
+        };
+        let field = line.split(args.delimiter).nth(args.column).unwrap_or("");
+        let Ok(x) = field.trim().parse::<f64>() else {
+            skipped += 1;
+            continue; // header or malformed line
+        };
+        let before = cps.len();
+        class.step(x, &mut cps);
+        for &cp in &cps[before..] {
+            if tsv {
+                writeln!(out, "{t}\t{cp}").unwrap();
+            } else {
+                writeln!(out, "t={t}: change point at {cp}").unwrap();
+            }
+        }
+        t += 1;
+    }
+    let before = cps.len();
+    class.finalize(&mut cps);
+    for &cp in &cps[before..] {
+        if tsv {
+            writeln!(out, "{t}\t{cp}").unwrap();
+        } else {
+            writeln!(out, "end-of-stream: change point at {cp}").unwrap();
+        }
+    }
+    if !tsv {
+        writeln!(
+            out,
+            "processed {t} observations ({skipped} skipped), {} change points, width {:?}",
+            cps.len(),
+            class.width()
+        )
+        .unwrap();
+    }
+}

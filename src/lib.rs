@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the ClaSS reproduction workspace.
+pub use class_core as core;
+pub use competitors;
+pub use datasets;
+pub use eval;
+pub use stream_engine;
