@@ -1,5 +1,5 @@
 //! Minimal command-line argument parsing for the experiment binaries
-//! (kept dependency-free on purpose; see DESIGN.md's crate policy).
+//! (kept dependency-free on purpose; see EXPERIMENTS.md).
 
 /// Common experiment options.
 #[derive(Debug, Clone)]

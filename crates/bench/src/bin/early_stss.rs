@@ -34,9 +34,9 @@ fn main() {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let collected: std::sync::Mutex<Vec<(f64, Option<f64>, usize)>> =
             std::sync::Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..args.threads.max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= series.len() {
                         break;
@@ -53,8 +53,7 @@ fn main() {
                     ));
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         let collected = collected.into_inner().unwrap();
         let mut rates = Vec::new();
         let mut delays: Vec<f64> = Vec::new();

@@ -9,7 +9,7 @@ fn main() {
     let cfg = args.gen_config();
     println!("# Table 1 — technical specifications of TS used for experiments");
     println!(
-        "(paper sizes vs generated; laptop profile scale, see DESIGN.md; \
+        "(paper sizes vs generated; laptop profile scale, see EXPERIMENTS.md; \
          --paper-sizes restores magnitudes)\n"
     );
     println!(

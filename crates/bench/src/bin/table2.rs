@@ -30,6 +30,14 @@ fn class_seg(d: usize) -> Box<dyn StreamingSegmenter> {
     Box::new(ClassSegmenter::new(cfg))
 }
 
+/// One table row: name, paper complexity, method family, segmenter factory.
+type Row = (
+    &'static str,
+    &'static str,
+    &'static str,
+    Box<dyn Fn(usize) -> Box<dyn StreamingSegmenter>>,
+);
+
 fn main() {
     let d_small = 1000usize;
     let d_large = 4000usize;
@@ -39,12 +47,7 @@ fn main() {
         "| Competitor | paper complexity | segmentation method | t(d=1k) ns | t(d=4k) ns | ratio |"
     );
     println!("|---|---|---|---|---|---|");
-    let rows: Vec<(
-        &str,
-        &str,
-        &str,
-        Box<dyn Fn(usize) -> Box<dyn StreamingSegmenter>>,
-    )> = vec![
+    let rows: Vec<Row> = vec![
         (
             "BOCD",
             "O(n)",

@@ -49,6 +49,19 @@ pub fn tuning_split(series: &[AnnotatedSeries]) -> Vec<AnnotatedSeries> {
         .collect()
 }
 
+/// Deterministic miniature subset of a benchmark: every 7th series
+/// (offset 3) shorter than 12k points, capped at `take`. The integration
+/// tests use this to miniaturize the paper's claims so they run in seconds.
+pub fn small_subset(series: &[AnnotatedSeries], take: usize) -> Vec<AnnotatedSeries> {
+    series
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| i % 7 == 3 && s.len() < 12_000)
+        .map(|(_, s)| s.clone())
+        .take(take)
+        .collect()
+}
+
 /// Mean covering across a method's scores, in percent.
 pub fn mean_pct(scores: &[f64]) -> f64 {
     if scores.is_empty() {

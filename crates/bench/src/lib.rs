@@ -24,5 +24,6 @@ pub mod naive;
 
 pub use args::Args;
 pub use experiments::{
-    eval_group, mean_pct, mean_throughput, total_runtime_secs, tuning_split, GroupEval,
+    eval_group, mean_pct, mean_throughput, small_subset, total_runtime_secs, tuning_split,
+    GroupEval,
 };

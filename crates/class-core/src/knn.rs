@@ -332,6 +332,7 @@ impl StreamingKnn {
         let mut chosen = [usize::MAX; MAX_K];
         let mut row_sid = [i64::MIN; MAX_K];
         let mut row_score = [f64::NEG_INFINITY; MAX_K];
+        let mut n_chosen = 0usize;
         for pass in 0..kk {
             let mut best = usize::MAX;
             let mut best_score = f64::NEG_INFINITY;
@@ -346,13 +347,20 @@ impl StreamingKnn {
                     best = s;
                 }
             }
+            if best == usize::MAX {
+                // Every remaining candidate scored NaN (non-finite input in
+                // the window): keep the list short rather than fabricating
+                // neighbours.
+                break;
+            }
             chosen[pass] = best;
             row_sid[pass] = self.sid_of_slot(best);
             row_score[pass] = best_score;
+            n_chosen += 1;
         }
         self.nn_sid.push_row(&row_sid[..k]);
         self.nn_score.push_row(&row_score[..k]);
-        self.nn_len.push(kk as u8);
+        self.nn_len.push(n_chosen as u8);
 
         // --- Insert the newest subsequence into older neighbour lists. ---
         if self.cfg.update_existing {
@@ -366,6 +374,11 @@ impl StreamingKnn {
             for r in 0..upto {
                 let s = qstart + r;
                 let sc = self.scores[s];
+                if sc.is_nan() {
+                    // A NaN in the window poisons the recursion's scores; a
+                    // NaN neighbour entry would break the lists' sortedness.
+                    continue;
+                }
                 let len = self.nn_len.get(r) as usize;
                 if len == k && sc <= self.nn_score.row(r)[k - 1] {
                     continue;

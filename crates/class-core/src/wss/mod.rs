@@ -7,7 +7,7 @@
 //! * [`WssMethod::FftDominant`] — most dominant Fourier frequency,
 //! * [`WssMethod::Acf`] — highest autocorrelation offset,
 //! * [`WssMethod::Mwf`] — Multi-Window-Finder (moving-average periodicity
-//!   cost; see DESIGN.md for the approximation notes).
+//!   cost; see EXPERIMENTS.md for the approximation notes).
 
 mod mwf;
 mod spectral;
@@ -33,7 +33,7 @@ impl WidthBounds {
     /// The cap keeps `w << d` so that the window covers the "10 to 100
     /// temporal patterns" the paper recommends (§3.5).
     pub fn for_stream(n: usize, d: usize) -> Self {
-        let max = (n / 4).min(d / 8).min(1000).max(11);
+        let max = (n / 4).min(d / 8).clamp(11, 1000);
         Self { min: 10, max }
     }
 

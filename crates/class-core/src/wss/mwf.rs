@@ -6,7 +6,7 @@
 //! local minimum there. We scan the candidate range (with subsampling for
 //! large ranges), pick the most prominent local minimum of the cost curve,
 //! and refine it at full resolution. This is a faithful variant of MWF's
-//! "moving average periodicity" principle; see DESIGN.md for the mapping.
+//! "moving average periodicity" principle; see EXPERIMENTS.md for the mapping.
 
 use super::{rolling_mean_std, WidthBounds};
 

@@ -262,8 +262,10 @@ mod tests {
                 }
             })
             .collect();
-        let mut cfg = BocdConfig::default();
-        cfg.drop_threshold = 100;
+        let cfg = BocdConfig {
+            drop_threshold: 100,
+            ..Default::default()
+        };
         let mut bocd = Bocd::new(cfg);
         let cps = bocd.segment_series(&xs);
         assert!(
@@ -281,8 +283,10 @@ mod tests {
                 s * gaussian(&mut rng)
             })
             .collect();
-        let mut cfg = BocdConfig::default();
-        cfg.drop_threshold = 100;
+        let cfg = BocdConfig {
+            drop_threshold: 100,
+            ..Default::default()
+        };
         let mut bocd = Bocd::new(cfg);
         let cps = bocd.segment_series(&xs);
         assert!(
@@ -318,8 +322,10 @@ mod tests {
     #[test]
     fn truncation_bounds_state() {
         let mut rng = SplitMix64::new(5);
-        let mut cfg = BocdConfig::default();
-        cfg.max_run_length = Some(128);
+        let cfg = BocdConfig {
+            max_run_length: Some(128),
+            ..Default::default()
+        };
         let mut bocd = Bocd::new(cfg);
         let mut sink = Vec::new();
         for _ in 0..1000 {

@@ -241,8 +241,10 @@ mod tests {
         // delta = 1e-60 needs a LOT of evidence; use a moderate delta to
         // test the mechanism, the paper value is exercised in integration.
         let xs = noisy_then_chaotic(6000, 3000, 1);
-        let mut cfg = HddmConfig::default();
-        cfg.delta = 1e-6;
+        let cfg = HddmConfig {
+            delta: 1e-6,
+            ..Default::default()
+        };
         let mut hddm = Hddm::new(cfg);
         let cps = hddm.segment_series(&xs);
         assert!(
@@ -256,9 +258,11 @@ mod tests {
         // Drive the W-test directly with a binary error stream: rate 0
         // then rate ~0.6 must fire; the bound at delta 1e-3 and lambda
         // 0.01 needs a jump of ~0.26.
-        let mut cfg = HddmConfig::default();
-        cfg.delta = 1e-3;
-        cfg.variant = HddmVariant::W;
+        let cfg = HddmConfig {
+            delta: 1e-3,
+            variant: HddmVariant::W,
+            ..Default::default()
+        };
         let mut hddm = Hddm::new(cfg);
         let mut rng = SplitMix64::new(7);
         let mut fired_at = None;
@@ -279,9 +283,11 @@ mod tests {
 
     #[test]
     fn hddm_w_mechanism_quiet_on_stationary_bernoulli() {
-        let mut cfg = HddmConfig::default();
-        cfg.delta = 1e-3;
-        cfg.variant = HddmVariant::W;
+        let cfg = HddmConfig {
+            delta: 1e-3,
+            variant: HddmVariant::W,
+            ..Default::default()
+        };
         let mut hddm = Hddm::new(cfg);
         let mut rng = SplitMix64::new(8);
         for _ in 0..10_000u64 {
@@ -295,8 +301,10 @@ mod tests {
     fn hddm_quiet_on_stationary_error_rate() {
         let mut rng = SplitMix64::new(3);
         let xs: Vec<f64> = (0..8000).map(|_| gaussian(&mut rng)).collect();
-        let mut cfg = HddmConfig::default();
-        cfg.delta = 1e-6;
+        let cfg = HddmConfig {
+            delta: 1e-6,
+            ..Default::default()
+        };
         let mut hddm = Hddm::new(cfg);
         let cps = hddm.segment_series(&xs);
         assert!(cps.len() <= 2, "false positives: {cps:?}");
@@ -306,8 +314,10 @@ mod tests {
     fn tiny_delta_is_extremely_conservative() {
         let xs = noisy_then_chaotic(4000, 2000, 4);
         let mut strict = Hddm::new(HddmConfig::default()); // 1e-60
-        let mut cfg = HddmConfig::default();
-        cfg.delta = 1e-3;
+        let cfg = HddmConfig {
+            delta: 1e-3,
+            ..Default::default()
+        };
         let mut loose = Hddm::new(cfg);
         let cps_strict = strict.segment_series(&xs);
         let cps_loose = loose.segment_series(&xs);
@@ -317,8 +327,10 @@ mod tests {
     #[test]
     fn names_differ_by_variant() {
         assert_eq!(Hddm::new(HddmConfig::default()).name(), "HDDM");
-        let mut cfg = HddmConfig::default();
-        cfg.variant = HddmVariant::W;
+        let cfg = HddmConfig {
+            variant: HddmVariant::W,
+            ..Default::default()
+        };
         assert_eq!(Hddm::new(cfg).name(), "HDDM-W");
     }
 }

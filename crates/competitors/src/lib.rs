@@ -190,7 +190,7 @@ mod tests {
         // Constant, then NaN spike, then constant again: nothing may panic.
         let mut xs = vec![1.0; 500];
         xs[250] = f64::NAN;
-        xs.extend(std::iter::repeat(2.0).take(500));
+        xs.extend(std::iter::repeat_n(2.0, 500));
         let ctx = SeriesContext {
             width: 10,
             window_size: 200,

@@ -308,10 +308,14 @@ mod tests {
                 base + gaussian(&mut rng) * 0.4
             })
             .collect();
-        let mut hi = NewmaConfig::default();
-        hi.quantile = 1.0;
-        let mut lo = NewmaConfig::default();
-        lo.quantile = 0.95;
+        let hi = NewmaConfig {
+            quantile: 1.0,
+            ..Default::default()
+        };
+        let lo = NewmaConfig {
+            quantile: 0.95,
+            ..Default::default()
+        };
         let cps_hi = Newma::new(hi).segment_series(&xs);
         let cps_lo = Newma::new(lo).segment_series(&xs);
         assert!(

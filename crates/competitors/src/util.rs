@@ -180,7 +180,7 @@ mod tests {
         let mut cnt = 0;
         for i in 0..10_000 {
             let x = 5.0 + ((i * 2654435761u64) % 1000) as f64 / 1000.0; // uniform-ish
-            let z = zn.step(x as f64);
+            let z = zn.step(x);
             if i > 100 {
                 acc += z;
                 cnt += 1;

@@ -5,7 +5,7 @@
 //! series with the same *structural* properties Table 1 records — number of
 //! series, length distribution, segment-count distribution, and per-domain
 //! signal character — with ground-truth change points known by
-//! construction. See DESIGN.md §3 for the substitution argument.
+//! construction. See EXPERIMENTS.md for the substitution argument.
 //!
 //! Because the paper's testbed (128-core Xeon, 2 TB RAM) ran for hundreds
 //! of hours, the default profile scales the archive lengths down to
@@ -235,7 +235,7 @@ fn generate_one(
     // Minimum segment length: enough temporal patterns for the width and a
     // floor; segment count shrinks when the scaled length cannot host it —
     // this is exactly how the laptop profile trades archive difficulty for
-    // runtime (DESIGN.md §3).
+    // runtime (EXPERIMENTS.md).
     let mut widths: Vec<usize> = pool.iter().map(|r| r.pattern_width()).collect();
     widths.sort_unstable();
     let median_width = widths[widths.len() / 2];

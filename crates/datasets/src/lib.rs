@@ -5,7 +5,7 @@
 //! WESAD). This crate generates deterministic synthetic stand-ins with the
 //! same structural properties — series counts, length and segment-count
 //! distributions, per-domain signal character — and exact ground-truth
-//! change points (see DESIGN.md §3 for the substitution rationale).
+//! change points (see EXPERIMENTS.md for the substitution rationale).
 //!
 //! ```
 //! use datasets::{Archive, GenConfig};

@@ -126,7 +126,7 @@ pub fn wins_line(methods: &[MethodScores]) -> String {
         .zip(&wins)
         .map(|(m, &w)| (m.name.clone(), w))
         .collect();
-    pairs.sort_by(|a, b| b.1.cmp(&a.1));
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.1));
     let n = methods[0].scores.len();
     let body: Vec<String> = pairs.iter().map(|(n, w)| format!("{n} {w}")).collect();
     format!("wins/ties over {n} series: {}\n", body.join(", "))

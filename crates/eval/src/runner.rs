@@ -128,9 +128,9 @@ pub fn run_matrix(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -141,8 +141,7 @@ pub fn run_matrix(
                 guard[i] = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("job completed"))

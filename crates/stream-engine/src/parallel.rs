@@ -58,19 +58,19 @@ where
     let mut results: Vec<Option<StreamJobResult<Op::Out>>> =
         (0..streams.len()).map(|_| None).collect();
     let results_mutex = std::sync::Mutex::new(&mut results);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..slots {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if s >= streams.len() {
                     break;
                 }
                 let mut op = make_op(s);
                 // Source thread feeds a bounded channel (backpressure).
-                let (tx, rx) = crossbeam::channel::bounded::<Record<f64>>(buffer);
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Record<f64>>(buffer);
                 let stream = &streams[s];
-                let result = crossbeam::thread::scope(|inner| {
-                    inner.spawn(move |_| {
+                let result = std::thread::scope(|inner| {
+                    inner.spawn(move || {
                         for (t, &v) in stream.iter().enumerate() {
                             if tx.send(Record::new(t as u64, v)).is_err() {
                                 break;
@@ -95,14 +95,12 @@ where
                         elapsed: start.elapsed(),
                         latency,
                     }
-                })
-                .expect("source thread panicked");
+                });
                 let mut guard = results_mutex.lock().unwrap();
                 guard[s] = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("job finished"))

@@ -8,7 +8,7 @@
 //! sparklines, and compares the recovered segmentation with the ground
 //! truth via the Covering measure — the paper's interpretability use case.
 
-use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection};
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter};
 use competitors::{Floss, FlossConfig};
 use datasets::{build_series, NoiseSpec, Regime};
 use eval::covering;

@@ -1,0 +1,23 @@
+//! Regression tests for the shim's range strategies: spans wider than the
+//! sample type's positive half must still produce in-bounds values.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn wide_signed_range_stays_in_bounds(x in -100i8..100) {
+        prop_assert!((-100..100).contains(&x));
+    }
+
+    #[test]
+    fn full_width_i64_range_stays_in_bounds(y in i64::MIN..i64::MAX) {
+        prop_assert!(y < i64::MAX);
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_signs(z in -5i64..=5) {
+        prop_assert!((-5..=5).contains(&z));
+    }
+}

@@ -1,0 +1,94 @@
+//! Smoke tests for the user-facing `class-cli` binary: feed a synthetic
+//! two-regime series via stdin and assert a change point lands near the
+//! regime boundary with a clean exit code.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const CLI: &str = env!("CARGO_BIN_EXE_class-cli");
+
+/// A stream whose frequency doubles at t = 3000 (the quickstart signal).
+fn two_regime_input() -> String {
+    let mut s = String::new();
+    for i in 0..6000 {
+        let x = if i < 3000 {
+            (i as f64 * 0.2).sin()
+        } else {
+            (i as f64 * 0.5).sin()
+        };
+        s.push_str(&format!("{x}\n"));
+    }
+    s
+}
+
+fn run_cli(args: &[&str], input: &str) -> (String, String, i32) {
+    let mut child = Command::new(CLI)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn class-cli");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait for class-cli");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn detects_the_regime_boundary_from_stdin() {
+    let (stdout, stderr, code) = run_cli(
+        &["--window", "2000", "--alpha", "1e-15", "--format", "tsv"],
+        &two_regime_input(),
+    );
+    assert_eq!(code, 0, "non-zero exit; stderr: {stderr}");
+    // TSV: header line, then `detected_at\tchange_point` rows.
+    let cps: Vec<i64> = stdout
+        .lines()
+        .skip(1)
+        .map(|l| {
+            l.split('\t')
+                .nth(1)
+                .and_then(|f| f.parse().ok())
+                .unwrap_or_else(|| panic!("malformed TSV row: {l:?}"))
+        })
+        .collect();
+    assert!(
+        cps.iter().any(|&cp| (cp - 3000).abs() < 500),
+        "no change point near 3000; got {cps:?}\nstdout: {stdout}"
+    );
+}
+
+#[test]
+fn text_format_skips_headers_and_prints_a_summary() {
+    let input = format!("value\n{}", two_regime_input());
+    let (stdout, stderr, code) = run_cli(&["--window", "2000", "--alpha", "1e-15"], &input);
+    assert_eq!(code, 0, "non-zero exit; stderr: {stderr}");
+    let summary = stdout
+        .lines()
+        .last()
+        .expect("summary line on non-empty output");
+    assert!(
+        summary.starts_with("processed 6000 observations (1 skipped)"),
+        "unexpected summary: {summary}"
+    );
+}
+
+#[test]
+fn help_exits_cleanly_and_unknown_flags_do_not() {
+    let (stdout, _, code) = run_cli(&["--help"], "");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("USAGE"));
+
+    let (_, stderr, code) = run_cli(&["--no-such-flag"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown argument"));
+}

@@ -3,27 +3,11 @@
 //! file stays under a minute in release mode; the full-scale numbers live
 //! in EXPERIMENTS.md.
 
-use bench_lib::*;
+use bench::small_subset;
 use class_core::ClassConfig;
 use competitors::CompetitorKind;
 use datasets::{benchmark_series, GenConfig};
 use eval::{covering_matrix, mean_ranks, rank_matrix, run_matrix, AlgoSpec};
-
-/// Local copy of the tuning-split helper (bench is not a dependency of the
-/// root package's integration tests by default; keep this self-contained).
-mod bench_lib {
-    use datasets::AnnotatedSeries;
-
-    pub fn small_subset(series: &[AnnotatedSeries], take: usize) -> Vec<AnnotatedSeries> {
-        series
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| i % 7 == 3 && s.len() < 12_000)
-            .map(|(_, s)| s.clone())
-            .take(take)
-            .collect()
-    }
-}
 
 fn lineup(window: usize) -> Vec<AlgoSpec> {
     let mut algos = vec![AlgoSpec::Class(ClassConfig::with_window_size(window))];
