@@ -1,0 +1,154 @@
+//! `perf_trajectory` — the pinned perf workload every PR is measured on.
+//!
+//! Runs the three streaming hot paths (`knn_update`, `crossval_profile`,
+//! full `class_step`) at d ∈ {1_000, 4_000, 10_000} on fixed-seed synthetic
+//! streams and writes `BENCH_perf.json` (median ns/op per kernel) next to
+//! the working directory, plus a Markdown table on stdout. Numbers are
+//! before/after comparable across PRs: same seeds, same widths, same batch
+//! protocol (see `bench::perf`).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin perf_trajectory              # full
+//! cargo run --release -p bench --bin perf_trajectory -- --preset quick
+//! CLASS_SIMD=scalar cargo run --release -p bench --bin perf_trajectory
+//! ```
+//!
+//! `--preset quick` (CI) runs d ∈ {1_000, 4_000} with fewer batches —
+//! seconds, not minutes. `--out PATH` overrides the output path. The
+//! `CLASS_SIMD` environment variable pins the kernel backend for A/B runs.
+
+use bench::perf::{measure_batches, render_json, render_table, KernelStat};
+use class_core::crossval::{CrossVal, ScoreFn};
+use class_core::knn::{KnnConfig, StreamingKnn};
+use class_core::stats::SplitMix64;
+use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection};
+use std::hint::black_box;
+
+const WIDTH: usize = 50;
+const K: usize = 3;
+
+struct Preset {
+    name: &'static str,
+    d_values: &'static [usize],
+    batches: usize,
+    knn_ops: u64,
+    cv_ops: u64,
+    step_ops: u64,
+}
+
+const FULL: Preset = Preset {
+    name: "full",
+    d_values: &[1_000, 4_000, 10_000],
+    batches: 15,
+    knn_ops: 400,
+    cv_ops: 40,
+    step_ops: 60,
+};
+
+const QUICK: Preset = Preset {
+    name: "quick",
+    d_values: &[1_000, 4_000],
+    batches: 9,
+    knn_ops: 200,
+    cv_ops: 20,
+    step_ops: 30,
+};
+
+fn filled_knn(d: usize) -> (StreamingKnn, SplitMix64) {
+    let mut rng = SplitMix64::new(42);
+    let mut knn = StreamingKnn::new(KnnConfig::new(d, WIDTH, K));
+    for _ in 0..2 * d {
+        knn.update(rng.next_f64() * 2.0 - 1.0);
+    }
+    (knn, rng)
+}
+
+fn main() {
+    let mut preset = &FULL;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let v = it.next().expect("--preset requires a value");
+                preset = match v.as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => panic!("unknown preset {other} (quick|full)"),
+                };
+            }
+            "--out" => out_path = it.next().expect("--out requires a value"),
+            "--help" | "-h" => {
+                eprintln!("options: --preset quick|full --out PATH");
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let backend = class_core::simd::active_backend().name();
+    eprintln!(
+        "perf_trajectory: preset={} simd_backend={backend} (override with CLASS_SIMD)",
+        preset.name
+    );
+
+    let mut stats: Vec<KernelStat> = Vec::new();
+    for &d in preset.d_values {
+        // --- knn_update: one streaming index update (Q-recursion +
+        // scoring + single-pass selection + list maintenance). ---
+        let (mut knn, mut rng) = filled_knn(d);
+        let (median, best, ops) = measure_batches(preset.batches, preset.knn_ops, || {
+            knn.update(black_box(rng.next_f64() * 2.0 - 1.0));
+        });
+        stats.push(KernelStat {
+            name: "knn_update",
+            d,
+            median_ns: median,
+            best_ns: best,
+            ops,
+        });
+        eprintln!("  knn_update        d={d:<6} median {median:>12.1} ns/op");
+
+        // --- crossval_profile: one full incremental profile sweep. ---
+        let (knn, _) = filled_knn(d);
+        let mut cv = CrossVal::new(ScoreFn::MacroF1);
+        let (median, best, ops) = measure_batches(preset.batches, preset.cv_ops, || {
+            black_box(cv.compute(&knn, knn.qstart()));
+        });
+        stats.push(KernelStat {
+            name: "crossval_profile",
+            d,
+            median_ns: median,
+            best_ns: best,
+            ops,
+        });
+        eprintln!("  crossval_profile  d={d:<6} median {median:>12.1} ns/op");
+
+        // --- class_step: the full per-observation pipeline. ---
+        let mut cfg = ClassConfig::with_window_size(d);
+        cfg.width = WidthSelection::Fixed(WIDTH);
+        let mut class = ClassSegmenter::new(cfg);
+        let mut rng = SplitMix64::new(7);
+        let mut cps = Vec::new();
+        for i in 0..2 * d {
+            class.step((i as f64 * 0.2).sin() + 0.05 * rng.next_f64(), &mut cps);
+        }
+        let (median, best, ops) = measure_batches(preset.batches, preset.step_ops, || {
+            class.step(black_box(rng.next_f64()), &mut cps);
+            cps.clear();
+        });
+        stats.push(KernelStat {
+            name: "class_step",
+            d,
+            median_ns: median,
+            best_ns: best,
+            ops,
+        });
+        eprintln!("  class_step        d={d:<6} median {median:>12.1} ns/op");
+    }
+
+    let json = render_json(preset.name, backend, &stats);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("{}", render_table(&stats));
+    eprintln!("wrote {out_path}");
+}

@@ -12,15 +12,18 @@
 //! | `fig7` | Figure 7 — scalability ClaSS vs FLOSS |
 //! | `ablation` | §4.2 — design-choice ablations (a)-(g) |
 //! | `flink_throughput` | §4.4 — stream-engine window operator throughput |
+//! | `perf_trajectory` | §4.4 — pinned hot-path workload → `BENCH_perf.json` |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p bench`) validate the two
-//! core algorithmic speedups against naive baselines.
+//! core algorithmic speedups against naive baselines; `perf_trajectory`
+//! (see [`perf`]) tracks the absolute numbers across PRs.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod experiments;
 pub mod naive;
+pub mod perf;
 
 pub use args::Args;
 pub use experiments::{

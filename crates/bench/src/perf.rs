@@ -1,0 +1,135 @@
+//! Perf-trajectory measurement: a fixed, pinned workload over the three
+//! streaming hot paths, emitting machine-readable `BENCH_perf.json` so
+//! every PR's numbers are comparable to its predecessors (see
+//! EXPERIMENTS.md, §4.4 runtime decomposition).
+//!
+//! The measurement protocol is deliberately simple and robust: per kernel,
+//! a short warm-up, then a fixed number of timed batches; the reported
+//! statistic is the **median** ns/op across batches (insensitive to the
+//! occasional scheduler hiccup, unlike the mean).
+
+use std::time::Instant;
+
+/// One measured kernel data point.
+#[derive(Debug, Clone)]
+pub struct KernelStat {
+    /// Kernel identifier (`knn_update`, `crossval_profile`, `class_step`).
+    pub name: &'static str,
+    /// Sliding window size `d` of the workload.
+    pub d: usize,
+    /// Median nanoseconds per operation across batches.
+    pub median_ns: f64,
+    /// Best (minimum) batch mean, ns per operation.
+    pub best_ns: f64,
+    /// Total timed operations.
+    pub ops: u64,
+}
+
+/// Times `ops_per_batch` invocations of `f` per batch over `batches`
+/// timed batches (plus one untimed warm-up batch) and returns
+/// `(median ns/op, best ns/op, total ops)`.
+pub fn measure_batches(batches: usize, ops_per_batch: u64, mut f: impl FnMut()) -> (f64, f64, u64) {
+    assert!(batches >= 1 && ops_per_batch >= 1);
+    for _ in 0..ops_per_batch {
+        f(); // warm-up: caches, branch predictors, lazy state
+    }
+    let mut per_op: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..ops_per_batch {
+            f();
+        }
+        per_op.push(t.elapsed().as_nanos() as f64 / ops_per_batch as f64);
+    }
+    per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if per_op.len() % 2 == 1 {
+        per_op[per_op.len() / 2]
+    } else {
+        0.5 * (per_op[per_op.len() / 2 - 1] + per_op[per_op.len() / 2])
+    };
+    let best = per_op[0];
+    (median, best, batches as u64 * ops_per_batch)
+}
+
+/// Renders the stats as the `BENCH_perf.json` document (no serde: the
+/// workspace is offline; the format is a stable, hand-written schema).
+pub fn render_json(preset: &str, simd_backend: &str, stats: &[KernelStat]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"class-perf-trajectory/v1\",\n");
+    out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
+    out.push_str(&format!("  \"simd_backend\": \"{simd_backend}\",\n"));
+    out.push_str("  \"kernels\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"d\": {}, \"median_ns\": {:.1}, \
+             \"best_ns\": {:.1}, \"ops\": {}}}{}\n",
+            s.name,
+            s.d,
+            s.median_ns,
+            s.best_ns,
+            s.ops,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the stats as a Markdown table for stdout.
+pub fn render_table(stats: &[KernelStat]) -> String {
+    let mut out = String::new();
+    out.push_str("| kernel | d | median ns/op | best ns/op | ops |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for s in stats {
+        out.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {} |\n",
+            s.name, s.d, s.median_ns, s.best_ns, s.ops
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_batches_reports_sane_numbers() {
+        let mut acc = 0u64;
+        let (median, best, ops) = measure_batches(5, 100, || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        assert_eq!(ops, 500);
+        assert!(median >= 0.0 && best >= 0.0 && best <= median);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let stats = vec![
+            KernelStat {
+                name: "knn_update",
+                d: 1000,
+                median_ns: 1234.5,
+                best_ns: 1200.0,
+                ops: 4000,
+            },
+            KernelStat {
+                name: "class_step",
+                d: 4000,
+                median_ns: 9.25e4,
+                best_ns: 9.0e4,
+                ops: 500,
+            },
+        ];
+        let doc = render_json("quick", "avx2", &stats);
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches("\"name\"").count(), 2);
+        assert!(doc.contains("\"schema\": \"class-perf-trajectory/v1\""));
+        assert!(doc.contains("\"simd_backend\": \"avx2\""));
+        // Exactly one comma between the two kernel objects.
+        assert_eq!(doc.matches("},").count(), 1);
+        let table = render_table(&stats);
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -7,9 +7,10 @@
 //!    every other subsequence in the window in O(d) total, by maintaining
 //!    the (w-1)-length dot products of the previous step (Eq. 3-5, the
 //!    STOMP recurrence adapted to streaming),
-//! 2. selects the k nearest neighbours of the newest subsequence with k
-//!    sequential scans (O(k·d)), honouring a trivial-match exclusion radius
-//!    of 1.5·w, and
+//! 2. selects the k nearest neighbours of the newest subsequence with a
+//!    single bounded-insertion pass over the scores (O(d + i·k) where `i`
+//!    is the number of top-k improvements), honouring a trivial-match
+//!    exclusion radius of 1.5·w, and
 //! 3. updates the stored neighbour lists of all older subsequences for which
 //!    the newest subsequence is a closer neighbour than their current k-th.
 //!
@@ -21,7 +22,8 @@
 //! "negative offsets belong to class zero by design".
 
 use crate::buffer::{ShiftBuffer, ShiftMatrix};
-use crate::similarity::{pearson_from_dot, sq_cid_from_dot, sq_euclidean_from_dot, Similarity};
+use crate::simd;
+use crate::similarity::Similarity;
 
 /// Largest supported neighbour count; the ablation study uses k in
 /// {1, 3, 5, 7}, so 16 leaves generous headroom while letting the scratch
@@ -115,6 +117,11 @@ pub struct StreamingKnn {
     nn_len: ShiftBuffer<u8>,
     /// Absolute id (stream start position) of the next subsequence.
     next_sid: i64,
+    /// Remaining pushes until the most recent non-finite observation has
+    /// left the window (0 = window clean). When it reaches 0, the Q slots
+    /// the NaN poisoned are recomputed explicitly, restoring exactness for
+    /// dirty feeds.
+    nan_heal: usize,
 }
 
 impl StreamingKnn {
@@ -141,6 +148,7 @@ impl StreamingKnn {
             nn_score: ShiftMatrix::new(m_max, k),
             nn_len: ShiftBuffer::new(m_max),
             next_sid: 0,
+            nan_heal: 0,
             cfg,
         }
     }
@@ -233,6 +241,18 @@ impl StreamingKnn {
     pub fn update(&mut self, x: f64) -> bool {
         let grew = !self.win.is_full();
         self.win.push(x);
+        // Track when the most recent non-finite observation leaves the
+        // window: a value pushed now is evicted after exactly `capacity`
+        // further pushes, regardless of the current fill level.
+        let mut heal_now = false;
+        if self.nan_heal > 0 {
+            self.nan_heal -= 1;
+            heal_now = self.nan_heal == 0;
+        }
+        if !x.is_finite() {
+            self.nan_heal = self.win.capacity();
+            heal_now = false;
+        }
         let l = self.win.len();
         let w = self.cfg.width;
         if l < w {
@@ -245,24 +265,14 @@ impl StreamingKnn {
         {
             let win = self.win.as_slice();
             let newest = &win[l - w..];
-            let mut sum = 0.0;
-            let mut ssq = 0.0;
-            for &v in newest {
-                sum += v;
-                ssq += v * v;
-            }
+            let (sum, ssq) = simd::sum_sumsq(newest);
             let mu = sum / w as f64;
             let var = (ssq / w as f64 - mu * mu).max(0.0);
             self.mu.push(mu);
             self.sig.push(var.sqrt());
             self.ssq.push(ssq);
             if self.cfg.similarity == Similarity::Cid {
-                let mut c = 0.0;
-                for p in newest.windows(2) {
-                    let dd = p[1] - p[0];
-                    c += dd * dd;
-                }
-                self.ce2.push(c);
+                self.ce2.push(simd::diff_sumsq(newest));
             } else {
                 self.ce2.push(0.0);
             }
@@ -271,19 +281,30 @@ impl StreamingKnn {
         let n_subs = l - w + 1;
         let qstart = self.m_max - n_subs;
 
-        // --- Q maintenance & similarity scores (Eq. 3-5). ---
+        // --- NaN healing (ROADMAP): the last non-finite value has left the
+        // window, but the Q recursion keeps NaN in every slot it touched
+        // (x + NaN - NaN = NaN). All live subsequences are clean again, so
+        // an explicit recompute of the poisoned slots restores exactness.
+        // The pre-update invariant is q[s] = win[o..o+w-1] · win[l-w..l-1].
+        if heal_now {
+            let win = self.win.as_slice();
+            let prefix = &win[l - w..l - 1];
+            for s in qstart..self.m_max {
+                if self.q[s].is_nan() {
+                    let o = s - qstart;
+                    self.q[s] = simd::dot(&win[o..o + w - 1], prefix);
+                }
+            }
+        }
+
+        // --- Q maintenance & similarity scores (Eq. 3-5), one fused
+        // SIMD pass per update (see `crate::simd`). ---
         {
             let win = self.win.as_slice();
             if grew {
                 // A new leftmost slot appeared: fill the recursion hole with
                 // an explicit (w-1)-length dot product (Algorithm 2 line 7).
-                let a = &win[0..w - 1];
-                let b = &win[l - w..l - 1];
-                let mut d = 0.0;
-                for (x, y) in a.iter().zip(b) {
-                    d += x * y;
-                }
-                self.q[qstart] = d;
+                self.q[qstart] = simd::dot(&win[0..w - 1], &win[l - w..l - 1]);
             }
             let last = win[l - 1];
             let first_of_newest = win[l - w];
@@ -293,70 +314,64 @@ impl StreamingKnn {
             let ssq = self.ssq.as_slice();
             let ce2 = self.ce2.as_slice();
             let o_new = n_subs - 1;
+            let io = simd::QStepIo {
+                q: &mut self.q[qstart..],
+                scores: &mut self.scores[qstart..],
+                tail: &win[w - 1..],
+                head: &win[..n_subs],
+                last,
+                first: first_of_newest,
+            };
             match self.cfg.similarity {
                 Similarity::Pearson => {
-                    let (mu_n, sig_n) = (mu[o_new], sig[o_new]);
-                    for s in qstart..self.m_max {
-                        let o = s - qstart;
-                        let dot = self.q[s] + win[o + w - 1] * last;
-                        self.scores[s] = pearson_from_dot(dot, wf, mu[o], sig[o], mu_n, sig_n);
-                        self.q[s] = dot - win[o] * first_of_newest;
-                    }
+                    simd::qstep_pearson(io, mu, sig, wf, mu[o_new], sig[o_new]);
                 }
                 Similarity::Euclidean => {
-                    let ssq_n = ssq[o_new];
-                    for s in qstart..self.m_max {
-                        let o = s - qstart;
-                        let dot = self.q[s] + win[o + w - 1] * last;
-                        self.scores[s] = -sq_euclidean_from_dot(dot, ssq[o], ssq_n);
-                        self.q[s] = dot - win[o] * first_of_newest;
-                    }
+                    simd::qstep_euclidean(io, ssq, ssq[o_new]);
                 }
                 Similarity::Cid => {
-                    let (ssq_n, ce2_n) = (ssq[o_new], ce2[o_new]);
-                    for s in qstart..self.m_max {
-                        let o = s - qstart;
-                        let dot = self.q[s] + win[o + w - 1] * last;
-                        self.scores[s] = -sq_cid_from_dot(dot, ssq[o], ssq_n, ce2[o], ce2_n);
-                        self.q[s] = dot - win[o] * first_of_newest;
-                    }
+                    simd::qstep_cid(io, ssq, ce2, ssq[o_new], ce2[o_new]);
                 }
             }
         }
 
-        // --- k-NN selection for the newest subsequence (k scans). ---
+        // --- k-NN selection for the newest subsequence: one bounded
+        // insertion pass over the scores. Semantics match the former
+        // k-sequential-scan selection exactly: candidates are ranked by
+        // descending score, ties broken towards the older slot, and
+        // NaN / -inf scores are never selected (a NaN in the window must
+        // shorten the list rather than fabricate neighbours). ---
         let k = self.cfg.k;
         let elig_end = self.m_max - self.excl; // exclusive slot bound
         let n_elig = elig_end.saturating_sub(qstart);
         let kk = k.min(n_elig);
-        let mut chosen = [usize::MAX; MAX_K];
         let mut row_sid = [i64::MIN; MAX_K];
         let mut row_score = [f64::NEG_INFINITY; MAX_K];
         let mut n_chosen = 0usize;
-        for pass in 0..kk {
-            let mut best = usize::MAX;
-            let mut best_score = f64::NEG_INFINITY;
-            'cand: for s in qstart..elig_end {
-                for &c in &chosen[..pass] {
-                    if c == s {
-                        continue 'cand;
-                    }
-                }
-                if self.scores[s] > best_score {
-                    best_score = self.scores[s];
-                    best = s;
-                }
+        for s in qstart..elig_end {
+            let sc = self.scores[s];
+            // NaN and -inf are never selectable, mirroring the old argmax
+            // that never advanced past its -inf initialisation.
+            if sc.is_nan() || sc == f64::NEG_INFINITY {
+                continue;
             }
-            if best == usize::MAX {
-                // Every remaining candidate scored NaN (non-finite input in
-                // the window): keep the list short rather than fabricating
-                // neighbours.
-                break;
+            if n_chosen == kk && sc <= row_score[kk - 1] {
+                continue;
             }
-            chosen[pass] = best;
-            row_sid[pass] = self.sid_of_slot(best);
-            row_score[pass] = best_score;
-            n_chosen += 1;
+            let mut pos = n_chosen;
+            while pos > 0 && row_score[pos - 1] < sc {
+                pos -= 1;
+            }
+            let end = if n_chosen == kk { kk - 1 } else { n_chosen };
+            for j in (pos..end).rev() {
+                row_score[j + 1] = row_score[j];
+                row_sid[j + 1] = row_sid[j];
+            }
+            row_score[pos] = sc;
+            row_sid[pos] = self.sid_of_slot(s);
+            if n_chosen < kk {
+                n_chosen += 1;
+            }
         }
         self.nn_sid.push_row(&row_sid[..k]);
         self.nn_score.push_row(&row_score[..k]);
@@ -527,17 +542,27 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing naive row for sid {sid}"));
             assert_eq!(got_sids.len(), want.len(), "sid {sid}: neighbour count");
             for (i, &(wsid, wscore)) in want.iter().enumerate() {
-                // Scores must match; ids may differ only under exact ties.
+                // Scores must match; ids may differ only under (near-)ties,
+                // where the streaming recursion and the naive mirror may
+                // legitimately order equal-scored neighbours differently.
                 assert!(
                     (got_scores[i] - wscore).abs() < 1e-7,
                     "sid {sid} nn{i}: score {} vs {}",
                     got_scores[i],
                     wscore
                 );
-                if (got_scores[i] - wscore).abs() < 1e-12 && got_sids[i] != wsid {
-                    // tie: accept either id with equal score
-                    continue;
-                }
+                let tie = i
+                    .checked_sub(1)
+                    .is_some_and(|p| (want[p].1 - wscore).abs() < 1e-7)
+                    || want.get(i + 1).is_some_and(|n| (n.1 - wscore).abs() < 1e-7);
+                assert!(
+                    got_sids[i] == wsid || tie,
+                    "sid {sid} nn{i}: id {} vs {} (scores {} vs {})",
+                    got_sids[i],
+                    wsid,
+                    got_scores[i],
+                    wscore
+                );
             }
         }
     }
@@ -679,6 +704,100 @@ mod tests {
             let (sids, _) = knn.neighbors(slot);
             for &nsid in sids {
                 assert!(nsid < sid, "forward arc {nsid} from {sid}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_is_healed_once_evicted_from_window() {
+        // A single NaN poisons the Q recursion (x + NaN - NaN = NaN). Once
+        // the value has left the sliding window, the index must return to
+        // exactness: every per-step score matches the naive computation.
+        let (d, w) = (90, 7);
+        let nan_at = 130;
+        let mut series = random_series(400, 12);
+        series[nan_at] = f64::NAN;
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
+        // The NaN is evicted after exactly `d` further pushes.
+        let clean_from = nan_at + d + 1;
+        for (t, &x) in series.iter().enumerate() {
+            if !knn.update(x) {
+                continue;
+            }
+            if t < clean_from {
+                continue;
+            }
+            let newest = knn.newest_sid().unwrap() as usize;
+            let sb = &series[newest..newest + w];
+            for slot in knn.qstart()..knn.max_subsequences() {
+                let sid = knn.sid_of_slot(slot) as usize;
+                let sa = &series[sid..sid + w];
+                let want = naive::pearson(sa, sb);
+                let got = knn.latest_scores()[slot];
+                assert!(
+                    (got - want).abs() < 1e-7,
+                    "t={t} slot={slot}: {got} vs {want} (healing failed)"
+                );
+            }
+            // Fresh rows must get full neighbour lists again.
+            let (sids, _) = knn.neighbors(knn.max_subsequences() - 1);
+            assert_eq!(sids.len(), 3, "t={t}: short list after heal");
+        }
+    }
+
+    #[test]
+    fn nan_healing_applies_to_euclidean_q_state() {
+        // Through the Euclidean scoring path, a dirty window must propagate
+        // NaN (shortened neighbour lists), never fabricate distance-0
+        // neighbours; after eviction the Q state (shared across measures)
+        // must be finite and the scores exact again.
+        let (d, w) = (70, 6);
+        let nan_at = 100;
+        let mut series = random_series(300, 13);
+        series[nan_at] = f64::NAN;
+        let cfg = KnnConfig {
+            window_size: d,
+            width: w,
+            k: 2,
+            similarity: Similarity::Euclidean,
+            exclusion: None,
+            update_existing: true,
+        };
+        let mut knn = StreamingKnn::new(cfg);
+        // The NaN is evicted (and healing fires) exactly at t = nan_at + d.
+        let clean_from = nan_at + d;
+        for (t, &x) in series.iter().enumerate() {
+            if !knn.update(x) {
+                continue;
+            }
+            if t >= nan_at && t < clean_from {
+                // Dirty window: the recursion poisons every slot one step
+                // after the NaN arrives; poisoned scores must surface as
+                // NaN — not as a perfect distance-0 match — so no stored
+                // neighbour can ever carry a fabricated 0.0 score.
+                for slot in knn.qstart()..knn.max_subsequences() {
+                    let sc = knn.latest_scores()[slot];
+                    assert!(
+                        t == nan_at || sc.is_nan(),
+                        "t={t} slot={slot}: dirty-window score {sc} not NaN"
+                    );
+                }
+                continue;
+            }
+            if t < clean_from {
+                continue;
+            }
+            let newest = knn.newest_sid().unwrap() as usize;
+            let sb = &series[newest..newest + w];
+            for slot in knn.qstart()..knn.max_subsequences() {
+                let sid = knn.sid_of_slot(slot) as usize;
+                let sa = &series[sid..sid + w];
+                let want = -naive::sq_euclidean(sa, sb);
+                let got = knn.latest_scores()[slot];
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "t={t} slot={slot}: {got} vs {want}"
+                );
             }
         }
     }

@@ -48,6 +48,7 @@ pub mod fft;
 pub mod knn;
 pub mod multivariate;
 pub mod segmenter;
+pub mod simd;
 pub mod similarity;
 pub mod stats;
 pub mod wss;

@@ -40,6 +40,10 @@ impl Similarity {
 /// Guard against division by ~zero for flat subsequences.
 pub(crate) const SIGMA_FLOOR: f64 = 1e-8;
 
+/// Floor on the complexity estimate of the CID correction factor, guarding
+/// the division for flat subsequences.
+pub(crate) const CE_FLOOR: f64 = 1e-12;
+
 /// Pearson correlation from a dot product and per-subsequence moments
 /// (paper Eq. 4). Degenerate (flat) subsequences yield a correlation of 0,
 /// and the result is clamped into `[-1, 1]` for numerical robustness.
@@ -60,10 +64,17 @@ pub(crate) fn pearson_from_dot(
 }
 
 /// Squared Euclidean distance from a dot product and per-subsequence sums of
-/// squares. Clamped at zero to absorb floating-point cancellation.
+/// squares. Clamped at zero to absorb floating-point cancellation; NaN is
+/// preserved (a dirty window must propagate, not fabricate distance-0
+/// neighbours — `f64::max` would swallow the NaN).
 #[inline]
 pub(crate) fn sq_euclidean_from_dot(dot: f64, ssq_a: f64, ssq_b: f64) -> f64 {
-    (ssq_a + ssq_b - 2.0 * dot).max(0.0)
+    let ed2 = ssq_a + ssq_b - 2.0 * dot;
+    if ed2 < 0.0 {
+        0.0
+    } else {
+        ed2
+    }
 }
 
 /// Squared complexity-invariant distance. Works on squared quantities so no
@@ -77,7 +88,7 @@ pub(crate) fn sq_cid_from_dot(dot: f64, ssq_a: f64, ssq_b: f64, ce2_a: f64, ce2_
     } else {
         (ce2_b, ce2_a)
     };
-    let cf2 = hi / lo.max(1e-12);
+    let cf2 = hi / lo.max(CE_FLOOR);
     ed2 * cf2
 }
 

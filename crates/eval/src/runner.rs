@@ -116,18 +116,27 @@ pub fn run_one(spec: &AlgoSpec, series: &AnnotatedSeries) -> RunResult {
 /// Runs every algorithm over every series, parallelising across
 /// (algorithm, series) pairs with scoped threads. Results are returned in
 /// deterministic (algo-major, series-minor) order.
+///
+/// Scheduling is longest-series-first so the biggest jobs start earliest
+/// and no long series straggles at the end of the matrix, and every worker
+/// writes its result into an index-disjoint [`OnceLock`] slot — there is
+/// no lock on the result path.
 pub fn run_matrix(
     algos: &[AlgoSpec],
     series: &[AnnotatedSeries],
     threads: usize,
 ) -> Vec<RunResult> {
-    let jobs: Vec<(usize, usize)> = (0..algos.len())
+    use std::sync::OnceLock;
+
+    let mut jobs: Vec<(usize, usize)> = (0..algos.len())
         .flat_map(|a| (0..series.len()).map(move |s| (a, s)))
         .collect();
+    // Longest-first; the sort is stable, so ties keep the deterministic
+    // (algo-major, series-minor) order.
+    jobs.sort_by_key(|&(_, s)| std::cmp::Reverse(series[s].len()));
     let threads = threads.max(1).min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    let slots: Vec<OnceLock<RunResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -137,14 +146,16 @@ pub fn run_matrix(
                 }
                 let (a, s) = jobs[i];
                 let r = run_one(&algos[a], &series[s]);
-                let mut guard = results_mutex.lock().unwrap();
-                guard[i] = Some(r);
+                // Each (a, s) pair occurs exactly once, so the set never
+                // collides; the drop of a duplicate would be a scheduler
+                // bug caught by the expect below.
+                let _ = slots[a * series.len() + s].set(r);
             });
         }
     });
-    results
+    slots
         .into_iter()
-        .map(|r| r.expect("job completed"))
+        .map(|c| c.into_inner().expect("job completed"))
         .collect()
 }
 
@@ -234,6 +245,51 @@ mod tests {
         assert_eq!(a[1].algo, "ADWIN");
         assert_eq!(a[0].cps, b[0].cps);
         assert_eq!(a[1].cps, b[1].cps);
+    }
+
+    #[test]
+    fn run_matrix_mixed_lengths_and_excess_threads() {
+        // Different series lengths exercise the longest-first schedule;
+        // more threads than jobs must still fill every result slot, in
+        // deterministic (algo-major, series-minor) order.
+        let long = small_series();
+        let short = build_series(
+            "test/1".into(),
+            "test",
+            &[(
+                Regime::Sine {
+                    period: 30.0,
+                    amp: 1.0,
+                    phase: 0.0,
+                },
+                500,
+            )],
+            NoiseSpec::benchmark(),
+            4,
+        );
+        let series = vec![long, short];
+        let algos = vec![
+            AlgoSpec::Baseline {
+                kind: CompetitorKind::Ddm,
+                window_size: 1000,
+            },
+            AlgoSpec::Baseline {
+                kind: CompetitorKind::Adwin,
+                window_size: 1000,
+            },
+        ];
+        let got = run_matrix(&algos, &series, 64);
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            got.iter().map(|r| r.series.clone()).collect::<Vec<_>>(),
+            vec!["test/0", "test/1", "test/0", "test/1"]
+        );
+        assert_eq!(got[0].algo, "DDM");
+        assert_eq!(got[2].algo, "ADWIN");
+        let serial = run_matrix(&algos, &series, 1);
+        for (a, b) in got.iter().zip(&serial) {
+            assert_eq!(a.cps, b.cps);
+        }
     }
 
     #[test]
