@@ -18,6 +18,9 @@ pub struct Args {
     pub choice: Option<String>,
     /// Quick mode: 20% subsample of the series (the paper's tuning split).
     pub quick: bool,
+    /// Real-archive directory (`--data-dir`, falling back to the
+    /// `CLASS_DATA_DIR` environment variable); `None` = synthetic only.
+    pub data_dir: Option<String>,
 }
 
 impl Default for Args {
@@ -32,6 +35,7 @@ impl Default for Args {
             seed: 0xC1A55,
             choice: None,
             quick: false,
+            data_dir: None,
         }
     }
 }
@@ -59,10 +63,11 @@ impl Args {
                 "--seed" => out.seed = grab("--seed").parse().expect("numeric --seed"),
                 "--choice" => out.choice = Some(grab("--choice")),
                 "--quick" => out.quick = true,
+                "--data-dir" => out.data_dir = Some(grab("--data-dir")),
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale F --paper-sizes --window N --threads N --seed N \
-                         --choice NAME --quick"
+                         --choice NAME --quick --data-dir PATH"
                     );
                     std::process::exit(0);
                 }
@@ -78,6 +83,15 @@ impl Args {
             scale: self.scale,
             paper_sizes: self.paper_sizes,
             seed: self.seed,
+        }
+    }
+
+    /// The real-archive directory: `--data-dir` wins, then
+    /// `CLASS_DATA_DIR`, else `None` (pure synthetic run).
+    pub fn data_dir(&self) -> Option<datasets::DataDir> {
+        match &self.data_dir {
+            Some(p) => Some(datasets::DataDir::open(p)),
+            None => datasets::DataDir::from_env(),
         }
     }
 }
@@ -107,6 +121,16 @@ mod tests {
     fn choice_flag() {
         let a = parse("--choice window-size");
         assert_eq!(a.choice.as_deref(), Some("window-size"));
+    }
+
+    #[test]
+    fn data_dir_flag_overrides_default() {
+        let a = parse("--data-dir /tmp/archives");
+        assert_eq!(a.data_dir.as_deref(), Some("/tmp/archives"));
+        assert_eq!(
+            a.data_dir().map(|d| d.root().to_path_buf()),
+            Some(std::path::PathBuf::from("/tmp/archives"))
+        );
     }
 
     #[test]

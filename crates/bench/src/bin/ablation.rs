@@ -5,9 +5,8 @@
 //! Choices: `window-size` (a), `wss` (b), `knn` (c, d: similarity and k),
 //! `score` (e), `significance` (f, g: level and sample size), or `all`.
 
-use bench::{eval_group, mean_pct, tuning_split, Args};
+use bench::{benchmark_series, eval_group, mean_pct, tuning_split, Args};
 use class_core::{ClassConfig, SampleSize, ScoreFn, Similarity, WidthSelection, WssMethod};
-use datasets::benchmark_series;
 use eval::{summarize, AlgoSpec};
 
 fn run_variant(
@@ -35,8 +34,7 @@ fn print_rows(title: &str, mut rows: Vec<(String, f64, f64, usize)>) {
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
-    let series = tuning_split(&benchmark_series(&cfg));
+    let series = tuning_split(&benchmark_series(&args));
     let choice = args.choice.clone().unwrap_or_else(|| "all".into());
     eprintln!(
         "ablation '{choice}' on {} tuning series, {} threads",

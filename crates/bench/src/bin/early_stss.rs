@@ -4,15 +4,13 @@
 //! measure how many observations each method needs before localising it,
 //! together with detection rates and false alarms.
 
-use bench::{tuning_split, Args};
-use datasets::benchmark_series;
+use bench::{benchmark_series, tuning_split, Args};
 use eval::{delay_stats, run_timed, AlgoSpec};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
     let series = {
-        let s = benchmark_series(&cfg);
+        let s = benchmark_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {

@@ -2,16 +2,14 @@
 //! diagrams (top) and score box plots (bottom) for the benchmark and
 //! data-archive groups.
 
-use bench::{eval_group, tuning_split, Args};
+use bench::{archive_series, benchmark_series, eval_group, tuning_split, Args};
 use competitors::CompetitorKind;
-use datasets::{archive_series, benchmark_series};
 use eval::{box_plots, cd_diagram, AlgoSpec};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
     let benchmarks = {
-        let s = benchmark_series(&cfg);
+        let s = benchmark_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {
@@ -19,7 +17,7 @@ fn main() {
         }
     };
     let archives = {
-        let s = archive_series(&cfg);
+        let s = archive_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {

@@ -2,16 +2,17 @@
 //! standalone data throughput (bottom left), and the sliding-window-size
 //! sweep of throughput and Covering for ClaSS (right).
 
-use bench::{eval_group, mean_pct, mean_throughput, total_runtime_secs, tuning_split, Args};
+use bench::{
+    all_series, benchmark_series, eval_group, mean_pct, mean_throughput, total_runtime_secs,
+    tuning_split, Args,
+};
 use class_core::ClassConfig;
-use datasets::{all_series, benchmark_series};
 use eval::AlgoSpec;
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
     let series = {
-        let s = all_series(&cfg);
+        let s = all_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {
@@ -56,7 +57,7 @@ fn main() {
     // Right panels: d-sweep for ClaSS on the tuning split (the paper
     // sweeps 1k..20k on the unscaled data; the laptop profile sweeps the
     // same 10 relative sizes around the scaled default).
-    let sweep_series = tuning_split(&benchmark_series(&cfg));
+    let sweep_series = tuning_split(&benchmark_series(&args));
     println!(
         "\n## (right) ClaSS sliding window size sweep ({} TS)\n",
         sweep_series.len()

@@ -3,14 +3,12 @@
 //! number of change points. Prints the scatter rows (TSV) plus binned
 //! medians for the shape comparison.
 
-use bench::{eval_group, Args};
-use datasets::all_series;
+use bench::{all_series, eval_group, Args};
 use eval::AlgoSpec;
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
-    let series = all_series(&cfg);
+    let series = all_series(&args);
     let algos = vec![
         AlgoSpec::Class(class_core::ClassConfig::with_window_size(args.window)),
         AlgoSpec::Baseline {

@@ -3,16 +3,14 @@
 //! ClaSS runs as a window operator, and the reported quantity is data
 //! points per second through the operator (mean, std, peak).
 
-use bench::{tuning_split, Args};
+use bench::{all_series, tuning_split, Args};
 use class_core::{ClassConfig, ClassSegmenter};
-use datasets::all_series;
 use stream_engine::{run_streams, SegmenterOperator};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
     let series = {
-        let s = all_series(&cfg);
+        let s = all_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {

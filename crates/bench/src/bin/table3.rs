@@ -2,16 +2,14 @@
 //! eight competitors on the benchmark group (TSSB + UTSA) and the
 //! data-archive group, plus the §4.3 wins/ties and pairwise comparisons.
 
-use bench::{eval_group, tuning_split, Args};
+use bench::{archive_series, benchmark_series, eval_group, tuning_split, Args};
 use competitors::CompetitorKind;
-use datasets::{archive_series, benchmark_series};
 use eval::{mean_ranks, pairwise_wins, rank_matrix, wins_line, AlgoSpec};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.gen_config();
     let benchmarks = {
-        let s = benchmark_series(&cfg);
+        let s = benchmark_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {
@@ -19,7 +17,7 @@ fn main() {
         }
     };
     let archives = {
-        let s = archive_series(&cfg);
+        let s = archive_series(&args);
         if args.quick {
             tuning_split(&s)
         } else {

@@ -1,7 +1,34 @@
 //! Shared experiment drivers used by the table/figure binaries.
 
+use crate::args::Args;
 use datasets::AnnotatedSeries;
 use eval::{covering_matrix, run_matrix, AlgoSpec, MethodScores, RunResult};
+
+/// Resolves the benchmark group (TSSB + UTSA) for an experiment run: real
+/// archives from `--data-dir`/`CLASS_DATA_DIR` when present, synthetic
+/// stand-ins otherwise. A present-but-corrupt real archive aborts with the
+/// loader's file:line:col diagnostics — experiments must never silently
+/// swap a broken real archive for a synthetic one.
+pub fn benchmark_series(args: &Args) -> Vec<AnnotatedSeries> {
+    let dir = args.data_dir();
+    datasets::resolve_benchmark_series(&args.gen_config(), dir.as_ref())
+        .unwrap_or_else(|e| panic!("failed to load real archives: {e}"))
+}
+
+/// Resolves the data-archive group (the six annotated archives); see
+/// [`benchmark_series`].
+pub fn archive_series(args: &Args) -> Vec<AnnotatedSeries> {
+    let dir = args.data_dir();
+    datasets::resolve_archive_series(&args.gen_config(), dir.as_ref())
+        .unwrap_or_else(|e| panic!("failed to load real archives: {e}"))
+}
+
+/// Resolves all eight archives; see [`benchmark_series`].
+pub fn all_series(args: &Args) -> Vec<AnnotatedSeries> {
+    let dir = args.data_dir();
+    datasets::resolve_all_series(&args.gen_config(), dir.as_ref())
+        .unwrap_or_else(|e| panic!("failed to load real archives: {e}"))
+}
 
 /// One evaluated group (the paper reports "benchmarks" and "data archives"
 /// separately).

@@ -27,6 +27,6 @@ pub mod perf;
 
 pub use args::Args;
 pub use experiments::{
-    eval_group, mean_pct, mean_throughput, small_subset, total_runtime_secs, tuning_split,
-    GroupEval,
+    all_series, archive_series, benchmark_series, eval_group, mean_pct, mean_throughput,
+    small_subset, total_runtime_secs, tuning_split, GroupEval,
 };

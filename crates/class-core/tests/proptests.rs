@@ -1,6 +1,11 @@
 //! Property-based tests of the core data structures and the central
 //! exactness invariants: the streaming computations must equal their naive
 //! batch counterparts on arbitrary inputs.
+//!
+//! Debug builds don't vectorize the kernels, so the full case counts cost
+//! ~90 s under `cargo test -q`; [`cases`] scales them down 4x under
+//! `cfg(debug_assertions)` while release/CI coverage stays at the full
+//! counts.
 
 use class_core::buffer::{ShiftBuffer, ShiftMatrix};
 use class_core::crossval::{naive_split_score, CrossVal, ScoreFn};
@@ -12,8 +17,17 @@ use class_core::wss::{select_width, WidthBounds, WssMethod};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
+/// Scales a release-profile case count down for unoptimized builds.
+const fn cases(release: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        release.div_ceil(4)
+    } else {
+        release
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
 
     #[test]
     fn shift_buffer_behaves_like_vecdeque(
@@ -120,7 +134,7 @@ proptest! {
 
 proptest! {
     // The exactness invariants run fewer, heavier cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
 
     #[test]
     fn streaming_scores_equal_naive_pearson(
@@ -214,7 +228,13 @@ proptest! {
 fn q_recursion_is_stable_over_long_streams() {
     let d = 512;
     let w = 24;
-    let n = 60_000;
+    // The full 60k-update stream runs in release; the scaled debug stream
+    // still spans dozens of complete window turnovers (d = 512).
+    let n = if cfg!(debug_assertions) {
+        15_000
+    } else {
+        60_000
+    };
     let mut rng = class_core::SplitMix64::new(99);
     let mut knn = StreamingKnn::new(KnnConfig::new(d, w, 3));
     let mut series = Vec::with_capacity(n);

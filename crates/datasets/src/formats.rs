@@ -1,0 +1,444 @@
+//! On-disk archive formats: TSSB/FLOSS-style `.txt` and UTSA-style `.csv`.
+//!
+//! Both benchmark archives used by the paper distribute each series as one
+//! small text file carrying the signal, the ground-truth change points and
+//! the annotated temporal pattern width. This module implements strict
+//! parsers and byte-exact serializers for the two shapes:
+//!
+//! **TSSB/FLOSS-style `.txt`** — annotations ride in the file name, one
+//! observation per line in the body (the UCR-SEG convention,
+//! `<Name>_<width>_<cp1>_..._<cpK>.txt`):
+//!
+//! ```text
+//! GrandMalSeizures_100_3650_7050.txt
+//!     -0.35841
+//!     -0.36815
+//!     ...
+//! ```
+//!
+//! **UTSA-style `.csv`** — a `# window=<w>` preamble, a `value,label`
+//! header, then one `value,segment-label` row per observation; change
+//! points are the rows where the label differs from its predecessor:
+//!
+//! ```text
+//! # window=80
+//! value,label
+//! 0.958924,0
+//! 0.412118,0
+//! -0.287903,1
+//! ...
+//! ```
+//!
+//! Parsers never panic on malformed input: every error carries the
+//! offending 1-based line and column so tooling (and the `class-cli`
+//! loader error path) can point at the byte that broke. Serializers are
+//! the formatting source of truth — every bundled fixture under
+//! `crates/datasets/fixtures/` was written by them, and the round-trip
+//! tests assert `parse → write` reproduces the file byte-identically.
+
+use std::fmt;
+
+/// A series parsed from (or destined for) one archive file, before it is
+/// stamped with its archive provenance and turned into an
+/// [`crate::AnnotatedSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSeries {
+    /// Series name (the file stem without annotations), e.g. `Cane`.
+    pub name: String,
+    /// The signal.
+    pub values: Vec<f64>,
+    /// Ground-truth change points, strictly ascending, each `< values.len()`.
+    pub change_points: Vec<u64>,
+    /// Annotated temporal pattern width (the archives' `window_size`).
+    pub width: usize,
+}
+
+/// A parse failure inside one file, locating the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input; 0 for file-level errors
+    /// (file-name annotations, truncated files, inconsistent metadata).
+    pub line: usize,
+    /// 1-based column where the offending field starts; 0 for file-level
+    /// errors.
+    pub col: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn file_level(msg: impl Into<String>) -> Self {
+        Self::at(0, 0, msg)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Validates the structural invariants shared by both formats.
+fn validate(s: &RawSeries) -> Result<(), ParseError> {
+    if s.values.is_empty() {
+        return Err(ParseError::file_level("file contains no observations"));
+    }
+    if s.width < 2 {
+        return Err(ParseError::file_level(format!(
+            "annotated width must be >= 2, got {}",
+            s.width
+        )));
+    }
+    let mut prev = 0u64;
+    for (i, &cp) in s.change_points.iter().enumerate() {
+        if i > 0 && cp <= prev {
+            return Err(ParseError::file_level(format!(
+                "change points must be strictly ascending: {cp} after {prev}"
+            )));
+        }
+        if cp == 0 || cp as usize >= s.values.len() {
+            return Err(ParseError::file_level(format!(
+                "change point {cp} outside the series interior (len {})",
+                s.values.len()
+            )));
+        }
+        prev = cp;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// TSSB/FLOSS-style `.txt`
+// ---------------------------------------------------------------------------
+
+/// Splits a `.txt` file stem into `(name, width, change_points)` following
+/// the UCR-SEG convention: the trailing run of all-numeric `_`-separated
+/// tokens is the annotation block — first its width, then the change
+/// points in ascending order.
+pub fn parse_txt_stem(stem: &str) -> Result<(String, usize, Vec<u64>), ParseError> {
+    let tokens: Vec<&str> = stem.split('_').collect();
+    let numeric_suffix = tokens
+        .iter()
+        .rev()
+        .take_while(|t| !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit()))
+        .count();
+    if numeric_suffix == 0 {
+        return Err(ParseError::file_level(format!(
+            "file name `{stem}` carries no `_<width>[_<cp>...]` annotation suffix"
+        )));
+    }
+    let name_tokens = &tokens[..tokens.len() - numeric_suffix];
+    if name_tokens.is_empty() || name_tokens.iter().all(|t| t.is_empty()) {
+        return Err(ParseError::file_level(format!(
+            "file name `{stem}` has annotations but no series name"
+        )));
+    }
+    let name = name_tokens.join("_");
+    let annots = &tokens[tokens.len() - numeric_suffix..];
+    let width: usize = annots[0].parse().map_err(|_| {
+        ParseError::file_level(format!("width annotation `{}` out of range", annots[0]))
+    })?;
+    let mut cps = Vec::with_capacity(annots.len() - 1);
+    for a in &annots[1..] {
+        cps.push(a.parse::<u64>().map_err(|_| {
+            ParseError::file_level(format!("change point annotation `{a}` out of range"))
+        })?);
+    }
+    Ok((name, width, cps))
+}
+
+/// Renders the annotated file name (without directory) for a series in
+/// TSSB/FLOSS-style: `<Name>_<width>_<cp1>_..._<cpK>.txt`.
+///
+/// The name's final `_`-separated token must not be all-numeric — it would
+/// be indistinguishable from the annotation block on re-parse.
+pub fn txt_file_name(s: &RawSeries) -> String {
+    let last = s.name.rsplit('_').next().unwrap_or("");
+    assert!(
+        !last.is_empty() && !last.bytes().all(|b| b.is_ascii_digit()),
+        "series name `{}` would be ambiguous in a txt file name",
+        s.name
+    );
+    let mut out = format!("{}_{}", s.name, s.width);
+    for cp in &s.change_points {
+        out.push('_');
+        out.push_str(&cp.to_string());
+    }
+    out.push_str(".txt");
+    out
+}
+
+/// Parses a TSSB/FLOSS-style `.txt` file given its stem (file name without
+/// the `.txt` extension) and body.
+pub fn parse_txt(stem: &str, body: &str) -> Result<RawSeries, ParseError> {
+    let (name, width, change_points) = parse_txt_stem(stem)?;
+    let mut values = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let v: f64 = line.trim().parse().map_err(|_| {
+            ParseError::at(i + 1, 1, format!("expected a decimal value, got `{line}`"))
+        })?;
+        if !v.is_finite() {
+            return Err(ParseError::at(
+                i + 1,
+                1,
+                format!("non-finite value `{line}`"),
+            ));
+        }
+        values.push(v);
+    }
+    let s = RawSeries {
+        name,
+        values,
+        change_points,
+        width,
+    };
+    validate(&s)?;
+    Ok(s)
+}
+
+/// Serializes the body of a TSSB/FLOSS-style `.txt` file: one observation
+/// per line via Rust's shortest round-trip float formatting, trailing
+/// newline. Annotations live in [`txt_file_name`].
+pub fn write_txt(s: &RawSeries) -> String {
+    let mut out = String::with_capacity(s.values.len() * 8);
+    for v in &s.values {
+        out.push_str(&format!("{v}\n"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// UTSA-style `.csv`
+// ---------------------------------------------------------------------------
+
+const CSV_HEADER: &str = "value,label";
+
+/// Parses a UTSA-style `.csv` file given its stem (the series name) and
+/// body.
+pub fn parse_csv(stem: &str, body: &str) -> Result<RawSeries, ParseError> {
+    let mut lines = body.lines().enumerate();
+    let (_, preamble) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("empty file"))?;
+    let width: usize = preamble
+        .strip_prefix("# window=")
+        .and_then(|w| w.trim().parse().ok())
+        .ok_or_else(|| {
+            ParseError::at(
+                1,
+                1,
+                format!("expected `# window=<w>` preamble, got `{preamble}`"),
+            )
+        })?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("missing `value,label` header"))?;
+    if header != CSV_HEADER {
+        return Err(ParseError::at(
+            2,
+            1,
+            format!("expected `{CSV_HEADER}` header, got `{header}`"),
+        ));
+    }
+    let mut values = Vec::new();
+    let mut change_points = Vec::new();
+    let mut prev_label: Option<u64> = None;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let Some((value_field, label_field)) = line.split_once(',') else {
+            return Err(ParseError::at(
+                lineno,
+                1,
+                format!("expected `value,label` row, got `{line}`"),
+            ));
+        };
+        let v: f64 = value_field.trim().parse().map_err(|_| {
+            ParseError::at(
+                lineno,
+                1,
+                format!("expected a decimal value, got `{value_field}`"),
+            )
+        })?;
+        if !v.is_finite() {
+            return Err(ParseError::at(
+                lineno,
+                1,
+                format!("non-finite value `{value_field}`"),
+            ));
+        }
+        let label_col = value_field.len() + 2;
+        let label: u64 = label_field.trim().parse().map_err(|_| {
+            ParseError::at(
+                lineno,
+                label_col,
+                format!("expected an integer segment label, got `{label_field}`"),
+            )
+        })?;
+        if let Some(p) = prev_label {
+            if label != p {
+                change_points.push(values.len() as u64);
+            }
+        }
+        prev_label = Some(label);
+        values.push(v);
+    }
+    let s = RawSeries {
+        name: stem.to_string(),
+        values,
+        change_points,
+        width,
+    };
+    validate(&s)?;
+    Ok(s)
+}
+
+/// Serializes a UTSA-style `.csv` file body: `# window=` preamble,
+/// `value,label` header, then one `value,segment-index` row per
+/// observation. Labels count segments from 0, bumping at each change
+/// point, so `parse_csv` recovers exactly `s.change_points`.
+pub fn write_csv(s: &RawSeries) -> String {
+    let mut out = String::with_capacity(s.values.len() * 10 + 32);
+    out.push_str(&format!("# window={}\n{CSV_HEADER}\n", s.width));
+    let mut label = 0usize;
+    let mut next_cp = 0usize;
+    for (t, v) in s.values.iter().enumerate() {
+        if next_cp < s.change_points.len() && s.change_points[next_cp] == t as u64 {
+            label += 1;
+            next_cp += 1;
+        }
+        out.push_str(&format!("{v},{label}\n"));
+    }
+    out
+}
+
+/// Renders the file name (without directory) for a UTSA-style series.
+pub fn csv_file_name(s: &RawSeries) -> String {
+    format!("{}.csv", s.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> RawSeries {
+        RawSeries {
+            name: "Demo".into(),
+            values: vec![0.5, -1.0, 2.25, 0.125, 3.0],
+            change_points: vec![2, 4],
+            width: 2,
+        }
+    }
+
+    #[test]
+    fn txt_stem_roundtrip() {
+        let s = demo();
+        let file = txt_file_name(&s);
+        assert_eq!(file, "Demo_2_2_4.txt");
+        let (name, width, cps) = parse_txt_stem("Demo_2_2_4").unwrap();
+        assert_eq!(name, "Demo");
+        assert_eq!(width, 2);
+        assert_eq!(cps, vec![2, 4]);
+    }
+
+    #[test]
+    fn txt_stem_with_underscored_name() {
+        let (name, width, cps) = parse_txt_stem("Grand_Mal2_Seizures_100_3650").unwrap();
+        assert_eq!(name, "Grand_Mal2_Seizures");
+        assert_eq!(width, 100);
+        assert_eq!(cps, vec![3650]);
+    }
+
+    #[test]
+    fn txt_stem_without_annotations_is_an_error() {
+        let e = parse_txt_stem("JustAName").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("annotation"), "{e}");
+    }
+
+    #[test]
+    fn txt_roundtrip_is_byte_identical() {
+        let s = demo();
+        let body = write_txt(&s);
+        let stem = txt_file_name(&s);
+        let stem = stem.strip_suffix(".txt").unwrap();
+        let back = parse_txt(stem, &body).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(write_txt(&back), body);
+    }
+
+    #[test]
+    fn txt_bad_value_reports_line_and_column() {
+        let e = parse_txt("X_2_2", "0.5\nnot-a-number\n1.0\n1.5\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+        assert!(e.msg.contains("not-a-number"), "{e}");
+        assert_eq!(e.to_string(), format!("2:1: {}", e.msg));
+    }
+
+    #[test]
+    fn txt_rejects_out_of_range_change_points() {
+        assert!(parse_txt("X_2_99", "1\n2\n3\n").is_err());
+        assert!(parse_txt("X_2_0", "1\n2\n3\n").is_err());
+        // Unsorted annotations: stem cps 2 then 1.
+        assert!(parse_txt("X_2_2_1", "1\n2\n3\n4\n").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip_is_byte_identical() {
+        let s = demo();
+        let body = write_csv(&s);
+        assert!(body.starts_with("# window=2\nvalue,label\n0.5,0\n"));
+        let back = parse_csv("Demo", &body).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(write_csv(&back), body);
+    }
+
+    #[test]
+    fn csv_errors_locate_line_and_column() {
+        // Bad label on data line 3 (file line 5): column after `0.25,`.
+        let body = "# window=4\nvalue,label\n0.5,0\n1.5,0\n0.25,zero\n";
+        let e = parse_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (5, 6));
+        // Bad value: column 1.
+        let body = "# window=4\nvalue,label\nnope,0\n";
+        let e = parse_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        // Missing comma.
+        let body = "# window=4\nvalue,label\n0.5\n";
+        let e = parse_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        // Bad preamble.
+        let e = parse_csv("X", "window: 4\nvalue,label\n").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+        // Bad header.
+        let e = parse_csv("X", "# window=4\ntime,value\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn csv_labels_need_not_be_consecutive() {
+        let body = "# window=4\nvalue,label\n0.5,7\n1.5,7\n2.5,3\n3.5,3\n";
+        let s = parse_csv("X", body).unwrap();
+        assert_eq!(s.change_points, vec![2]);
+    }
+
+    #[test]
+    fn empty_and_widthless_files_are_file_level_errors() {
+        assert_eq!(parse_csv("X", "").unwrap_err().line, 0);
+        let e = parse_txt("X_1_2", "1\n2\n3\n4\n").unwrap_err();
+        assert!(e.msg.contains("width"), "{e}");
+    }
+}

@@ -1,29 +1,53 @@
-//! # datasets — synthetic workloads mirroring the paper's Table 1
+//! # datasets — real-archive ingestion + synthetic stand-ins for Table 1
 //!
 //! The paper evaluates on two public benchmarks (TSSB, UTSA) and six
 //! annotated data archives (mHealth, MIT-BIH Arr/VE, PAMAP, Sleep DB,
-//! WESAD). This crate generates deterministic synthetic stand-ins with the
-//! same structural properties — series counts, length and segment-count
-//! distributions, per-domain signal character — and exact ground-truth
-//! change points (see EXPERIMENTS.md for the substitution rationale).
+//! WESAD). This crate serves those workloads from two sources:
+//!
+//! * **Real archives** — parsers for the TSSB/FLOSS-style `.txt` and
+//!   UTSA-style `.csv` file formats ([`formats`], [`loader`]) and a
+//!   manifest layer ([`manifest`]) that discovers archives from a
+//!   `CLASS_DATA_DIR` directory tree (one subdirectory per archive, one
+//!   file per series). Small golden fixtures in real format are bundled
+//!   under `fixtures/` so the loaders run in CI without network access.
+//! * **Synthetic stand-ins** — deterministic generators with the same
+//!   structural properties as Table 1 (series counts, length and
+//!   segment-count distributions, per-domain signal character) and exact
+//!   ground-truth change points (see EXPERIMENTS.md for the substitution
+//!   rationale). The manifest layer falls back to these whenever a real
+//!   archive is absent, so every consumer handles both transparently.
 //!
 //! ```
-//! use datasets::{Archive, GenConfig};
+//! use datasets::{Archive, GenConfig, resolve_archive, SeriesOrigin};
 //!
 //! let cfg = GenConfig::default();
 //! let tssb = Archive::Tssb.generate(&cfg);
 //! assert_eq!(tssb.len(), 75);
 //! assert!(tssb[0].n_segments() >= 1);
+//!
+//! // With no data dir the resolver serves the synthetic stand-in.
+//! let (series, origin) = resolve_archive(Archive::Tssb, &cfg, None).unwrap();
+//! assert_eq!(origin, SeriesOrigin::Synthetic);
+//! assert_eq!(series.len(), 75);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod archives;
+pub mod formats;
+pub mod loader;
+pub mod manifest;
 pub mod multivariate;
 pub mod regimes;
 pub mod series;
 
 pub use archives::{all_series, archive_series, benchmark_series, Archive, ArchiveSpec, GenConfig};
+pub use formats::{ParseError, RawSeries};
+pub use loader::{load_series_file, parse_series_file, serialize_series, LoadError};
+pub use manifest::{
+    fixtures_dir, resolve_all_series, resolve_archive, resolve_archive_series,
+    resolve_benchmark_series, DataDir, DiskArchive, SeriesOrigin, DATA_DIR_ENV,
+};
 pub use multivariate::{generate_multivariate, MultivariateSeries, MultivariateSpec};
 pub use regimes::Regime;
 pub use series::{build_series, random_segment_lengths, AnnotatedSeries, NoiseSpec};

@@ -1,0 +1,192 @@
+//! File-backed series loading: format dispatch, provenance stamping, and
+//! the archive-name interner that lets loaded series share the
+//! [`AnnotatedSeries::archive`] representation with synthetic ones.
+
+use crate::formats::{self, ParseError, RawSeries};
+use crate::series::AnnotatedSeries;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// A failure to load one archive file, locating the offending input.
+#[derive(Debug)]
+pub struct LoadError {
+    /// The file that failed.
+    pub path: PathBuf,
+    /// Where and why (line 0 = file-level).
+    pub error: ParseError,
+}
+
+impl LoadError {
+    /// Wraps an I/O failure on `path` as a file-level load error.
+    pub fn io(path: &Path, e: std::io::Error) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            error: ParseError {
+                line: 0,
+                col: 0,
+                msg: e.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.error.line == 0 {
+            write!(f, "{}: {}", self.path.display(), self.error.msg)
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}",
+                self.path.display(),
+                self.error.line,
+                self.error.col,
+                self.error.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Interns an archive name, leaking each distinct name exactly once, so
+/// file-backed series carry `&'static str` provenance like synthetic ones.
+/// The set of distinct archive names is tiny (one per directory), so the
+/// leak is bounded and deliberate.
+pub fn intern_archive_name(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = pool.lock().expect("interner poisoned");
+    if let Some(&interned) = guard.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+/// Whether a path looks like a loadable series file (by extension).
+pub fn is_series_file(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("txt") | Some("csv")
+    )
+}
+
+/// Parses one archive file (format chosen by extension) into a
+/// [`RawSeries`], without archive stamping.
+pub fn parse_series_file(path: &Path) -> Result<RawSeries, LoadError> {
+    let wrap = |error: ParseError| LoadError {
+        path: path.to_path_buf(),
+        error,
+    };
+    let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+        wrap(ParseError {
+            line: 0,
+            col: 0,
+            msg: "file has no UTF-8 stem".into(),
+        })
+    })?;
+    let body = std::fs::read_to_string(path).map_err(|e| LoadError::io(path, e))?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("txt") => formats::parse_txt(stem, &body).map_err(wrap),
+        Some("csv") => formats::parse_csv(stem, &body).map_err(wrap),
+        other => Err(wrap(ParseError {
+            line: 0,
+            col: 0,
+            msg: format!("unsupported extension {other:?} (expected .txt or .csv)"),
+        })),
+    }
+}
+
+/// Loads one archive file as an [`AnnotatedSeries`] attributed to
+/// `archive` (usually the containing directory's name).
+pub fn load_series_file(path: &Path, archive: &str) -> Result<AnnotatedSeries, LoadError> {
+    let raw = parse_series_file(path)?;
+    Ok(annotate(raw, archive))
+}
+
+/// Stamps a parsed series with its archive provenance.
+pub fn annotate(raw: RawSeries, archive: &str) -> AnnotatedSeries {
+    AnnotatedSeries {
+        name: format!("{}/{}", archive.to_lowercase(), raw.name),
+        values: raw.values,
+        change_points: raw.change_points,
+        width: raw.width,
+        archive: intern_archive_name(archive),
+    }
+}
+
+/// Serializes an [`AnnotatedSeries`] back into archive-file form:
+/// `(file_name, body)`. `.txt` for TSSB/FLOSS-style output, `.csv` for
+/// UTSA-style, chosen by `csv`.
+pub fn serialize_series(series: &AnnotatedSeries, csv: bool) -> (String, String) {
+    let raw = RawSeries {
+        name: series
+            .name
+            .rsplit('/')
+            .next()
+            .unwrap_or(&series.name)
+            .to_string(),
+        values: series.values.clone(),
+        change_points: series.change_points.clone(),
+        width: series.width,
+    };
+    if csv {
+        (formats::csv_file_name(&raw), formats::write_csv(&raw))
+    } else {
+        (formats::txt_file_name(&raw), formats::write_txt(&raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_returns_stable_pointers() {
+        let a = intern_archive_name("TSSB");
+        let b = intern_archive_name("TSSB");
+        assert!(std::ptr::eq(a, b));
+        let c = intern_archive_name("UTSA");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn load_txt_file_roundtrips_through_annotation() {
+        let dir = std::env::temp_dir().join("class-datasets-loader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Two_Tone_4_3.txt");
+        std::fs::write(&path, "0.5\n1.5\n-0.25\n2\n7.125\n").unwrap();
+        let s = load_series_file(&path, "TSSB").unwrap();
+        assert_eq!(s.name, "tssb/Two_Tone");
+        assert_eq!(s.archive, "TSSB");
+        assert_eq!(s.width, 4);
+        assert_eq!(s.change_points, vec![3]);
+        assert_eq!(s.values, vec![0.5, 1.5, -0.25, 2.0, 7.125]);
+        let (file, body) = serialize_series(&s, false);
+        assert_eq!(file, "Two_Tone_4_3.txt");
+        assert_eq!(body, "0.5\n1.5\n-0.25\n2\n7.125\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_error_formats_path_line_col() {
+        let dir = std::env::temp_dir().join("class-datasets-loader-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Bad_4.txt");
+        std::fs::write(&path, "0.5\nxyz\n").unwrap();
+        let e = load_series_file(&path, "TSSB").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("Bad_4.txt:2:1:"), "{msg}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_file_level_error() {
+        let e = load_series_file(Path::new("/no/such/File_4.txt"), "X").unwrap_err();
+        assert_eq!(e.error.line, 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Golden-fixture tests: the bundled real-format files under
+//! `crates/datasets/fixtures/` must parse, re-serialize byte-identically,
+//! and stay in sync with the deterministic generator that produced them.
+//!
+//! The fixtures directory is laid out exactly like a `CLASS_DATA_DIR`
+//! tree (`TSSB/*.txt`, `UTSA/*.csv`) plus a `malformed/` directory holding
+//! deliberately broken files for the loader error paths. To regenerate
+//! after changing the formats or the fixture specs:
+//!
+//! ```sh
+//! cargo test -p datasets --test fixtures -- --ignored regen_fixtures
+//! ```
+
+use datasets::{
+    build_series, fixtures_dir, load_series_file, serialize_series, AnnotatedSeries, DataDir,
+    NoiseSpec, Regime,
+};
+use std::fs;
+
+/// Rounds values to 1e-6 so the serialized decimal forms stay short; the
+/// quantized vector is the fixture ground truth (round-tripping is exact).
+fn quantize(mut s: AnnotatedSeries) -> AnnotatedSeries {
+    for v in &mut s.values {
+        *v = (*v * 1e6).round() / 1e6;
+    }
+    s
+}
+
+/// The bundled fixture set: `(is_csv, series)`. Small series with
+/// unambiguous regime changes, in both real file formats.
+fn fixture_specs() -> Vec<(bool, AnnotatedSeries)> {
+    let sine = |period: f64, amp: f64| Regime::Sine {
+        period,
+        amp,
+        phase: 0.0,
+    };
+    vec![
+        (
+            false,
+            quantize(build_series(
+                "SineFreqDouble".into(),
+                "TSSB",
+                &[(sine(50.0, 1.0), 900), (sine(20.0, 1.0), 900)],
+                NoiseSpec::benchmark(),
+                0xF1001,
+            )),
+        ),
+        (
+            false,
+            quantize(build_series(
+                "SineToSawtooth".into(),
+                "TSSB",
+                &[
+                    (sine(40.0, 1.2), 800),
+                    (
+                        Regime::Sawtooth {
+                            period: 40.0,
+                            amp: 1.2,
+                        },
+                        1000,
+                    ),
+                ],
+                NoiseSpec::benchmark(),
+                0xF1002,
+            )),
+        ),
+        (
+            false,
+            quantize(build_series(
+                "NoiseSineSquare".into(),
+                "TSSB",
+                &[
+                    (
+                        Regime::Noise {
+                            level: 0.0,
+                            sigma: 0.4,
+                        },
+                        700,
+                    ),
+                    (sine(30.0, 1.0), 800),
+                    (
+                        Regime::Square {
+                            period: 45.0,
+                            amp: 1.0,
+                        },
+                        700,
+                    ),
+                ],
+                NoiseSpec::benchmark(),
+                0xF1003,
+            )),
+        ),
+        (
+            true,
+            quantize(build_series(
+                "EcgRhythmShift".into(),
+                "UTSA",
+                &[
+                    (
+                        Regime::EcgLike {
+                            period: 60.0,
+                            amp: 1.6,
+                            jitter: 0.03,
+                        },
+                        1100,
+                    ),
+                    (
+                        Regime::EcgLike {
+                            period: 36.0,
+                            amp: 1.3,
+                            jitter: 0.05,
+                        },
+                        1100,
+                    ),
+                ],
+                NoiseSpec::benchmark(),
+                0xF1004,
+            )),
+        ),
+        (
+            true,
+            quantize(build_series(
+                "RespRateShift".into(),
+                "UTSA",
+                &[
+                    (
+                        Regime::RespLike {
+                            period: 100.0,
+                            amp: 1.0,
+                            modulation: 0.2,
+                        },
+                        1200,
+                    ),
+                    (
+                        Regime::RespLike {
+                            period: 55.0,
+                            amp: 1.4,
+                            modulation: 0.45,
+                        },
+                        1000,
+                    ),
+                ],
+                NoiseSpec::benchmark(),
+                0xF1005,
+            )),
+        ),
+    ]
+}
+
+/// Deliberately broken files exercising every loader error path:
+/// `(file name, content, expected (line, col) — (0, 0) for file-level)`.
+fn malformed_specs() -> Vec<(&'static str, &'static str, (usize, usize))> {
+    vec![
+        (
+            "BadValue_20_600.txt",
+            "0.5\n0.25\n-1.5\noops\n0.75\n",
+            (4, 1),
+        ),
+        (
+            "BadLabel.csv",
+            "# window=20\nvalue,label\n0.5,0\n0.75,zero\n",
+            (4, 6),
+        ),
+        ("NoAnnotations.txt", "0.5\n0.25\n", (0, 0)),
+    ]
+}
+
+/// Regenerates every bundled fixture in place through the serializers.
+#[test]
+#[ignore = "rewrites crates/datasets/fixtures/ in place; run explicitly after format changes"]
+fn regen_fixtures() {
+    let root = fixtures_dir();
+    for (csv, series) in fixture_specs() {
+        let sub = root.join(series.archive);
+        fs::create_dir_all(&sub).unwrap();
+        let (file, body) = serialize_series(&series, csv);
+        fs::write(sub.join(file), body).unwrap();
+    }
+    let bad = root.join("malformed");
+    fs::create_dir_all(&bad).unwrap();
+    for (file, content, _) in malformed_specs() {
+        fs::write(bad.join(file), content).unwrap();
+    }
+}
+
+fn fixture_files(archive: &str) -> Vec<std::path::PathBuf> {
+    let disk = DataDir::open(fixtures_dir())
+        .find(archive)
+        .unwrap()
+        .unwrap_or_else(|| panic!("bundled {archive} fixtures missing"));
+    disk.files
+}
+
+#[test]
+fn bundled_fixtures_roundtrip_byte_identically() {
+    let mut checked = 0;
+    for archive in ["TSSB", "UTSA"] {
+        for path in fixture_files(archive) {
+            let series =
+                load_series_file(&path, archive).unwrap_or_else(|e| panic!("fixture rotted: {e}"));
+            let csv = path.extension().is_some_and(|e| e == "csv");
+            let (file_name, body) = serialize_series(&series, csv);
+            assert_eq!(
+                Some(file_name.as_str()),
+                path.file_name().and_then(|f| f.to_str()),
+                "file-name annotations drifted for {}",
+                path.display()
+            );
+            let on_disk = fs::read_to_string(&path).unwrap();
+            assert_eq!(
+                body,
+                on_disk,
+                "{} does not re-serialize byte-identically",
+                path.display()
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, fixture_specs().len(), "fixture count drifted");
+}
+
+#[test]
+fn bundled_fixtures_match_their_generators() {
+    for (_, want) in fixture_specs() {
+        let sub = if want.archive == "UTSA" {
+            "UTSA"
+        } else {
+            "TSSB"
+        };
+        let files = fixture_files(sub);
+        let short = want.name.rsplit('/').next().unwrap();
+        let path = files
+            .iter()
+            .find(|f| {
+                f.file_stem()
+                    .and_then(|s| s.to_str())
+                    .is_some_and(|s| s.starts_with(short))
+            })
+            .unwrap_or_else(|| panic!("no fixture file for {short}"));
+        let got = load_series_file(path, want.archive).unwrap();
+        assert_eq!(got.values, want.values, "{short}: values drifted");
+        assert_eq!(
+            got.change_points, want.change_points,
+            "{short}: cps drifted"
+        );
+        assert_eq!(got.width, want.width, "{short}: width drifted");
+    }
+}
+
+#[test]
+fn fixture_series_have_clear_annotated_structure() {
+    for archive in ["TSSB", "UTSA"] {
+        for path in fixture_files(archive) {
+            let s = load_series_file(&path, archive).unwrap();
+            assert!(s.len() >= 1500, "{}: too short", s.name);
+            assert!(!s.change_points.is_empty(), "{}: no change points", s.name);
+            assert!(s.width >= 4, "{}: width {}", s.name, s.width);
+            assert!(s.values.iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn malformed_fixtures_fail_with_line_and_column() {
+    let bad = fixtures_dir().join("malformed");
+    for (file, _, (line, col)) in malformed_specs() {
+        let path = bad.join(file);
+        let err =
+            load_series_file(&path, "malformed").expect_err(&format!("{file} should not load"));
+        assert_eq!(
+            (err.error.line, err.error.col),
+            (line, col),
+            "{file}: wrong location: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(file), "{msg}");
+        if line > 0 {
+            assert!(msg.contains(&format!(":{line}:{col}:")), "{msg}");
+        }
+    }
+}
+
+/// Discovery sees the malformed directory too (it holds loadable-looking
+/// extensions on purpose) — consumers that want only clean archives filter
+/// it by name, and loading any of its files is what must fail.
+#[test]
+fn discovery_separates_real_and_malformed_archives() {
+    let dir = DataDir::open(fixtures_dir());
+    let names: Vec<String> = dir
+        .archives()
+        .unwrap()
+        .into_iter()
+        .map(|a| a.name)
+        .collect();
+    assert!(names.iter().any(|n| n == "malformed"));
+    let clean: Vec<&String> = names.iter().filter(|n| *n != "malformed").collect();
+    assert_eq!(clean.len(), 2, "{names:?}");
+}

@@ -1,0 +1,81 @@
+//! File-backed archives flow through the evaluation stack exactly like
+//! synthetic ones: `run_matrix` over the bundled real-format fixtures,
+//! Covering against their file-carried annotations.
+
+use class_core::ClassConfig;
+use datasets::{fixtures_dir, AnnotatedSeries, DataDir};
+use eval::{covering_matrix, run_matrix, AlgoSpec};
+
+fn fixture_series() -> Vec<AnnotatedSeries> {
+    let dir = DataDir::open(fixtures_dir());
+    let mut out = Vec::new();
+    for archive in ["TSSB", "UTSA"] {
+        let disk = dir.find(archive).unwrap().expect("bundled fixtures");
+        out.extend(disk.load().expect("fixtures load"));
+    }
+    out
+}
+
+#[test]
+fn run_matrix_accepts_file_backed_archives() {
+    let series = fixture_series();
+    assert!(series.len() >= 4, "fixture set shrank: {}", series.len());
+
+    let mut cfg = ClassConfig::with_window_size(1500);
+    cfg.log10_alpha = -15.0;
+    let algos = vec![
+        AlgoSpec::Class(cfg),
+        AlgoSpec::Baseline {
+            kind: competitors::CompetitorKind::Window,
+            window_size: 1500,
+        },
+    ];
+    let results = run_matrix(&algos, &series, 4);
+    assert_eq!(results.len(), algos.len() * series.len());
+    for r in &results {
+        assert!(
+            (0.0..=1.0).contains(&r.covering),
+            "{}: {}",
+            r.series,
+            r.covering
+        );
+        assert!(r.n_points >= 1500);
+        assert!(matches!(r.archive, "TSSB" | "UTSA"), "{}", r.archive);
+    }
+
+    // ClaSS must beat the trivial no-change-point segmentation (covering
+    // 0.5 on a two-segment series) on average over the real-format
+    // fixtures — the same bar the synthetic-path tests set.
+    let scores = covering_matrix(&results, algos.len(), series.len());
+    let class_mean = scores[0].iter().sum::<f64>() / series.len() as f64;
+    assert!(
+        class_mean > 0.6,
+        "ClaSS mean covering {class_mean} on fixtures"
+    );
+}
+
+#[test]
+fn file_backed_and_synthetic_series_mix_in_one_matrix() {
+    let mut series = fixture_series();
+    let n_files = series.len();
+    series.extend(
+        datasets::Archive::Tssb
+            .generate(&datasets::GenConfig::default())
+            .into_iter()
+            .take(2),
+    );
+
+    let algos = vec![AlgoSpec::Baseline {
+        kind: competitors::CompetitorKind::Ddm,
+        window_size: 1000,
+    }];
+    let results = run_matrix(&algos, &series, 2);
+    assert_eq!(results.len(), n_files + 2);
+    // Provenance survives the mix: file-backed rows keep their directory
+    // archive names, synthetic rows keep the Table 1 name.
+    assert!(results
+        .iter()
+        .take(n_files)
+        .all(|r| matches!(r.archive, "TSSB" | "UTSA")));
+    assert!(results.iter().skip(n_files).all(|r| r.archive == "TSSB"));
+}

@@ -14,7 +14,10 @@
 //!   bounded worker pool with backpressured channels (Flink task slots and
 //!   network buffers), and
 //! * [`SegmenterOperator`] adapts any [`class_core::StreamingSegmenter`]
-//!   into a window operator emitting change point records.
+//!   into a window operator emitting change point records, and
+//! * [`ReplaySource`] replays a loaded (file-backed) series through a
+//!   pipeline, unpaced like the paper's RAM-resident streams or throttled
+//!   to a configurable record rate like a live sensor feed.
 
 #![warn(missing_docs)]
 
@@ -22,11 +25,13 @@ pub mod latency;
 pub mod operator;
 pub mod parallel;
 pub mod pipeline;
+pub mod source;
 
 pub use latency::LatencyHistogram;
 pub use operator::{FilterOperator, MapOperator, Operator, SegmenterOperator, TumblingWindowMean};
 pub use parallel::{run_streams, StreamJobResult};
 pub use pipeline::{Pipeline, ThroughputReport};
+pub use source::{ReplayIter, ReplaySource};
 
 /// A timestamped stream record. `timestamp` is the position in the source
 /// stream (processing time in the paper's setup).

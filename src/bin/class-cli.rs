@@ -8,6 +8,15 @@
 //! cat sensor.csv | class-cli --window 10000 --alpha 1e-50
 //! class-cli --input recording.txt --width 125 --format tsv
 //! ```
+//!
+//! The `datasets` subcommands work with annotated benchmark archives
+//! (real files under `CLASS_DATA_DIR`, the bundled fixtures, or the
+//! synthetic Table 1 stand-ins):
+//!
+//! ```text
+//! class-cli datasets list
+//! class-cli datasets run crates/datasets/fixtures/TSSB/SineFreqDouble_50_900.txt
+//! ```
 
 use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection, WssMethod};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -44,7 +53,9 @@ const USAGE: &str = "\
 class-cli — streaming time series segmentation (ClaSS, VLDB 2024)
 
 USAGE:
-    class-cli [OPTIONS]
+    class-cli [OPTIONS]                 segment a stdin/--input feed
+    class-cli datasets list             list available archives
+    class-cli datasets run FILE...      segment annotated archive files
 
 OPTIONS:
     --input FILE       read from FILE instead of stdin
@@ -57,6 +68,17 @@ OPTIONS:
     --format FMT       output: text | tsv
     --relearn          re-learn the width after each change point
     --help             print this help
+
+DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
+    datasets list [--data-dir PATH]
+        List archives under --data-dir (default: $CLASS_DATA_DIR), the
+        bundled golden fixtures, and the synthetic Table 1 stand-ins.
+    datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
+                         [--format text|tsv]
+        Load annotated TSSB/FLOSS-style .txt or UTSA-style .csv files,
+        replay each through the streaming pipeline (--rate records/sec
+        simulates a live feed; default: unpaced), and report Covering and
+        detection delay against the files' ground-truth annotations.
 ";
 
 fn parse_args() -> CliArgs {
@@ -103,7 +125,249 @@ fn parse_args() -> CliArgs {
     args
 }
 
+// ---------------------------------------------------------------------------
+// `datasets` subcommands
+// ---------------------------------------------------------------------------
+
+struct DatasetsRunArgs {
+    files: Vec<String>,
+    window: Option<usize>,
+    width: Option<usize>,
+    alpha: f64,
+    rate: Option<f64>,
+    tsv: bool,
+}
+
+fn datasets_main(args: Vec<String>) -> ! {
+    let code = match args.first().map(String::as_str) {
+        Some("list") => datasets_list(&args[1..]),
+        Some("run") => datasets_run(&args[1..]),
+        other => {
+            eprintln!(
+                "error: expected `datasets list` or `datasets run`, got {:?}\n\n{USAGE}",
+                other.unwrap_or("")
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn datasets_list(rest: &[String]) -> i32 {
+    let mut data_dir = datasets::DataDir::from_env();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--data-dir" => match it.next() {
+                Some(p) => data_dir = Some(datasets::DataDir::open(p)),
+                None => {
+                    eprintln!("error: --data-dir requires a value");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return 2;
+            }
+        }
+    }
+
+    let list_tree = |label: &str, dir: &datasets::DataDir| match dir.archives() {
+        Ok(archives) if !archives.is_empty() => {
+            println!("{label} ({}):", dir.root().display());
+            for a in archives {
+                println!("  {:<12} {:>4} series files", a.name, a.files.len());
+            }
+        }
+        Ok(_) => println!("{label} ({}): no archives", dir.root().display()),
+        Err(e) => println!("{label} ({}): unreadable: {e}", dir.root().display()),
+    };
+
+    match &data_dir {
+        Some(dir) => list_tree("real archives", dir),
+        None => println!(
+            "real archives: none (set {} or pass --data-dir)",
+            datasets::DATA_DIR_ENV
+        ),
+    }
+    println!();
+    list_tree(
+        "bundled fixtures",
+        &datasets::DataDir::open(datasets::fixtures_dir()),
+    );
+    println!();
+    println!("synthetic stand-ins (Table 1 profiles):");
+    for a in datasets::Archive::all() {
+        let spec = a.spec();
+        println!(
+            "  {:<12} {:>4} series, median length {:>9}, median segments {:>3}{}",
+            spec.name,
+            spec.n_series,
+            spec.len.1,
+            spec.segments.1,
+            if spec.is_benchmark {
+                "  [benchmark]"
+            } else {
+                ""
+            }
+        );
+    }
+    0
+}
+
+fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
+    let mut out = DatasetsRunArgs {
+        files: Vec::new(),
+        window: None,
+        width: None,
+        alpha: 1e-15,
+        rate: None,
+        tsv: false,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--window" => {
+                out.window = Some(grab("--window")?.parse().map_err(|_| "numeric --window")?)
+            }
+            "--width" => out.width = Some(grab("--width")?.parse().map_err(|_| "numeric --width")?),
+            "--alpha" => out.alpha = grab("--alpha")?.parse().map_err(|_| "numeric --alpha")?,
+            "--rate" => {
+                let rate: f64 = grab("--rate")?.parse().map_err(|_| "numeric --rate")?;
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(format!("--rate must be a positive number, got {rate}"));
+                }
+                out.rate = Some(rate);
+            }
+            "--format" => out.tsv = grab("--format")? == "tsv",
+            flag if flag.starts_with("--") => return Err(format!("unknown argument {flag}")),
+            file => out.files.push(file.to_string()),
+        }
+    }
+    if out.files.is_empty() {
+        return Err("datasets run needs at least one FILE".into());
+    }
+    Ok(out)
+}
+
+fn datasets_run(rest: &[String]) -> i32 {
+    let args = match parse_datasets_run_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    if args.tsv {
+        println!(
+            "series\tpoints\twidth\ttrue_cps\tfound_cps\tcovering\tdetection_rate\tmean_delay"
+        );
+    }
+    for file in &args.files {
+        let path = std::path::Path::new(file);
+        let archive = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .and_then(|n| n.to_str())
+            .unwrap_or("archive");
+        let series = match datasets::load_series_file(path, archive) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+
+        let mut cfg =
+            ClassConfig::with_window_size(args.window.unwrap_or_else(|| series.len().min(10_000)));
+        cfg.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
+        cfg.log10_alpha = args.alpha.log10();
+        let operator = stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg));
+
+        // Replay the loaded series through the streaming pipeline —
+        // unpaced like the paper's §4.4 RAM-resident streams, or at
+        // --rate records/sec like a live sensor feed.
+        let mut source = stream_engine::ReplaySource::new(series.values.clone());
+        if let Some(rate) = args.rate {
+            source = source.with_rate(rate);
+        }
+        let pipeline = stream_engine::Pipeline::source_type::<f64>().then(operator);
+        let (records, report) = pipeline.run(source);
+
+        let mut found: Vec<u64> = records.iter().map(|r| r.value).collect();
+        found.sort_unstable();
+        found.dedup();
+        let cov = eval::covering(&series.change_points, &found, series.len() as u64);
+        let timed: Vec<eval::TimedReport> = records
+            .iter()
+            .map(|r| eval::TimedReport {
+                emitted_at: if r.timestamp == u64::MAX {
+                    series.len() as u64
+                } else {
+                    r.timestamp
+                },
+                cp: r.value,
+            })
+            .collect();
+        // Localisation tolerance: the paper's minimum-segment margin of
+        // 5 subsequence widths (ClaSP's `excl_radius`); profile maxima
+        // systematically sit a couple of widths before the annotation.
+        let stats = eval::delay_stats(&series.change_points, &timed, 5 * series.width as u64);
+        let delay = stats
+            .mean_delay()
+            .map(|d| format!("{d:.0}"))
+            .unwrap_or_else(|| "-".into());
+
+        if args.tsv {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.2}\t{delay}",
+                series.name,
+                series.len(),
+                series.width,
+                fmt_cps(&series.change_points),
+                fmt_cps(&found),
+                cov,
+                stats.detection_rate(),
+            );
+        } else {
+            println!("series: {} ({})", series.name, series.archive);
+            println!(
+                "points: {}, width: {}, true cps: [{}]",
+                series.len(),
+                series.width,
+                fmt_cps(&series.change_points)
+            );
+            println!("found cps: [{}]", fmt_cps(&found));
+            println!("covering: {cov:.4}");
+            println!(
+                "detection rate: {:.2}, mean delay: {delay}, false alarms: {}",
+                stats.detection_rate(),
+                stats.false_alarms
+            );
+            println!("throughput: {:.0} pts/s\n", report.throughput());
+        }
+    }
+    0
+}
+
+fn fmt_cps(cps: &[u64]) -> String {
+    cps.iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("datasets") {
+        raw.remove(0);
+        datasets_main(raw);
+    }
     let args = parse_args();
     let mut cfg = ClassConfig::with_window_size(args.window);
     cfg.width = match args.width {

@@ -24,6 +24,9 @@ fn two_regime_input() -> String {
 fn run_cli(args: &[&str], input: &str) -> (String, String, i32) {
     let mut child = Command::new(CLI)
         .args(args)
+        // The list subcommand consults CLASS_DATA_DIR; keep the smoke
+        // tests hermetic regardless of the invoking environment.
+        .env_remove("CLASS_DATA_DIR")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -91,4 +94,116 @@ fn help_exits_cleanly_and_unknown_flags_do_not() {
     let (_, stderr, code) = run_cli(&["--no-such-flag"], "");
     assert_eq!(code, 2);
     assert!(stderr.contains("unknown argument"));
+}
+
+fn fixture(rel: &str) -> String {
+    datasets::fixtures_dir().join(rel).display().to_string()
+}
+
+#[test]
+fn datasets_list_shows_fixtures_and_synthetic_archives() {
+    let (stdout, stderr, code) = run_cli(&["datasets", "list"], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("bundled fixtures"), "{stdout}");
+    assert!(stdout.contains("TSSB"), "{stdout}");
+    assert!(stdout.contains("UTSA"), "{stdout}");
+    assert!(stdout.contains("synthetic stand-ins"), "{stdout}");
+    assert!(stdout.contains("[benchmark]"), "{stdout}");
+}
+
+#[test]
+fn datasets_run_scores_a_fixture_against_its_annotations() {
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            &fixture("TSSB/SineFreqDouble_50_900.txt"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(
+        stdout.contains("series: tssb/SineFreqDouble (TSSB)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("true cps: [900]"), "{stdout}");
+    let cov_line = stdout
+        .lines()
+        .find(|l| l.starts_with("covering: "))
+        .unwrap_or_else(|| panic!("no covering line in {stdout}"));
+    let cov: f64 = cov_line["covering: ".len()..]
+        .trim()
+        .parse()
+        .expect("covering value");
+    assert!((0.0..=1.0).contains(&cov), "{cov_line}");
+    assert!(cov > 0.6, "covering too low for a clear change: {cov_line}");
+}
+
+#[test]
+fn datasets_run_tsv_emits_one_row_per_file() {
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--format",
+            "tsv",
+            &fixture("TSSB/SineToSawtooth_40_800.txt"),
+            &fixture("UTSA/EcgRhythmShift.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].starts_with("series\tpoints\twidth"), "{stdout}");
+    assert!(
+        lines[1].starts_with("tssb/SineToSawtooth\t1800\t40\t800\t"),
+        "{stdout}"
+    );
+    assert!(
+        lines[2].starts_with("utsa/EcgRhythmShift\t2200\t60\t1100\t"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn datasets_run_reports_line_and_column_on_malformed_files() {
+    let (_, stderr, code) = run_cli(
+        &["datasets", "run", &fixture("malformed/BadValue_20_600.txt")],
+        "",
+    );
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("BadValue_20_600.txt:4:1:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let (_, stderr, code) = run_cli(&["datasets", "run", &fixture("malformed/BadLabel.csv")], "");
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("BadLabel.csv:4:6:"), "{stderr}");
+
+    // File-level diagnostics (no usable annotations) have no line/col.
+    let (_, stderr, code) = run_cli(
+        &["datasets", "run", &fixture("malformed/NoAnnotations.txt")],
+        "",
+    );
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("NoAnnotations.txt: "), "{stderr}");
+}
+
+#[test]
+fn datasets_subcommand_usage_errors_exit_2() {
+    let (_, stderr, code) = run_cli(&["datasets", "frobnicate"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("datasets list"), "{stderr}");
+
+    let (_, stderr, code) = run_cli(&["datasets", "run"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("at least one FILE"), "{stderr}");
+
+    // Bad replay rates are usage errors, not panics in the replay source.
+    for rate in ["0", "-5", "NaN"] {
+        let (_, stderr, code) = run_cli(&["datasets", "run", "--rate", rate, "ignored.txt"], "");
+        assert_eq!(code, 2, "--rate {rate}: {stderr}");
+        assert!(stderr.contains("positive"), "--rate {rate}: {stderr}");
+        assert!(!stderr.contains("panicked"), "--rate {rate}: {stderr}");
+    }
 }

@@ -1,0 +1,126 @@
+//! Differential conformance: streaming ClaSS against the batch ClaSP
+//! oracle on every bundled real-format fixture.
+//!
+//! Batch ClaSP (paper §2.2) sees the whole series at once and is the
+//! offline reference the streaming algorithm approximates; the paper's
+//! benchmark protocol scores both against the same annotations. This test
+//! pins the streaming path to the offline oracle on real-shaped,
+//! file-loaded data — not just synthetic generator output: on every
+//! fixture the two change-point sets must agree one-to-one within the
+//! paper's localisation tolerance (the minimum-segment margin of five
+//! subsequence widths, ClaSP's `excl_radius`), and both must localise the
+//! files' ground-truth annotations.
+
+use class_core::{
+    clasp_segment, ClaspConfig, ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection,
+};
+use datasets::{fixtures_dir, AnnotatedSeries, DataDir};
+
+const LOG10_ALPHA: f64 = -15.0;
+
+fn fixture_series() -> Vec<AnnotatedSeries> {
+    let dir = DataDir::open(fixtures_dir());
+    let mut out = Vec::new();
+    for archive in ["TSSB", "UTSA"] {
+        let disk = dir
+            .find(archive)
+            .unwrap()
+            .expect("bundled fixtures present");
+        out.extend(disk.load().expect("bundled fixtures load"));
+    }
+    assert!(out.len() >= 5, "fixture set shrank to {}", out.len());
+    out
+}
+
+fn stream_class(series: &AnnotatedSeries) -> Vec<u64> {
+    let mut cfg = ClassConfig::with_window_size(series.len().min(10_000));
+    cfg.width = WidthSelection::Fixed(series.width);
+    cfg.log10_alpha = LOG10_ALPHA;
+    let mut seg = ClassSegmenter::new(cfg);
+    let mut cps = Vec::new();
+    for &x in &series.values {
+        seg.step(x, &mut cps);
+    }
+    seg.finalize(&mut cps);
+    cps.sort_unstable();
+    cps.dedup();
+    cps
+}
+
+fn batch_clasp(series: &AnnotatedSeries) -> Vec<u64> {
+    let mut cfg = ClaspConfig::new(series.width);
+    cfg.log10_alpha = LOG10_ALPHA;
+    clasp_segment(&series.values, &cfg)
+        .into_iter()
+        .map(|c| c as u64)
+        .collect()
+}
+
+/// Symmetric matching within `tol`: every `a` has a `b` within `tol` and
+/// vice versa. Returns the first unmatched (side, cp).
+fn unmatched(a: &[u64], b: &[u64], tol: u64) -> Option<(&'static str, u64)> {
+    for &x in a {
+        if !b.iter().any(|&y| x.abs_diff(y) <= tol) {
+            return Some(("streaming", x));
+        }
+    }
+    for &y in b {
+        if !a.iter().any(|&x| x.abs_diff(y) <= tol) {
+            return Some(("batch", y));
+        }
+    }
+    None
+}
+
+#[test]
+fn streaming_class_agrees_with_batch_clasp_on_every_fixture() {
+    for series in fixture_series() {
+        let tol = 5 * series.width as u64;
+        let streaming = stream_class(&series);
+        let batch = batch_clasp(&series);
+        assert!(
+            !streaming.is_empty(),
+            "{}: streaming ClaSS found no change points",
+            series.name
+        );
+        assert!(
+            !batch.is_empty(),
+            "{}: batch ClaSP found no change points",
+            series.name
+        );
+        if let Some((side, cp)) = unmatched(&streaming, &batch, tol) {
+            panic!(
+                "{}: {side} change point {cp} has no counterpart within {tol}\n  \
+                 streaming: {streaming:?}\n  batch: {batch:?}",
+                series.name
+            );
+        }
+    }
+}
+
+#[test]
+fn both_paths_localise_the_file_annotations() {
+    for series in fixture_series() {
+        let tol = 5 * series.width as u64;
+        for (label, found) in [
+            ("streaming", stream_class(&series)),
+            ("batch", batch_clasp(&series)),
+        ] {
+            for &gt in &series.change_points {
+                assert!(
+                    found.iter().any(|&cp| cp.abs_diff(gt) <= tol),
+                    "{}: {label} missed annotated change point {gt} (tol {tol}); found {found:?}",
+                    series.name
+                );
+            }
+            // No gross over-segmentation: at most one report per true
+            // change plus one spurious split.
+            assert!(
+                found.len() <= series.change_points.len() + 1,
+                "{}: {label} over-segments: {found:?} vs {:?}",
+                series.name,
+                series.change_points
+            );
+        }
+    }
+}
