@@ -16,8 +16,17 @@
 //! `--preset quick` (CI) runs d ∈ {1_000, 4_000} with fewer batches —
 //! seconds, not minutes. `--out PATH` overrides the output path. The
 //! `CLASS_SIMD` environment variable pins the kernel backend for A/B runs.
+//!
+//! `--check BASELINE.json` turns the run into a **regression gate**: the
+//! fresh `knn_update` medians are compared against the baseline document
+//! (read before `--out` is written, so checking against the committed
+//! `BENCH_perf.json` in place works) and the process exits non-zero if
+//! any matching d regressed by more than `--tolerance` (default 0.25).
 
-use bench::perf::{measure_batches, render_json, render_table, KernelStat};
+use bench::perf::{
+    json_string, kernel_medians, measure_batches, regressions, render_json, render_table,
+    KernelStat,
+};
 use class_core::crossval::{CrossVal, ScoreFn};
 use class_core::knn::{KnnConfig, StreamingKnn};
 use class_core::stats::SplitMix64;
@@ -66,6 +75,8 @@ fn filled_knn(d: usize) -> (StreamingKnn, SplitMix64) {
 fn main() {
     let mut preset = &FULL;
     let mut out_path = "BENCH_perf.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -78,13 +89,28 @@ fn main() {
                 };
             }
             "--out" => out_path = it.next().expect("--out requires a value"),
+            "--check" => check_path = Some(it.next().expect("--check requires a value")),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .expect("--tolerance requires a value")
+                    .parse()
+                    .expect("numeric --tolerance");
+            }
             "--help" | "-h" => {
-                eprintln!("options: --preset quick|full --out PATH");
+                eprintln!(
+                    "options: --preset quick|full --out PATH --check BASELINE.json --tolerance F"
+                );
                 return;
             }
             other => panic!("unknown argument: {other}"),
         }
     }
+    // Read the baseline before measuring: `--check` against the same
+    // file `--out` overwrites must compare old numbers, not fresh ones.
+    let baseline = check_path.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading baseline {p}: {e}"))
+    });
 
     let backend = class_core::simd::active_backend().name();
     eprintln!(
@@ -151,4 +177,52 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("{}", render_table(&stats));
     eprintln!("wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        let base_backend = json_string(&baseline, "simd_backend").unwrap_or_default();
+        if base_backend != backend {
+            // A scalar-vs-AVX2 comparison measures the hardware, not the
+            // PR; skip rather than fail, loudly, so the gate never goes
+            // red on a runner-generation change.
+            eprintln!(
+                "regression check SKIPPED: baseline backend {base_backend} != fresh backend \
+                 {backend}; absolute ns/op are not comparable across kernel backends \
+                 (re-commit {} from matching hardware to re-arm the gate)",
+                check_path.as_deref().unwrap_or("")
+            );
+            return;
+        }
+        let base = kernel_medians(&baseline, "knn_update");
+        let pairs: Vec<(String, f64, f64)> = stats
+            .iter()
+            .filter(|s| s.name == "knn_update")
+            .filter_map(|s| {
+                base.iter()
+                    .find(|&&(d, _)| d == s.d)
+                    .map(|&(_, m)| (format!("knn_update d={}", s.d), m, s.median_ns))
+            })
+            .collect();
+        assert!(
+            !pairs.is_empty(),
+            "baseline {} shares no knn_update d with preset {}",
+            check_path.as_deref().unwrap_or(""),
+            preset.name
+        );
+        let mut failed = false;
+        eprintln!(
+            "regression check vs {} (baseline backend {base_backend}, tolerance {tolerance}):",
+            check_path.as_deref().unwrap_or("")
+        );
+        for (label, base_ns, fresh_ns, regressed) in regressions(&pairs, true, tolerance) {
+            eprintln!(
+                "  {label:<22} baseline {base_ns:>10.1} ns/op, fresh {fresh_ns:>10.1} ns/op  {}",
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+            failed |= regressed;
+        }
+        if failed {
+            eprintln!("perf regression beyond {:.0}%", tolerance * 100.0);
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,337 @@
+//! `serve_throughput` — load generator for the multi-stream serving
+//! engine, the serving-scale counterpart of `flink_throughput`.
+//!
+//! The paper's §4.4 experiment feeds each benchmark series through a
+//! Flink-deployed ClaSS operator one stream at a time and reports data
+//! points per second. A serving deployment instead multiplexes *many*
+//! concurrent streams onto a fixed worker pool. This binary drives
+//! hundreds of concurrently registered synthetic sensor streams through
+//! the sharded engine (`stream_engine::serve`) and reports aggregate
+//! records/sec plus tail latency, appending the numbers to
+//! `BENCH_serve.json` so every PR's serving throughput is comparable to
+//! its predecessors:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve_throughput -- --preset quick
+//! cargo run --release -p bench --bin serve_throughput -- --preset quick --check BENCH_serve.json
+//! ```
+//!
+//! `--preset quick` (the CI gate) serves 128 concurrent streams; `full`
+//! serves 512. `--check BASELINE.json` exits non-zero if records/sec
+//! regressed more than `--tolerance` (default 0.25) against the
+//! baseline document (read before `--out` overwrites it).
+
+use bench::perf::{json_number, json_string, regressions};
+use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
+use datasets::{build_series, NoiseSpec, Regime};
+use stream_engine::{
+    feed_all, serve, Backpressure, EngineConfig, LatencyHistogram, RingConfig, SegmenterOperator,
+    StreamResult,
+};
+
+struct Preset {
+    name: &'static str,
+    streams: usize,
+    points: usize,
+    window: usize,
+    width: usize,
+}
+
+const QUICK: Preset = Preset {
+    name: "quick",
+    streams: 128,
+    points: 2_000,
+    window: 500,
+    width: 25,
+};
+
+const FULL: Preset = Preset {
+    name: "full",
+    streams: 512,
+    points: 5_000,
+    window: 1_000,
+    width: 40,
+};
+
+/// A two-regime sensor stream (sine → sawtooth, benchmark noise) with a
+/// per-stream seed so no two streams are identical.
+fn stream_values(preset: &Preset, k: usize, seed: u64) -> Vec<f64> {
+    let half = preset.points / 2;
+    build_series(
+        format!("serve/{k}"),
+        "serve",
+        &[
+            (
+                Regime::Sine {
+                    period: 25.0 + (k % 7) as f64,
+                    amp: 1.0,
+                    phase: 0.0,
+                },
+                half,
+            ),
+            (
+                Regime::Sawtooth {
+                    period: 40.0 + (k % 5) as f64,
+                    amp: 1.2,
+                },
+                preset.points - half,
+            ),
+        ],
+        NoiseSpec::benchmark(),
+        seed ^ k as u64,
+    )
+    .values
+}
+
+fn render_serve_json(
+    preset: &str,
+    shards: usize,
+    policy: &str,
+    simd_backend: &str,
+    elapsed_s: f64,
+    results: &[StreamResult<u64>],
+    latency: &LatencyHistogram,
+) -> String {
+    let records: u64 = results.iter().map(|r| r.records_in).sum();
+    let drops: u64 = results.iter().map(|r| r.drops).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"class-serve-throughput/v1\",\n");
+    out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
+    out.push_str(&format!("  \"simd_backend\": \"{simd_backend}\",\n"));
+    out.push_str(&format!("  \"streams\": {},\n", results.len()));
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"drops\": {drops},\n"));
+    out.push_str(&format!("  \"elapsed_s\": {elapsed_s:.3},\n"));
+    out.push_str(&format!(
+        "  \"records_per_sec\": {:.1},\n",
+        records as f64 / elapsed_s.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"latency_p50_ns\": {},\n",
+        latency.quantile(0.5).as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"latency_p99_ns\": {},\n",
+        latency.quantile(0.99).as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"latency_max_ns\": {},\n",
+        latency.max().as_nanos()
+    ));
+    out.push_str("  \"per_shard\": [\n");
+    for shard in 0..shards {
+        let shard_results: Vec<&StreamResult<u64>> =
+            results.iter().filter(|r| r.shard == shard).collect();
+        let records: u64 = shard_results.iter().map(|r| r.records_in).sum();
+        let mut hist = LatencyHistogram::new();
+        for r in &shard_results {
+            hist.merge(&r.latency);
+        }
+        out.push_str(&format!(
+            "    {{\"shard\": {shard}, \"streams\": {}, \"records\": {records}, \
+             \"p99_ns\": {}}}{}\n",
+            shard_results.len(),
+            hist.quantile(0.99).as_nanos(),
+            if shard + 1 < shards { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut preset = &QUICK;
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut streams_override: Option<usize> = None;
+    let mut ring = 256usize;
+    let mut policy = Backpressure::Block;
+    let mut seed = 0xC1A55u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--preset" => {
+                preset = match grab("--preset").as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => panic!("unknown preset {other} (quick|full)"),
+                };
+            }
+            "--shards" => shards = grab("--shards").parse().expect("numeric --shards"),
+            "--streams" => {
+                streams_override = Some(grab("--streams").parse().expect("numeric --streams"))
+            }
+            "--ring" => ring = grab("--ring").parse().expect("numeric --ring"),
+            "--policy" => {
+                policy = match grab("--policy").as_str() {
+                    "block" => Backpressure::Block,
+                    "drop-oldest" => Backpressure::DropOldest,
+                    other => panic!("unknown policy {other} (block|drop-oldest)"),
+                };
+            }
+            "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
+            "--out" => out_path = grab("--out"),
+            "--check" => check_path = Some(grab("--check")),
+            "--tolerance" => tolerance = grab("--tolerance").parse().expect("numeric --tolerance"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --preset quick|full --shards N --streams N --ring N \
+                     --policy block|drop-oldest --seed N --out PATH \
+                     --check BASELINE.json --tolerance F"
+                );
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let baseline = check_path.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading baseline {p}: {e}"))
+    });
+
+    let n_streams = streams_override.unwrap_or(preset.streams);
+    let backend = class_core::simd::active_backend().name();
+    let policy_name = match policy {
+        Backpressure::Block => "block",
+        Backpressure::DropOldest => "drop-oldest",
+        Backpressure::Error => unreachable!(),
+    };
+    eprintln!(
+        "serve_throughput: preset={} streams={n_streams} points/stream={} shards={shards} \
+         ring={ring} policy={policy_name} simd_backend={backend}",
+        preset.name, preset.points
+    );
+
+    let data: Vec<Vec<f64>> = (0..n_streams)
+        .map(|k| stream_values(preset, k, seed))
+        .collect();
+    let window = preset.window;
+    let width = preset.width;
+
+    let config = EngineConfig {
+        shards,
+        ring: RingConfig::new(ring, policy),
+    };
+    let started = std::time::Instant::now();
+    let (results, live) = serve(config, |engine| {
+        let handles: Vec<_> = (0..n_streams)
+            .map(|_| {
+                engine.register(move || {
+                    let mut cfg = ClassConfig::with_window_size(window);
+                    cfg.width = WidthSelection::Fixed(width);
+                    cfg.warmup = Some(window);
+                    cfg.log10_alpha = -15.0;
+                    SegmenterOperator::new(ClassSegmenter::new(cfg))
+                })
+            })
+            .collect();
+        // All streams are registered and live before the first record is
+        // fed: the engine is serving `n_streams` concurrent streams on
+        // `shards` worker threads from here on.
+        let live = engine.stats().active_streams();
+        let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+        feed_all(handles, &slices);
+        live
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(live, n_streams, "every stream live before feeding");
+
+    let mut latency = LatencyHistogram::new();
+    let mut cps = 0usize;
+    for r in &results {
+        latency.merge(&r.latency);
+        cps += r.output.len();
+    }
+    let records: u64 = results.iter().map(|r| r.records_in).sum();
+    let drops: u64 = results.iter().map(|r| r.drops).sum();
+    let rps = records as f64 / elapsed.max(1e-9);
+
+    let json = render_serve_json(
+        preset.name,
+        shards,
+        policy_name,
+        backend,
+        elapsed,
+        &results,
+        &latency,
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    println!("# serving engine throughput ({} preset)", preset.name);
+    println!("concurrent streams:  {live} (on {shards} shard workers)");
+    println!("records served:      {records} ({drops} dropped)");
+    println!("change points out:   {cps}");
+    println!("wall time:           {elapsed:.3} s");
+    println!("aggregate rate:      {rps:.0} records/s");
+    println!(
+        "operator latency:    p50 {:?}, p99 {:?}, max {:?}",
+        latency.quantile(0.5),
+        latency.quantile(0.99),
+        latency.max()
+    );
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline) = baseline {
+        // Operator cost (and therefore records/sec) depends on the
+        // kernel backend; a scalar-vs-AVX2 comparison measures the
+        // hardware, not the PR. Skip loudly rather than fail, matching
+        // perf_trajectory's gate. (Pre-backend baselines skip too.)
+        let base_backend = json_string(&baseline, "simd_backend").unwrap_or_default();
+        if base_backend != backend {
+            eprintln!(
+                "regression check SKIPPED: baseline backend {base_backend:?} != fresh backend \
+                 {backend:?}; records/sec are not comparable across kernel backends \
+                 (re-commit {} from matching hardware to re-arm the gate)",
+                check_path.as_deref().unwrap_or("")
+            );
+            return;
+        }
+        let base_preset = json_string(&baseline, "preset").unwrap_or_default();
+        assert_eq!(
+            base_preset, preset.name,
+            "baseline preset mismatch: cannot compare {base_preset} vs {}",
+            preset.name
+        );
+        // A lossy-policy baseline inflates records/sec; refuse to gate
+        // one configuration against a document measuring another.
+        let base_policy = json_string(&baseline, "policy").unwrap_or_default();
+        assert_eq!(
+            base_policy, policy_name,
+            "baseline backpressure policy mismatch: cannot compare {base_policy} vs {policy_name}",
+        );
+        // Records/sec scales with the worker count, so a baseline from a
+        // different --shards is not comparable either (CI pins --shards).
+        let base_shards = json_number(&baseline, "shards").unwrap_or(0.0) as usize;
+        assert_eq!(
+            base_shards, shards,
+            "baseline shard-count mismatch: cannot compare {base_shards} vs {shards} \
+             (pass --shards {base_shards} to match the baseline)",
+        );
+        let base_rps = json_number(&baseline, "records_per_sec").expect("baseline records_per_sec");
+        let pairs = vec![("records_per_sec".to_string(), base_rps, rps)];
+        let verdicts = regressions(&pairs, false, tolerance);
+        let (_, base, fresh, regressed) = &verdicts[0];
+        eprintln!(
+            "regression check vs {}: baseline {base:.0} rec/s, fresh {fresh:.0} rec/s  {}",
+            check_path.as_deref().unwrap_or(""),
+            if *regressed { "REGRESSED" } else { "ok" }
+        );
+        if *regressed {
+            eprintln!(
+                "serving throughput regression beyond {:.0}%",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -12,6 +12,7 @@
 //! | `fig7` | Figure 7 — scalability ClaSS vs FLOSS |
 //! | `ablation` | §4.2 — design-choice ablations (a)-(g) |
 //! | `flink_throughput` | §4.4 — stream-engine window operator throughput |
+//! | `serve_throughput` | §4.4 at serving scale — hundreds of concurrent streams on the sharded engine → `BENCH_serve.json` |
 //! | `perf_trajectory` | §4.4 — pinned hot-path workload → `BENCH_perf.json` |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p bench`) validate the two

@@ -76,6 +76,69 @@ pub fn render_json(preset: &str, simd_backend: &str, stats: &[KernelStat]) -> St
     out
 }
 
+/// Extracts the first `"key": <number>` value from a JSON document.
+/// Not a JSON parser — the workspace is offline (no serde) and both
+/// `BENCH_perf.json` and `BENCH_serve.json` are emitted by this crate
+/// with a stable, flat layout this scan matches exactly.
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the first `"key": "<string>"` value from a JSON document
+/// (same caveats as [`json_number`]).
+pub fn json_string(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Reads every `{"name": <kernel>, "d": .., "median_ns": ..}` entry of a
+/// `BENCH_perf.json` document for one kernel, as `(d, median_ns)` pairs.
+pub fn kernel_medians(doc: &str, kernel: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    let needle = format!("\"name\": \"{kernel}\"");
+    let mut rest = doc;
+    while let Some(at) = rest.find(&needle) {
+        let entry = &rest[at..];
+        if let (Some(d), Some(median)) = (json_number(entry, "d"), json_number(entry, "median_ns"))
+        {
+            out.push((d as usize, median));
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
+/// Compares a fresh measurement against a committed baseline and returns
+/// the regression verdicts: `(label, baseline, fresh, regressed)` per
+/// matched entry. `higher_is_worse` says which direction is a regression
+/// (true for ns/op medians, false for records/sec throughput);
+/// `tolerance` is the allowed fractional slack (0.25 = fail beyond 25%).
+pub fn regressions(
+    pairs: &[(String, f64, f64)],
+    higher_is_worse: bool,
+    tolerance: f64,
+) -> Vec<(String, f64, f64, bool)> {
+    pairs
+        .iter()
+        .map(|(label, base, fresh)| {
+            let regressed = if higher_is_worse {
+                *fresh > *base * (1.0 + tolerance)
+            } else {
+                *fresh < *base * (1.0 - tolerance)
+            };
+            (label.clone(), *base, *fresh, regressed)
+        })
+        .collect()
+}
+
 /// Renders the stats as a Markdown table for stdout.
 pub fn render_table(stats: &[KernelStat]) -> String {
     let mut out = String::new();
@@ -131,5 +194,59 @@ mod tests {
         assert_eq!(doc.matches("},").count(), 1);
         let table = render_table(&stats);
         assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_scans_read_back_the_rendered_document() {
+        let stats = vec![
+            KernelStat {
+                name: "knn_update",
+                d: 1000,
+                median_ns: 3556.8,
+                best_ns: 3425.0,
+                ops: 6000,
+            },
+            KernelStat {
+                name: "crossval_profile",
+                d: 1000,
+                median_ns: 26074.2,
+                best_ns: 24945.1,
+                ops: 600,
+            },
+            KernelStat {
+                name: "knn_update",
+                d: 4000,
+                median_ns: 14044.3,
+                best_ns: 13721.1,
+                ops: 6000,
+            },
+        ];
+        let doc = render_json("quick", "avx2", &stats);
+        assert_eq!(json_string(&doc, "preset").as_deref(), Some("quick"));
+        assert_eq!(json_string(&doc, "simd_backend").as_deref(), Some("avx2"));
+        assert_eq!(json_number(&doc, "d"), Some(1000.0));
+        assert_eq!(json_string(&doc, "nope"), None);
+        assert_eq!(json_number(&doc, "nope"), None);
+        assert_eq!(
+            kernel_medians(&doc, "knn_update"),
+            vec![(1000, 3556.8), (4000, 14044.3)]
+        );
+        assert_eq!(kernel_medians(&doc, "class_step"), Vec::new());
+    }
+
+    #[test]
+    fn regression_verdicts_respect_direction_and_tolerance() {
+        let pairs = vec![
+            ("lat d=1000".to_string(), 100.0, 124.0),
+            ("lat d=4000".to_string(), 100.0, 126.0),
+        ];
+        // Latency: higher is worse; 24% slower passes, 26% fails.
+        let v = regressions(&pairs, true, 0.25);
+        assert!(!v[0].3 && v[1].3);
+        // Throughput: lower is worse; both are *faster*, so both pass.
+        let v = regressions(&pairs, false, 0.25);
+        assert!(!v[0].3 && !v[1].3);
+        let v = regressions(&[("tps".into(), 1000.0, 700.0)], false, 0.25);
+        assert!(v[0].3, "30% throughput drop must fail");
     }
 }

@@ -32,6 +32,23 @@ pub trait StreamingSegmenter {
     }
 }
 
+/// Boxed segmenters forward the trait, so heterogeneous line-ups
+/// (`Box<dyn StreamingSegmenter>`) compose with generic operators like
+/// the stream engine's `SegmenterOperator`.
+impl<S: StreamingSegmenter + ?Sized> StreamingSegmenter for Box<S> {
+    fn step(&mut self, x: f64, cps: &mut Vec<u64>) {
+        (**self).step(x, cps);
+    }
+
+    fn finalize(&mut self, cps: &mut Vec<u64>) {
+        (**self).finalize(cps);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

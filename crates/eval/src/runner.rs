@@ -113,49 +113,142 @@ pub fn run_one(spec: &AlgoSpec, series: &AnnotatedSeries) -> RunResult {
     }
 }
 
-/// Runs every algorithm over every series, parallelising across
-/// (algorithm, series) pairs with scoped threads. Results are returned in
+/// Runs every algorithm over every series on the multi-stream serving
+/// engine: each (algorithm, series) pair is registered as an independent
+/// stream, sharded over `threads` engine workers and fed through bounded
+/// ring buffers with the lossless `Block` policy. Results are returned in
 /// deterministic (algo-major, series-minor) order.
 ///
-/// Scheduling is longest-series-first so the biggest jobs start earliest
-/// and no long series straggles at the end of the matrix, and every worker
-/// writes its result into an index-disjoint [`OnceLock`] slot — there is
-/// no lock on the result path.
+/// Jobs are bin-packed onto shards greedily, longest series first, so no
+/// shard straggles with a disproportionate share of the points; the
+/// packing depends only on the job list and is fully deterministic. At
+/// most `4 * threads` jobs are *live* (registered, operator built, ring
+/// allocated) at any moment — a paper-scale matrix is thousands of jobs,
+/// and each live ClaSS operator holds O(window) state, so the feeder
+/// opens jobs as earlier ones complete instead of materializing all of
+/// them up front (the pre-engine runner was O(threads) live jobs too).
+/// `runtime` is operator-busy time measured per drained batch
+/// (`stream_engine::Timing::Batch`), which matches the paper's
+/// single-core measurement protocol even though shards interleave many
+/// streams — and keeps per-record clock reads out of baselines whose
+/// step is cheaper than a clock read.
 pub fn run_matrix(
     algos: &[AlgoSpec],
     series: &[AnnotatedSeries],
     threads: usize,
 ) -> Vec<RunResult> {
-    use std::sync::OnceLock;
+    use stream_engine::{
+        serve, Backpressure, EngineConfig, RingConfig, SegmenterOperator, StreamHandle,
+        StreamOptions, Timing,
+    };
 
     let mut jobs: Vec<(usize, usize)> = (0..algos.len())
         .flat_map(|a| (0..series.len()).map(move |s| (a, s)))
         .collect();
+    if jobs.is_empty() {
+        return Vec::new();
+    }
     // Longest-first; the sort is stable, so ties keep the deterministic
     // (algo-major, series-minor) order.
     jobs.sort_by_key(|&(_, s)| std::cmp::Reverse(series[s].len()));
-    let threads = threads.max(1).min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<OnceLock<RunResult>> = (0..jobs.len()).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+    let threads = threads.max(1).min(jobs.len());
+    // Greedy balance: each job (longest first) goes to the least-loaded
+    // shard by total points, ties to the lowest shard index.
+    let mut load = vec![0u64; threads];
+    let shard_of: Vec<usize> = jobs
+        .iter()
+        .map(|&(_, s)| {
+            let shard = (0..threads)
+                .min_by_key(|&k| (load[k], k))
+                .expect(">=1 shard");
+            load[shard] += series[s].len() as u64;
+            shard
+        })
+        .collect();
+
+    let config = EngineConfig {
+        shards: threads,
+        ring: RingConfig::new(512, Backpressure::Block),
+    };
+    // The greedy packing spreads the longest-first prefix across shards
+    // (the first `threads` jobs land on distinct shards), so a live
+    // window of 4x threads keeps every shard busy.
+    let max_live = 4 * threads;
+    let (results, stream_jobs) = serve(config, |engine| {
+        // Stream id -> index into `jobs`, in registration order.
+        let mut stream_jobs: Vec<usize> = Vec::with_capacity(jobs.len());
+        // (job index, handle, feed cursor) of each live job.
+        let mut live: Vec<(usize, StreamHandle, usize)> = Vec::new();
+        let mut next = 0usize;
+        loop {
+            while live.len() < max_live && next < jobs.len() {
+                let (a, s) = jobs[next];
+                let spec = &algos[a];
+                let ser = &series[s];
+                let handle = engine.register_with(
+                    StreamOptions {
+                        ring: config.ring,
+                        timing: Timing::Batch,
+                        shard: Some(shard_of[next]),
+                    },
+                    move || SegmenterOperator::new(spec.instantiate(ser)),
+                );
+                stream_jobs.push(next);
+                live.push((next, handle, 0));
+                next += 1;
+            }
+            if live.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            let mut i = 0;
+            while i < live.len() {
+                let (job, handle, cursor) = &mut live[i];
+                let xs = series[jobs[*job].1].values.as_slice();
+                if *cursor >= xs.len() {
+                    // Close the handle: the shard flushes the operator
+                    // and a registration slot frees up.
+                    live.swap_remove(i);
+                    progressed = true;
+                    continue;
                 }
-                let (a, s) = jobs[i];
-                let r = run_one(&algos[a], &series[s]);
-                // Each (a, s) pair occurs exactly once, so the set never
-                // collides; the drop of a duplicate would be a scheduler
-                // bug caught by the expect below.
-                let _ = slots[a * series.len() + s].set(r);
-            });
+                let n = handle.try_feed(&xs[*cursor..]).expect("engine alive");
+                if n > 0 {
+                    *cursor += n;
+                    progressed = true;
+                }
+                i += 1;
+            }
+            if !progressed {
+                // Every live ring is full: the shards own the pace.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
         }
+        stream_jobs
     });
-    slots
-        .into_iter()
-        .map(|c| c.into_inner().expect("job completed"))
+
+    // Stream ids follow registration order; scatter back to the
+    // algo-major layout through the stream -> job mapping.
+    let mut out: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+    for r in results {
+        let (a, s) = jobs[stream_jobs[r.stream]];
+        let ser = &series[s];
+        let mut cps: Vec<u64> = r.output.iter().map(|rec| rec.value).collect();
+        cps.sort_unstable();
+        cps.dedup();
+        let cov = covering(&ser.change_points, &cps, ser.len() as u64);
+        out[a * series.len() + s] = Some(RunResult {
+            algo: algos[a].name(),
+            series: ser.name.clone(),
+            archive: ser.archive,
+            covering: cov,
+            runtime: r.busy,
+            n_points: ser.len(),
+            cps,
+        });
+    }
+    out.into_iter()
+        .map(|r| r.expect("every job served"))
         .collect()
 }
 

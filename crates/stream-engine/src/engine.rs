@@ -1,0 +1,710 @@
+//! The multi-stream serving engine: a sharded worker pool over bounded
+//! SPSC ring buffers.
+//!
+//! The paper's throughput experiment (§4.4) deploys ClaSS inside Apache
+//! Flink and shows feed rates far above real sensor rates. Flink scales
+//! by *keyed sharding*: operators for many streams are multiplexed onto a
+//! fixed set of task slots, records travel through bounded network
+//! buffers, and no stream owns a thread. This module reproduces that
+//! execution model:
+//!
+//! * [`serve`] opens an engine with `shards` worker threads. Serving any
+//!   number of streams costs exactly `shards + 1` threads — the workers
+//!   plus the caller's ingest thread; there is no per-stream source
+//!   thread.
+//! * Each registered stream is a **state machine** (its operator plus a
+//!   ring consumer) hash-assigned to a shard and stepped by that shard's
+//!   event loop in drained batches.
+//! * Records travel through fixed-capacity [`crate::ring`] buffers whose
+//!   full-ring behaviour is the per-stream [`Backpressure`] policy
+//!   (block / drop-oldest / error).
+//! * [`ServingEngine::stats`] takes a live [`ServingStats`] snapshot —
+//!   per-stream and per-shard p50/p99 latency, queue depth, and drop
+//!   counts — while the engine runs.
+//!
+//! ```
+//! use stream_engine::{serve, EngineConfig, MapOperator};
+//!
+//! fn double(x: f64) -> f64 {
+//!     x * 2.0
+//! }
+//!
+//! let (results, ()) = serve(EngineConfig::new(2), |engine| {
+//!     let mut handles: Vec<_> = (0..8)
+//!         .map(|_| engine.register(|| MapOperator::new(double as fn(f64) -> f64)))
+//!         .collect();
+//!     for h in &mut handles {
+//!         for v in 0..100 {
+//!             h.push(v as f64).unwrap();
+//!         }
+//!     }
+//! });
+//! assert_eq!(results.len(), 8);
+//! assert!(results.iter().all(|r| r.records_in == 100));
+//! ```
+
+use crate::latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
+use crate::operator::Operator;
+use crate::ring::{self, PushError, RingConfig, RingCounters};
+use crate::Record;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Records a shard worker moves out of a ring per lock acquisition.
+const DRAIN_BATCH: usize = 256;
+/// Records the bulk feeder pushes per ring visit.
+const FEED_CHUNK: usize = 64;
+/// How long an idle worker (or starved feeder) sleeps before re-polling.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads; streams are hash-partitioned across them.
+    pub shards: usize,
+    /// Default ring configuration for [`ServingEngine::register`].
+    pub ring: RingConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            ring: RingConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `shards` workers and default rings.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// How a shard attributes operator time to the latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Timing {
+    /// Two clock reads per record: exact per-record latencies. Right for
+    /// operators whose step dominates a clock read (ClaSS: microseconds).
+    #[default]
+    PerRecord,
+    /// Two clock reads per drained batch; the batch average is recorded
+    /// for each record ([`LatencyHistogram::record_n`]). Right for
+    /// nanosecond-scale operators the per-record clock would distort.
+    Batch,
+}
+
+/// Per-stream registration options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Ring capacity and backpressure policy.
+    pub ring: RingConfig,
+    /// Latency attribution granularity.
+    pub timing: Timing,
+    /// Pin to a specific shard (modulo the shard count) instead of the
+    /// default hash assignment — for callers that balance load
+    /// themselves (e.g. the eval matrix runner's bin packing).
+    pub shard: Option<usize>,
+}
+
+/// Shared live-accounting cell, written by the shard and read by
+/// [`ServingEngine::stats`].
+#[derive(Debug)]
+struct StreamMonitor {
+    shard: usize,
+    records_in: AtomicU64,
+    done: AtomicBool,
+    latency: Mutex<LatencyHistogram>,
+    counters: Arc<RingCounters>,
+}
+
+/// The producer end of one registered stream. Push records with
+/// [`StreamHandle::push`] / [`StreamHandle::try_feed`]; drop the handle
+/// to close the stream (the shard drains the ring, flushes the operator,
+/// and reports the stream's [`StreamResult`]).
+#[derive(Debug)]
+pub struct StreamHandle {
+    producer: ring::Producer<Record<f64>>,
+    id: usize,
+    t: u64,
+    scratch: Vec<Record<f64>>,
+}
+
+impl StreamHandle {
+    /// Stream id (registration order); results are sorted by it.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Pushes one observation, stamping it with the next source
+    /// position. Applies the stream's backpressure policy: `Block`
+    /// waits, `DropOldest` always succeeds (evicting), `Error` fails
+    /// with a typed overflow. The source position advances on every
+    /// call — under `Error` a rejected observation's position is
+    /// consumed, like a sensor reading lost at the edge.
+    pub fn push(&mut self, value: f64) -> Result<(), PushError> {
+        let rec = Record::new(self.t, value);
+        self.t += 1;
+        self.producer.push(rec)
+    }
+
+    /// Non-blocking bulk push of up to one ring capacity of
+    /// observations under one ring lock; returns how many were accepted
+    /// (the source position advances by exactly that many). Never
+    /// blocks and never reports overflow — it accepts what fits
+    /// (everything offered, under `DropOldest`). Callers that want a
+    /// smaller granularity (e.g. fairness across many streams, as in
+    /// [`feed_all`]) pass a smaller slice.
+    pub fn try_feed(&mut self, values: &[f64]) -> Result<usize, PushError> {
+        self.scratch.clear();
+        self.scratch.extend(
+            values
+                .iter()
+                .take(self.producer.capacity())
+                .enumerate()
+                .map(|(i, &v)| Record::new(self.t + i as u64, v)),
+        );
+        let n = self.producer.try_feed(&self.scratch)?;
+        self.t += n as u64;
+        Ok(n)
+    }
+
+    /// Records currently queued in this stream's ring.
+    pub fn queue_depth(&self) -> usize {
+        self.producer.depth()
+    }
+
+    /// Records evicted so far by the `drop-oldest` policy.
+    pub fn drops(&self) -> u64 {
+        self.producer.drops()
+    }
+
+    /// Closes the stream (equivalent to dropping the handle).
+    pub fn close(self) {}
+}
+
+/// Everything a shard needs to start serving one stream. The operator is
+/// built *on* the shard via the factory, so it never crosses threads.
+struct NewStream<'env, Op> {
+    id: usize,
+    consumer: ring::Consumer<Record<f64>>,
+    factory: Box<dyn FnOnce() -> Op + Send + 'env>,
+    monitor: Arc<StreamMonitor>,
+    timing: Timing,
+}
+
+/// Final accounting for one served stream.
+#[derive(Debug, Clone)]
+pub struct StreamResult<Out> {
+    /// Stream id (registration order).
+    pub stream: usize,
+    /// Shard that served the stream.
+    pub shard: usize,
+    /// Output records emitted by the operator (flush included).
+    pub output: Vec<Record<Out>>,
+    /// Records processed by the operator.
+    pub records_in: u64,
+    /// Records evicted by the `drop-oldest` backpressure policy. For a
+    /// lossless policy this is 0 and `records_in` equals the pushes.
+    pub drops: u64,
+    /// Operator-busy wall time (processing + flush, excluding queueing).
+    pub busy: Duration,
+    /// Per-record operator latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl<Out> StreamResult<Out> {
+    /// Operator throughput in records per second of busy time.
+    pub fn throughput(&self) -> f64 {
+        self.records_in as f64 / self.busy.as_secs_f64().max(1e-9)
+    }
+}
+
+/// A running engine, usable only inside [`serve`]'s body closure.
+///
+/// Registration (and pushing, via the returned [`StreamHandle`]s)
+/// happens on the caller's thread; the `shards` workers step the stream
+/// state machines. All handles must be dropped before the body returns —
+/// an open handle means an unfinished stream and [`serve`] would wait
+/// for it forever.
+pub struct ServingEngine<'scope, 'env, Op>
+where
+    Op: Operator<In = f64>,
+    Op::Out: Send,
+{
+    config: EngineConfig,
+    inboxes: Vec<mpsc::Sender<NewStream<'env, Op>>>,
+    workers: Vec<std::thread::ScopedJoinHandle<'scope, Vec<StreamResult<Op::Out>>>>,
+    monitors: Vec<Arc<StreamMonitor>>,
+}
+
+impl<'scope, 'env, Op> ServingEngine<'scope, 'env, Op>
+where
+    Op: Operator<In = f64> + 'env,
+    Op::Out: Send + 'env,
+{
+    fn start(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        config: EngineConfig,
+    ) -> ServingEngine<'scope, 'env, Op> {
+        let shards = config.shards.max(1);
+        let mut inboxes = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<NewStream<'env, Op>>();
+            inboxes.push(tx);
+            workers.push(scope.spawn(move || shard_worker(rx)));
+        }
+        ServingEngine {
+            config: EngineConfig { shards, ..config },
+            inboxes,
+            workers,
+            monitors: Vec::new(),
+        }
+    }
+
+    /// Worker threads the engine holds (== configured shards).
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registers a stream with the engine-default ring and timing; the
+    /// operator is built on the owning shard via `factory`.
+    pub fn register(&mut self, factory: impl FnOnce() -> Op + Send + 'env) -> StreamHandle {
+        self.register_with(
+            StreamOptions {
+                ring: self.config.ring,
+                ..StreamOptions::default()
+            },
+            factory,
+        )
+    }
+
+    /// Registers a stream with explicit per-stream options.
+    pub fn register_with(
+        &mut self,
+        opts: StreamOptions,
+        factory: impl FnOnce() -> Op + Send + 'env,
+    ) -> StreamHandle {
+        let id = self.monitors.len();
+        let shards = self.workers.len();
+        let shard = match opts.shard {
+            Some(s) => s % shards,
+            None => (splitmix64(id as u64) % shards as u64) as usize,
+        };
+        let (producer, consumer) = ring::ring(opts.ring);
+        let monitor = Arc::new(StreamMonitor {
+            shard,
+            records_in: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            latency: Mutex::new(LatencyHistogram::new()),
+            counters: producer.counters(),
+        });
+        self.monitors.push(Arc::clone(&monitor));
+        self.inboxes[shard]
+            .send(NewStream {
+                id,
+                consumer,
+                factory: Box::new(factory),
+                monitor,
+                timing: opts.timing,
+            })
+            .expect("shard worker alive");
+        StreamHandle {
+            producer,
+            id,
+            t: 0,
+            scratch: Vec::with_capacity(FEED_CHUNK),
+        }
+    }
+
+    /// Takes a live snapshot of per-stream and per-shard accounting.
+    pub fn stats(&self) -> ServingStats {
+        let shards = self.workers.len();
+        let mut streams = Vec::with_capacity(self.monitors.len());
+        let mut shard_hists = vec![LatencyHistogram::new(); shards];
+        let mut shard_stats: Vec<ShardStats> = (0..shards)
+            .map(|shard| ShardStats {
+                shard,
+                streams: 0,
+                active: 0,
+                records_in: 0,
+                drops: 0,
+                queue_depth: 0,
+                p50: Duration::ZERO,
+                p99: Duration::ZERO,
+            })
+            .collect();
+        for (id, m) in self.monitors.iter().enumerate() {
+            let hist = m.latency.lock().expect("latency lock").clone();
+            let records_in = m.records_in.load(Ordering::Relaxed);
+            let drops = m.counters.drops.load(Ordering::Relaxed);
+            let queue_depth = m.counters.depth.load(Ordering::Relaxed);
+            let done = m.done.load(Ordering::Relaxed);
+            let agg = &mut shard_stats[m.shard];
+            agg.streams += 1;
+            agg.active += usize::from(!done);
+            agg.records_in += records_in;
+            agg.drops += drops;
+            agg.queue_depth += queue_depth;
+            shard_hists[m.shard].merge(&hist);
+            streams.push(StreamStats {
+                stream: id,
+                shard: m.shard,
+                records_in,
+                drops,
+                queue_depth,
+                done,
+                p50: hist.quantile(0.5),
+                p99: hist.quantile(0.99),
+                mean: hist.mean(),
+            });
+        }
+        for (agg, hist) in shard_stats.iter_mut().zip(&shard_hists) {
+            agg.p50 = hist.quantile(0.5);
+            agg.p99 = hist.quantile(0.99);
+        }
+        ServingStats {
+            streams,
+            shards: shard_stats,
+        }
+    }
+
+    fn join(self) -> Vec<StreamResult<Op::Out>> {
+        // Closing the inboxes tells workers no more registrations come;
+        // they exit once every assigned stream is closed and drained.
+        drop(self.inboxes);
+        let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(self.monitors.len());
+        for w in self.workers {
+            results.extend(w.join().expect("shard worker panicked"));
+        }
+        results.sort_by_key(|r| r.stream);
+        results
+    }
+}
+
+/// Opens a serving engine, runs `body` with it (register streams, push
+/// records, snapshot stats), then drains every stream and returns all
+/// [`StreamResult`]s (sorted by stream id) alongside the body's return
+/// value. The engine's worker threads live exactly as long as this call.
+pub fn serve<'env, Op, R>(
+    config: EngineConfig,
+    body: impl for<'scope> FnOnce(&mut ServingEngine<'scope, 'env, Op>) -> R,
+) -> (Vec<StreamResult<Op::Out>>, R)
+where
+    Op: Operator<In = f64> + 'env,
+    Op::Out: Send + 'env,
+{
+    std::thread::scope(|scope| {
+        let mut engine = ServingEngine::start(scope, config);
+        let ret = body(&mut engine);
+        (engine.join(), ret)
+    })
+}
+
+/// Drives many in-memory streams to completion through their handles:
+/// non-blocking round-robin bulk pushes, so one full ring never stalls
+/// the others (no head-of-line blocking), with each handle closed the
+/// moment its data is exhausted so its shard can flush early. `handles`
+/// and `data` are matched by index.
+pub fn feed_all(handles: Vec<StreamHandle>, data: &[&[f64]]) {
+    assert_eq!(
+        handles.len(),
+        data.len(),
+        "one data slice per stream handle"
+    );
+    let mut slots: Vec<Option<StreamHandle>> = handles.into_iter().map(Some).collect();
+    let mut cursors = vec![0usize; data.len()];
+    let mut remaining = slots.len();
+    while remaining > 0 {
+        let mut progressed = false;
+        for i in 0..slots.len() {
+            let Some(handle) = slots[i].as_mut() else {
+                continue;
+            };
+            let xs = data[i];
+            if cursors[i] >= xs.len() {
+                slots[i] = None; // close: the shard finishes the stream
+                remaining -= 1;
+                progressed = true;
+                continue;
+            }
+            let end = (cursors[i] + FEED_CHUNK).min(xs.len());
+            let n = handle
+                .try_feed(&xs[cursors[i]..end])
+                .expect("shard worker alive");
+            if n > 0 {
+                cursors[i] += n;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Every unfinished ring is full: the consumers own the pace.
+            std::thread::sleep(IDLE_PARK);
+        }
+    }
+}
+
+/// One stream's live state on its shard.
+struct ActiveStream<Op: Operator<In = f64>> {
+    id: usize,
+    consumer: ring::Consumer<Record<f64>>,
+    op: Op,
+    timing: Timing,
+    output: Vec<Record<Op::Out>>,
+    records_in: u64,
+    busy: Duration,
+    monitor: Arc<StreamMonitor>,
+}
+
+/// The shard event loop: accept registrations, round-robin over owned
+/// streams draining + stepping each, flush and retire finished streams,
+/// park briefly when fully idle. Returns the shard's stream results.
+fn shard_worker<'env, Op>(inbox: mpsc::Receiver<NewStream<'env, Op>>) -> Vec<StreamResult<Op::Out>>
+where
+    Op: Operator<In = f64>,
+    Op::Out: Send,
+{
+    let mut active: Vec<ActiveStream<Op>> = Vec::new();
+    let mut finished: Vec<StreamResult<Op::Out>> = Vec::new();
+    let mut batch: Vec<Record<f64>> = Vec::with_capacity(DRAIN_BATCH);
+    let mut inbox_open = true;
+    let accept = |ns: NewStream<'env, Op>| ActiveStream {
+        id: ns.id,
+        consumer: ns.consumer,
+        op: (ns.factory)(),
+        timing: ns.timing,
+        output: Vec::new(),
+        records_in: 0,
+        busy: Duration::ZERO,
+        monitor: ns.monitor,
+    };
+    loop {
+        while inbox_open {
+            match inbox.try_recv() {
+                Ok(ns) => active.push(accept(ns)),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => inbox_open = false,
+            }
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < active.len() {
+            let st = &mut active[i];
+            batch.clear();
+            let n = st.consumer.drain_into(&mut batch, DRAIN_BATCH);
+            if n > 0 {
+                progressed = true;
+                match st.timing {
+                    Timing::PerRecord => {
+                        // Record into a batch-local histogram so the
+                        // monitor lock is held for a merge, not across
+                        // up to DRAIN_BATCH operator calls — a stats()
+                        // snapshot never waits on a processing batch.
+                        let mut local = LatencyHistogram::new();
+                        for rec in batch.drain(..) {
+                            let t0 = Instant::now();
+                            st.op.process(rec, &mut st.output);
+                            let dt = t0.elapsed();
+                            st.busy += dt;
+                            local.record(dt);
+                        }
+                        st.monitor
+                            .latency
+                            .lock()
+                            .expect("latency lock")
+                            .merge(&local);
+                    }
+                    Timing::Batch => {
+                        let t0 = Instant::now();
+                        for rec in batch.drain(..) {
+                            st.op.process(rec, &mut st.output);
+                        }
+                        let dt = t0.elapsed();
+                        st.busy += dt;
+                        st.monitor
+                            .latency
+                            .lock()
+                            .expect("latency lock")
+                            .record_n(dt, n as u64);
+                    }
+                }
+                st.records_in += n as u64;
+                st.monitor
+                    .records_in
+                    .store(st.records_in, Ordering::Relaxed);
+            }
+            // `is_finished` re-checks emptiness: a producer that closed
+            // mid-drain still gets its tail drained on the next visit.
+            if n < DRAIN_BATCH && st.consumer.is_finished() {
+                let mut st = active.swap_remove(i);
+                progressed = true;
+                let t0 = Instant::now();
+                st.op.flush(&mut st.output);
+                st.busy += t0.elapsed();
+                st.monitor.done.store(true, Ordering::Relaxed);
+                let latency = st.monitor.latency.lock().expect("latency lock").clone();
+                finished.push(StreamResult {
+                    stream: st.id,
+                    shard: st.monitor.shard,
+                    output: st.output,
+                    records_in: st.records_in,
+                    drops: st.monitor.counters.drops.load(Ordering::Relaxed),
+                    busy: st.busy,
+                    latency,
+                });
+                continue; // swap_remove put a new stream at index i
+            }
+            i += 1;
+        }
+        if !inbox_open && active.is_empty() {
+            return finished;
+        }
+        if !progressed {
+            if inbox_open {
+                // Idle but still accepting: block on the inbox with a
+                // timeout so ring polls keep happening.
+                match inbox.recv_timeout(IDLE_PARK) {
+                    Ok(ns) => active.push(accept(ns)),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => inbox_open = false,
+                }
+            } else {
+                std::thread::sleep(IDLE_PARK);
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the stream-id hash for shard assignment.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::TumblingWindowMean;
+    use crate::ring::Backpressure;
+
+    #[test]
+    fn streams_are_served_and_results_sorted_by_id() {
+        let (results, pushed) = serve(EngineConfig::new(3), |engine| {
+            let mut handles: Vec<_> = (0..10)
+                .map(|_| engine.register(|| TumblingWindowMean::new(4)))
+                .collect();
+            let mut pushed = 0u64;
+            for (k, h) in handles.iter_mut().enumerate() {
+                for v in 0..(40 + k) {
+                    h.push(v as f64).unwrap();
+                    pushed += 1;
+                }
+            }
+            pushed
+        });
+        assert_eq!(results.len(), 10);
+        assert_eq!(results.iter().map(|r| r.records_in).sum::<u64>(), pushed);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.stream, k);
+            assert_eq!(r.records_in, 40 + k as u64);
+            assert_eq!(r.drops, 0);
+            assert!(r.shard < 3);
+            // 4-record tumbling mean of 0..n: first window mean is 1.5.
+            assert_eq!(r.output[0].value, 1.5);
+            assert_eq!(r.latency.count(), r.records_in);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_reports_completion() {
+        let (results, observed) = serve(EngineConfig::new(2), |engine| {
+            let mut h0 = engine.register(|| TumblingWindowMean::new(2));
+            let h1 = engine.register(|| TumblingWindowMean::new(2));
+            for v in 0..50 {
+                h0.push(v as f64).unwrap();
+            }
+            drop(h0);
+            let stats = engine.stats();
+            assert_eq!(stats.streams.len(), 2);
+            assert_eq!(stats.shards.len(), 2);
+            assert_eq!(
+                stats.shards.iter().map(|s| s.streams).sum::<usize>(),
+                2,
+                "every stream belongs to exactly one shard"
+            );
+            drop(h1);
+            stats
+        });
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].records_in, 50);
+        assert_eq!(results[1].records_in, 0);
+        // The empty stream produced no latency samples anywhere.
+        assert_eq!(observed.streams[1].records_in, 0);
+    }
+
+    #[test]
+    fn hash_assignment_is_deterministic_and_pinning_wins() {
+        let (results, ()) = serve(EngineConfig::new(4), |engine| {
+            for _ in 0..8 {
+                engine.register(|| TumblingWindowMean::new(2)).close();
+            }
+            let pinned = engine.register_with(
+                StreamOptions {
+                    shard: Some(2),
+                    ..StreamOptions::default()
+                },
+                || TumblingWindowMean::new(2),
+            );
+            assert_eq!(pinned.id(), 8);
+            pinned.close();
+        });
+        assert_eq!(results[8].shard, 2);
+        let (again, ()) = serve(EngineConfig::new(4), |engine| {
+            for _ in 0..8 {
+                engine.register(|| TumblingWindowMean::new(2)).close();
+            }
+        });
+        for k in 0..8 {
+            assert_eq!(results[k].shard, again[k].shard, "stream {k}");
+        }
+    }
+
+    #[test]
+    fn feed_all_drives_unequal_streams_through_tiny_rings() {
+        let data: Vec<Vec<f64>> = (0..12)
+            .map(|k| (0..(k * 97 % 400)).map(|i| i as f64).collect())
+            .collect();
+        let config = EngineConfig {
+            shards: 3,
+            ring: RingConfig::new(4, Backpressure::Block),
+        };
+        let (results, ()) = serve(config, |engine| {
+            let handles: Vec<_> = (0..data.len())
+                .map(|_| engine.register(|| TumblingWindowMean::new(1)))
+                .collect();
+            let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+            feed_all(handles, &slices);
+        });
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.records_in as usize, data[k].len());
+            // Width-1 windows echo the stream: order fully preserved.
+            let got: Vec<f64> = r.output.iter().map(|rec| rec.value).collect();
+            assert_eq!(got, data[k]);
+        }
+    }
+}

@@ -1,9 +1,13 @@
-//! Per-record processing latency measurement.
+//! Per-record processing latency measurement and serving-time accounting.
 //!
 //! The stream-processing comparison the paper cites (Karimov et al., ICDE
 //! 2018) evaluates engines on *latency* as well as throughput; this module
 //! adds a log-bucketed latency histogram so the ClaSS window operator can
-//! be characterised the same way.
+//! be characterised the same way, plus the per-stream / per-shard
+//! accounting types ([`StreamStats`], [`ShardStats`], [`ServingStats`])
+//! the multi-stream engine exposes as a live snapshot: tail latency
+//! (p50/p99), queue depth, and backpressure drops per stream and
+//! aggregated per shard.
 
 use std::time::Duration;
 
@@ -43,6 +47,26 @@ impl LatencyHistogram {
         self.count += 1;
         self.sum_ns += ns as u128;
         self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records `n` operations measured together in `total` wall time,
+    /// attributing the batch-average duration to each. Coarser than
+    /// per-record [`LatencyHistogram::record`] (the histogram's factor-2
+    /// buckets absorb the averaging), but the measurement itself costs
+    /// two clock reads per *batch* instead of per record — the engine
+    /// uses it for operators whose step is cheaper than a clock read.
+    #[inline]
+    pub fn record_n(&mut self, total: Duration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let total_ns = total.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let avg_ns = total_ns / n;
+        let bucket = (64 - avg_ns.max(1).leading_zeros() as usize - 1).min(32);
+        self.buckets[bucket] += n;
+        self.count += n;
+        self.sum_ns += u128::from(total_ns);
+        self.max_ns = self.max_ns.max(avg_ns);
     }
 
     /// Number of recorded samples.
@@ -92,6 +116,82 @@ impl LatencyHistogram {
     }
 }
 
+/// Live accounting for one stream served by the engine.
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Stream id (registration order).
+    pub stream: usize,
+    /// Shard the stream is pinned to.
+    pub shard: usize,
+    /// Records the operator has processed so far.
+    pub records_in: u64,
+    /// Records evicted by the `drop-oldest` backpressure policy.
+    pub drops: u64,
+    /// Records currently queued in the stream's ring buffer.
+    pub queue_depth: usize,
+    /// Whether the stream has been closed, drained, and flushed.
+    pub done: bool,
+    /// Median per-record operator latency.
+    pub p50: Duration,
+    /// Tail (99th percentile) per-record operator latency.
+    pub p99: Duration,
+    /// Mean per-record operator latency.
+    pub mean: Duration,
+}
+
+/// Aggregated accounting for one shard (its streams merged).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Streams assigned to this shard (finished ones included).
+    pub streams: usize,
+    /// Streams still being served.
+    pub active: usize,
+    /// Records processed across the shard's streams.
+    pub records_in: u64,
+    /// Drops across the shard's streams.
+    pub drops: u64,
+    /// Sum of the shard's ring-buffer depths.
+    pub queue_depth: usize,
+    /// Median per-record latency over the merged histogram.
+    pub p50: Duration,
+    /// Tail (p99) per-record latency over the merged histogram.
+    pub p99: Duration,
+}
+
+/// A point-in-time snapshot of the whole engine: one entry per stream
+/// and one aggregate per shard.
+#[derive(Debug, Clone)]
+pub struct ServingStats {
+    /// Per-stream accounting, indexed by stream id.
+    pub streams: Vec<StreamStats>,
+    /// Per-shard aggregates, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServingStats {
+    /// Total records processed across all streams.
+    pub fn records_in(&self) -> u64 {
+        self.streams.iter().map(|s| s.records_in).sum()
+    }
+
+    /// Total backpressure drops across all streams.
+    pub fn drops(&self) -> u64 {
+        self.streams.iter().map(|s| s.drops).sum()
+    }
+
+    /// Total queued records across all ring buffers.
+    pub fn queue_depth(&self) -> usize {
+        self.streams.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Streams not yet finished.
+    pub fn active_streams(&self) -> usize {
+        self.streams.iter().filter(|s| !s.done).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +232,45 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.max() >= Duration::from_micros(10));
+    }
+
+    #[test]
+    fn record_n_attributes_batch_average_to_each_record() {
+        let mut batched = LatencyHistogram::new();
+        batched.record_n(Duration::from_micros(800), 100); // 8 us average
+        assert_eq!(batched.count(), 100);
+        assert_eq!(batched.mean(), Duration::from_nanos(8000));
+        let p50 = batched.quantile(0.5);
+        assert!(
+            p50 >= Duration::from_micros(8) && p50 <= Duration::from_micros(16),
+            "{p50:?}"
+        );
+        // Zero-count batches are ignored.
+        batched.record_n(Duration::from_secs(1), 0);
+        assert_eq!(batched.count(), 100);
+    }
+
+    #[test]
+    fn serving_stats_totals_aggregate_streams() {
+        let mk = |stream, records_in, drops, depth, done| StreamStats {
+            stream,
+            shard: stream % 2,
+            records_in,
+            drops,
+            queue_depth: depth,
+            done,
+            p50: Duration::ZERO,
+            p99: Duration::ZERO,
+            mean: Duration::ZERO,
+        };
+        let stats = ServingStats {
+            streams: vec![mk(0, 100, 3, 7, false), mk(1, 50, 0, 0, true)],
+            shards: Vec::new(),
+        };
+        assert_eq!(stats.records_in(), 150);
+        assert_eq!(stats.drops(), 3);
+        assert_eq!(stats.queue_depth(), 7);
+        assert_eq!(stats.active_streams(), 1);
     }
 
     #[test]

@@ -1,36 +1,50 @@
-//! # stream-engine — a miniature one-at-a-time stream processing runtime
+//! # stream-engine — a multi-stream serving runtime for streaming
+//! # segmentation operators
 //!
 //! Stands in for Apache Flink in the paper's throughput experiment (§4.4):
 //! the paper wraps ClaSS as a Flink *window operator*, runs each of the 592
 //! series as an independent data stream loaded from RAM, and measures data
-//! points per second through the operator. This crate reproduces exactly
-//! that execution model:
+//! points per second through the operator. This crate reproduces that
+//! execution model at serving scale:
 //!
-//! * [`Record`]s flow one at a time through a chain of [`Operator`]s
+//! * [`Record`]s flow one at a time through [`Operator`]s
 //!   (event-at-a-time processing, Flink's model, as opposed to
 //!   micro-batching — see the Karimov et al. comparison cited in §5),
-//! * a [`Pipeline`] composes operators and drives a full stream to a sink,
-//! * [`parallel::run_streams`] executes many independent stream jobs on a
-//!   bounded worker pool with backpressured channels (Flink task slots and
-//!   network buffers), and
+//! * [`serve`] opens a **sharded serving engine**: `shards` worker
+//!   threads step any number of registered streams as state machines fed
+//!   through fixed-capacity SPSC [`ring`] buffers with per-stream
+//!   [`Backpressure`] policies (block / drop-oldest / error) — Flink
+//!   task slots and bounded network buffers, with no thread per stream,
+//! * [`ServingStats`] snapshots per-stream and per-shard accounting
+//!   (p50/p99 operator latency, queue depth, backpressure drops) live,
+//! * [`parallel::run_streams`] runs a batch of in-memory streams to
+//!   completion on the engine (the §4.4 experiment shape),
+//! * a single-threaded [`Pipeline`] composes operator chains for
+//!   in-process use and differential testing against the engine,
 //! * [`SegmenterOperator`] adapts any [`class_core::StreamingSegmenter`]
 //!   into a window operator emitting change point records, and
-//! * [`ReplaySource`] replays a loaded (file-backed) series through a
-//!   pipeline, unpaced like the paper's RAM-resident streams or throttled
-//!   to a configurable record rate like a live sensor feed.
+//! * [`ReplaySource`] replays a loaded (file-backed) series, unpaced like
+//!   the paper's RAM-resident streams or throttled to a configurable
+//!   record rate like a live sensor feed.
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod latency;
 pub mod operator;
 pub mod parallel;
 pub mod pipeline;
+pub mod ring;
 pub mod source;
 
-pub use latency::LatencyHistogram;
+pub use engine::{
+    feed_all, serve, EngineConfig, ServingEngine, StreamHandle, StreamOptions, StreamResult, Timing,
+};
+pub use latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
 pub use operator::{FilterOperator, MapOperator, Operator, SegmenterOperator, TumblingWindowMean};
 pub use parallel::{run_streams, StreamJobResult};
 pub use pipeline::{Pipeline, ThroughputReport};
+pub use ring::{Backpressure, OverflowError, PushError, RingConfig};
 pub use source::{ReplayIter, ReplaySource};
 
 /// A timestamped stream record. `timestamp` is the position in the source

@@ -1,16 +1,21 @@
-//! Multi-stream execution on a bounded worker pool.
+//! Batch execution of many in-memory streams on the serving engine.
 //!
 //! Models Flink's deployment in the paper's §4.4 experiment: every time
 //! series is an independent data stream with its own operator instance
 //! ("a single instance of a STSS operator can only segment one stream at a
-//! time"); streams are scheduled onto a fixed number of task slots, and
-//! records flow through bounded (backpressured) channels like Flink network
-//! buffers.
+//! time"); streams are sharded onto a fixed number of task slots, and
+//! records flow through bounded (backpressured) ring buffers like Flink
+//! network buffers. Unlike the crate's first iteration, no stream owns a
+//! thread: `slots` shard workers serve all streams, and the caller's
+//! thread feeds every ring ([`crate::feed_all`]) — `slots + 1` threads in
+//! total regardless of the stream count.
 
+use crate::engine::{feed_all, serve, EngineConfig, StreamOptions};
 use crate::latency::LatencyHistogram;
 use crate::operator::Operator;
+use crate::ring::{Backpressure, RingConfig};
 use crate::Record;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of one stream job.
 #[derive(Debug, Clone)]
@@ -21,8 +26,7 @@ pub struct StreamJobResult<O> {
     pub output: Vec<Record<O>>,
     /// Records processed.
     pub records_in: u64,
-    /// Wall-clock time spent inside the operator path (excluding queueing
-    /// of the job itself).
+    /// Operator-busy wall time (processing + flush, excluding queueing).
     pub elapsed: Duration,
     /// Per-record operator latency distribution.
     pub latency: LatencyHistogram,
@@ -35,10 +39,11 @@ impl<O> StreamJobResult<O> {
     }
 }
 
-/// Runs one operator instance per stream over a pool of `slots` worker
-/// threads. `make_op` builds a fresh operator for each stream (Flink
-/// operator instantiation per task). Records are pushed through a bounded
-/// channel of `buffer` records to model backpressure.
+/// Runs one operator instance per stream over an engine of `slots` shard
+/// workers. `make_op` builds a fresh operator for each stream (Flink
+/// operator instantiation per task) on the stream's shard. Records flow
+/// through bounded rings of `buffer` records with the lossless `Block`
+/// backpressure policy, so every record is processed in order.
 ///
 /// Results are returned ordered by stream index.
 pub fn run_streams<Op, F>(
@@ -52,58 +57,41 @@ where
     Op::Out: Send,
     F: Fn(usize) -> Op + Sync,
 {
-    let slots = slots.max(1);
-    let buffer = buffer.max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<StreamJobResult<Op::Out>>> =
-        (0..streams.len()).map(|_| None).collect();
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..slots {
-            scope.spawn(|| loop {
-                let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if s >= streams.len() {
-                    break;
-                }
-                let mut op = make_op(s);
-                // Source thread feeds a bounded channel (backpressure).
-                let (tx, rx) = std::sync::mpsc::sync_channel::<Record<f64>>(buffer);
-                let stream = &streams[s];
-                let result = std::thread::scope(|inner| {
-                    inner.spawn(move || {
-                        for (t, &v) in stream.iter().enumerate() {
-                            if tx.send(Record::new(t as u64, v)).is_err() {
-                                break;
-                            }
-                        }
-                    });
-                    let mut output = Vec::new();
-                    let mut n = 0u64;
-                    let mut latency = LatencyHistogram::new();
-                    let start = Instant::now();
-                    for rec in rx.iter() {
-                        let t0 = Instant::now();
-                        op.process(rec, &mut output);
-                        latency.record(t0.elapsed());
-                        n += 1;
-                    }
-                    op.flush(&mut output);
-                    StreamJobResult {
-                        stream_index: s,
-                        output,
-                        records_in: n,
-                        elapsed: start.elapsed(),
-                        latency,
-                    }
-                });
-                let mut guard = results_mutex.lock().unwrap();
-                guard[s] = Some(result);
-            });
-        }
+    let shards = slots.max(1).min(streams.len().max(1));
+    let config = EngineConfig {
+        shards,
+        ring: RingConfig::new(buffer.max(1), Backpressure::Block),
+    };
+    let make_op = &make_op;
+    let (results, ()) = serve(config, move |engine| {
+        let handles: Vec<_> = (0..streams.len())
+            .map(|i| {
+                // Round-robin pinning instead of the engine's default
+                // hash assignment: a batch run knows all its streams up
+                // front, and i % shards is balanced by construction
+                // (hashing a handful of ids can leave a slot idle).
+                engine.register_with(
+                    StreamOptions {
+                        ring: config.ring,
+                        shard: Some(i % shards),
+                        ..StreamOptions::default()
+                    },
+                    move || make_op(i),
+                )
+            })
+            .collect();
+        let slices: Vec<&[f64]> = streams.iter().map(|s| s.as_slice()).collect();
+        feed_all(handles, &slices);
     });
     results
         .into_iter()
-        .map(|r| r.expect("job finished"))
+        .map(|r| StreamJobResult {
+            stream_index: r.stream,
+            output: r.output,
+            records_in: r.records_in,
+            elapsed: r.busy,
+            latency: r.latency,
+        })
         .collect()
 }
 
@@ -176,5 +164,21 @@ mod tests {
         let streams = vec![(0..1000).map(|i| i as f64).collect::<Vec<_>>()];
         let results = run_streams::<_, _>(&streams, |_| MapOperator::new(|x: f64| x), 1, 1);
         assert_eq!(results[0].records_in, 1000);
+    }
+
+    #[test]
+    fn more_streams_than_slots_all_complete() {
+        // 64 streams on 2 shards: far more streams than threads — the
+        // exact shape the old thread-per-stream design could not scale.
+        let streams: Vec<Vec<f64>> = (0..64)
+            .map(|k| (0..200).map(|i| ((i + k) % 23) as f64).collect())
+            .collect();
+        let results = run_streams::<_, _>(&streams, |_| TumblingWindowMean::new(7), 2, 16);
+        assert_eq!(results.len(), 64);
+        let serial = run_streams::<_, _>(&streams, |_| TumblingWindowMean::new(7), 1, 16);
+        for (a, b) in results.iter().zip(&serial) {
+            assert_eq!(a.records_in, 200);
+            assert_eq!(a.output, b.output);
+        }
     }
 }

@@ -1,0 +1,407 @@
+//! Fixed-capacity ring buffers with explicit backpressure policies.
+//!
+//! The engine's transport between a stream's producer (the ingest side)
+//! and the shard worker that steps its operator. Each ring is SPSC by
+//! construction — one [`Producer`] held by the [`crate::StreamHandle`],
+//! one [`Consumer`] owned by the stream's shard — and never reallocates
+//! after creation, so a full ring exerts *backpressure* instead of
+//! growing without bound (Flink's bounded network buffers; FLOSS's
+//! bounded online model makes the same constant-memory argument for the
+//! operator itself).
+//!
+//! What happens when the ring is full is the per-stream
+//! [`Backpressure`] policy:
+//!
+//! * [`Backpressure::Block`] — the producer waits for space; every
+//!   record is delivered (lossless, the default).
+//! * [`Backpressure::DropOldest`] — the oldest queued record is evicted
+//!   and counted; a lagging consumer sees the freshest window of the
+//!   feed (live dashboards, lossy sensors).
+//! * [`Backpressure::Error`] — the push fails with a typed
+//!   [`OverflowError`] and the record is not enqueued; the caller
+//!   decides (fail-fast ingestion).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a full ring does to an incoming record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Wait for the consumer to free a slot; lossless (default).
+    #[default]
+    Block,
+    /// Evict the oldest queued record and count it as a drop.
+    DropOldest,
+    /// Reject the push with a typed [`OverflowError`].
+    Error,
+}
+
+/// Capacity + policy of one ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Maximum queued records (must be >= 1). The ring never holds more.
+    pub capacity: usize,
+    /// Full-ring behaviour.
+    pub policy: Backpressure,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            policy: Backpressure::Block,
+        }
+    }
+}
+
+impl RingConfig {
+    /// A config with the given capacity and policy.
+    pub fn new(capacity: usize, policy: Backpressure) -> Self {
+        Self { capacity, policy }
+    }
+}
+
+/// Typed overflow under [`Backpressure::Error`]: the ring was full and
+/// the record was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowError {
+    /// Capacity of the ring that rejected the record.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OverflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ring buffer overflow: all {} slots full under the `error` backpressure policy",
+            self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OverflowError {}
+
+/// Why a push did not (fully) succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Full ring under [`Backpressure::Error`]; the record was rejected.
+    Overflow(OverflowError),
+    /// The consumer (shard worker) is gone; no record can be delivered.
+    Disconnected,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Overflow(e) => e.fmt(f),
+            PushError::Disconnected => write!(f, "ring buffer consumer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+/// Depth/drop counters readable without touching the ring lock — the
+/// engine's stats snapshot polls these from a third thread.
+#[derive(Debug, Default)]
+pub(crate) struct RingCounters {
+    /// Records currently queued.
+    pub(crate) depth: AtomicUsize,
+    /// Records evicted under [`Backpressure::DropOldest`].
+    pub(crate) drops: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: VecDeque<T>,
+    tx_closed: bool,
+    rx_closed: bool,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Producers blocked under [`Backpressure::Block`] wait here.
+    not_full: Condvar,
+    counters: Arc<RingCounters>,
+    capacity: usize,
+    policy: Backpressure,
+}
+
+/// Creates a bounded ring, returning its two ends.
+pub fn ring<T>(cfg: RingConfig) -> (Producer<T>, Consumer<T>) {
+    assert!(cfg.capacity >= 1, "ring capacity must be >= 1");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            buf: VecDeque::with_capacity(cfg.capacity),
+            tx_closed: false,
+            rx_closed: false,
+        }),
+        not_full: Condvar::new(),
+        counters: Arc::new(RingCounters::default()),
+        capacity: cfg.capacity,
+        policy: cfg.policy,
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+/// The write end of a ring. Dropping it closes the stream: the consumer
+/// drains what is queued, then observes end-of-stream.
+#[derive(Debug)]
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Producer<T> {
+    /// Pushes one record, applying the ring's backpressure policy when
+    /// full: `Block` waits, `DropOldest` evicts and succeeds, `Error`
+    /// returns [`PushError::Overflow`] without enqueueing.
+    pub fn push(&mut self, item: T) -> Result<(), PushError> {
+        let sh = &*self.shared;
+        let mut inner = sh.inner.lock().expect("ring lock");
+        loop {
+            if inner.rx_closed {
+                return Err(PushError::Disconnected);
+            }
+            if inner.buf.len() < sh.capacity {
+                inner.buf.push_back(item);
+                sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
+                return Ok(());
+            }
+            match sh.policy {
+                Backpressure::Block => {
+                    inner = sh.not_full.wait(inner).expect("ring lock");
+                }
+                Backpressure::DropOldest => {
+                    inner.buf.pop_front();
+                    sh.counters.drops.fetch_add(1, Ordering::Relaxed);
+                }
+                Backpressure::Error => {
+                    return Err(PushError::Overflow(OverflowError {
+                        capacity: sh.capacity,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking bulk push: enqueues a prefix of `items` under one
+    /// lock acquisition and returns how many were accepted. `Block` and
+    /// `Error` accept what fits without waiting or failing (this is the
+    /// "try" flavour — the typed overflow only surfaces through
+    /// [`Producer::push`]); `DropOldest` accepts everything, evicting as
+    /// needed.
+    pub fn try_feed(&mut self, items: &[T]) -> Result<usize, PushError>
+    where
+        T: Copy,
+    {
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let sh = &*self.shared;
+        let mut inner = sh.inner.lock().expect("ring lock");
+        if inner.rx_closed {
+            return Err(PushError::Disconnected);
+        }
+        let accepted = match sh.policy {
+            Backpressure::Block | Backpressure::Error => {
+                let space = sh.capacity - inner.buf.len();
+                let n = items.len().min(space);
+                inner.buf.extend(items[..n].iter().copied());
+                n
+            }
+            Backpressure::DropOldest => {
+                let mut drops = 0u64;
+                for &it in items {
+                    if inner.buf.len() == sh.capacity {
+                        inner.buf.pop_front();
+                        drops += 1;
+                    }
+                    inner.buf.push_back(it);
+                }
+                if drops > 0 {
+                    sh.counters.drops.fetch_add(drops, Ordering::Relaxed);
+                }
+                items.len()
+            }
+        };
+        sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
+        Ok(accepted)
+    }
+
+    /// Records currently queued (racy snapshot, lock-free).
+    pub fn depth(&self) -> usize {
+        self.shared.counters.depth.load(Ordering::Relaxed)
+    }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Records evicted so far under [`Backpressure::DropOldest`].
+    pub fn drops(&self) -> u64 {
+        self.shared.counters.drops.load(Ordering::Relaxed)
+    }
+
+    /// Shared counters handle for external stats snapshots.
+    pub(crate) fn counters(&self) -> Arc<RingCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("ring lock");
+        inner.tx_closed = true;
+    }
+}
+
+/// The read end of a ring, owned by the stream's shard worker.
+#[derive(Debug)]
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Consumer<T> {
+    /// Moves up to `max` queued records into `out` under one lock
+    /// acquisition, wakes any blocked producer, and returns the count.
+    pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let sh = &*self.shared;
+        let mut inner = sh.inner.lock().expect("ring lock");
+        let n = inner.buf.len().min(max);
+        out.extend(inner.buf.drain(..n));
+        sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
+        if n > 0 {
+            // SPSC: at most one producer can be parked on this ring.
+            sh.not_full.notify_one();
+        }
+        n
+    }
+
+    /// End-of-stream: the producer is gone and the ring is drained.
+    pub fn is_finished(&self) -> bool {
+        let inner = self.shared.inner.lock().expect("ring lock");
+        inner.tx_closed && inner.buf.is_empty()
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("ring lock");
+        inner.rx_closed = true;
+        drop(inner);
+        // A producer blocked on a full ring must observe the disconnect.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_depth_accounting() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(4, Backpressure::Block));
+        for v in 0..4 {
+            tx.push(v).unwrap();
+        }
+        assert_eq!(tx.depth(), 4);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(tx.depth(), 1);
+        assert_eq!(rx.drain_into(&mut out, 8), 1);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(!rx.is_finished());
+        drop(tx);
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn drop_oldest_evicts_exactly_the_overflow_and_counts_it() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(4, Backpressure::DropOldest));
+        for v in 0..10 {
+            tx.push(v).unwrap();
+        }
+        assert_eq!(tx.drops(), 6);
+        assert_eq!(tx.depth(), 4);
+        let mut out = Vec::new();
+        rx.drain_into(&mut out, usize::MAX);
+        // The freshest window survives.
+        assert_eq!(out, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drop_oldest_bulk_feed_counts_chunk_evictions() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(3, Backpressure::DropOldest));
+        let items: Vec<u32> = (0..8).collect();
+        assert_eq!(tx.try_feed(&items).unwrap(), 8);
+        assert_eq!(tx.drops(), 5);
+        let mut out = Vec::new();
+        rx.drain_into(&mut out, usize::MAX);
+        assert_eq!(out, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn error_policy_surfaces_typed_overflow_and_rejects_the_record() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(2, Backpressure::Error));
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let err = tx.push(3).unwrap_err();
+        assert_eq!(err, PushError::Overflow(OverflowError { capacity: 2 }));
+        let mut out = Vec::new();
+        rx.drain_into(&mut out, usize::MAX);
+        // The rejected record never entered the ring.
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn try_feed_accepts_only_what_fits_under_block() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(3, Backpressure::Block));
+        assert_eq!(tx.try_feed(&[1, 2, 3, 4, 5]).unwrap(), 3);
+        let mut out = Vec::new();
+        rx.drain_into(&mut out, 2);
+        assert_eq!(tx.try_feed(&[4, 5, 6]).unwrap(), 2);
+        rx.drain_into(&mut out, usize::MAX);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn blocked_producer_wakes_when_consumer_drains() {
+        let (mut tx, mut rx) = ring::<u32>(RingConfig::new(1, Backpressure::Block));
+        tx.push(0).unwrap();
+        let pusher = std::thread::spawn(move || {
+            tx.push(1).unwrap(); // blocks until the main thread drains
+            tx.drops()
+        });
+        // Give the pusher a chance to park, then free a slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut out = Vec::new();
+        while out.len() < 2 {
+            rx.drain_into(&mut out, usize::MAX);
+        }
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(pusher.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn disconnected_consumer_fails_pushes() {
+        let (mut tx, rx) = ring::<u32>(RingConfig::new(1, Backpressure::Block));
+        drop(rx);
+        assert_eq!(tx.push(1).unwrap_err(), PushError::Disconnected);
+        assert_eq!(tx.try_feed(&[1, 2]).unwrap_err(), PushError::Disconnected);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = ring::<u32>(RingConfig::new(0, Backpressure::Block));
+    }
+}

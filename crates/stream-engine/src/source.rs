@@ -6,8 +6,10 @@
 //! records at the sensor's native rate instead. [`ReplaySource`] models
 //! both: unpaced it is a plain in-memory iterator (the §4.4 setup), with
 //! [`ReplaySource::with_rate`] it sleeps between emissions to match a
-//! target records-per-second rate, which is how the `class-cli
-//! datasets run --rate` path simulates a live feed from an archive file.
+//! target records-per-second rate. `class-cli datasets run` drives its
+//! iterator into a serving-engine [`crate::StreamHandle`] — the pacing
+//! happens on the ingest thread, the backpressured ring carries the
+//! records to the stream's shard.
 
 use std::path::Path;
 use std::time::{Duration, Instant};

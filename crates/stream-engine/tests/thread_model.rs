@@ -1,0 +1,65 @@
+//! The engine's thread model: serving any number of streams costs
+//! exactly `shards + 1` OS threads — the shard workers plus the caller's
+//! ingest thread. The first iteration of this crate spawned one extra
+//! source thread per active stream job; this test pins the fix by
+//! counting the process's threads while 32 streams are live on 4 shards.
+//!
+//! Kept as the only test in this binary so no sibling test's threads
+//! race the `/proc/self/status` readings.
+
+#![cfg(target_os = "linux")]
+
+use stream_engine::{feed_all, serve, EngineConfig, Operator, Record};
+
+/// OS threads of this process, from /proc.
+fn os_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .expect("Threads: line")
+        .trim()
+        .parse()
+        .expect("thread count")
+}
+
+struct Echo;
+
+impl Operator for Echo {
+    type In = f64;
+    type Out = f64;
+
+    fn process(&mut self, rec: Record<f64>, out: &mut Vec<Record<f64>>) {
+        out.push(rec);
+    }
+}
+
+#[test]
+fn engine_total_thread_count_is_shards_plus_one() {
+    const SHARDS: usize = 4;
+    const STREAMS: usize = 32;
+    let before = os_threads();
+    let (results, during) = serve(EngineConfig::new(SHARDS), |engine| {
+        let handles: Vec<_> = (0..STREAMS).map(|_| engine.register(|| Echo)).collect();
+        // All 32 streams are registered and live on this thread plus the
+        // shard workers — the engine's total footprint is shards + 1
+        // threads, with zero threads per stream.
+        let during = os_threads();
+        let data: Vec<Vec<f64>> = (0..STREAMS)
+            .map(|k| (0..500).map(|i| (i * (k + 1)) as f64).collect())
+            .collect();
+        let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+        feed_all(handles, &slices);
+        during
+    });
+    assert_eq!(
+        during,
+        before + SHARDS,
+        "serving {STREAMS} streams must add exactly {SHARDS} worker threads \
+         (the engine's total is shards + 1, counting this ingest thread)"
+    );
+    assert_eq!(results.len(), STREAMS);
+    assert!(results.iter().all(|r| r.records_in == 500));
+    // serve() joins its workers before returning: the pool is gone.
+    assert_eq!(os_threads(), before);
+}

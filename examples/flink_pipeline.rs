@@ -5,12 +5,16 @@
 //! Builds the Flink-style topology the paper deploys: a source feeding a
 //! pre-processing operator (tumbling-window smoothing) and the ClaSS window
 //! operator, whose output is a stream of change point records. Then runs
-//! many independent sensor streams on a bounded slot pool and reports the
-//! operator throughput.
+//! many independent sensor streams on the sharded serving engine (a
+//! bounded worker pool fed through backpressured ring buffers) and
+//! reports operator throughput plus a live `ServingStats` snapshot.
 
 use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
 use datasets::{Archive, GenConfig};
-use stream_engine::{run_streams, Pipeline, SegmenterOperator};
+use stream_engine::{
+    feed_all, run_streams, serve, Backpressure, EngineConfig, Pipeline, RingConfig,
+    SegmenterOperator,
+};
 
 fn main() {
     // --- Single pipeline: source -> smoothing -> ClaSS -> sink. ---
@@ -62,6 +66,44 @@ fn main() {
             r.records_in,
             r.output.len(),
             r.throughput()
+        );
+    }
+
+    // --- The serving engine directly: live stats while streams flow. ---
+    let config = EngineConfig {
+        shards: 2,
+        ring: RingConfig::new(128, Backpressure::Block),
+    };
+    let (served, snapshot) = serve(config, |engine| {
+        let handles: Vec<_> = (0..streams.len())
+            .map(|_| {
+                engine.register(|| {
+                    let mut c = ClassConfig::with_window_size(2_000);
+                    c.warmup = Some(1_500);
+                    c.log10_alpha = -15.0;
+                    SegmenterOperator::new(ClassSegmenter::new(c))
+                })
+            })
+            .collect();
+        let snapshot = engine.stats(); // all streams live, none finished
+        let slices: Vec<&[f64]> = streams.iter().map(|s| s.as_slice()).collect();
+        feed_all(handles, &slices);
+        snapshot
+    });
+    println!(
+        "\nserving engine: {} streams registered on {} shards ({} active at snapshot)",
+        served.len(),
+        config.shards,
+        snapshot.active_streams()
+    );
+    for r in &served {
+        println!(
+            "  stream {} (shard {}): {} records, p99 {:?}, {} drops",
+            r.stream,
+            r.shard,
+            r.records_in,
+            r.latency.quantile(0.99),
+            r.drops
         );
     }
 }
