@@ -20,13 +20,22 @@
 //! serves 512. `--check BASELINE.json` exits non-zero if records/sec
 //! regressed more than `--tolerance` (default 0.25) against the
 //! baseline document (read before `--out` overwrites it).
+//!
+//! `--mv-channels C` switches every stream to a C-channel multivariate
+//! sensor (paper §6 sensor fusion): channels travel interleaved through
+//! one ring per stream and the shard steps a quorum-fusion
+//! `MultivariateClass` per frame. The mode is recorded in the JSON and
+//! never gated against a univariate baseline — records/sec measures a
+//! different operator.
 
 use bench::perf::{json_number, json_string, regressions};
-use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
+use class_core::{
+    ClassConfig, ClassSegmenter, MultivariateClass, MultivariateConfig, WidthSelection,
+};
 use datasets::{build_series, NoiseSpec, Regime};
 use stream_engine::{
-    feed_all, serve, Backpressure, EngineConfig, LatencyHistogram, RingConfig, SegmenterOperator,
-    StreamResult,
+    feed_all, serve, Backpressure, EngineConfig, LatencyHistogram, MultiChannelReplaySource,
+    MultivariateSegmenterOperator, RingConfig, SegmenterOperator, StreamResult,
 };
 
 struct Preset {
@@ -83,11 +92,13 @@ fn stream_values(preset: &Preset, k: usize, seed: u64) -> Vec<f64> {
     .values
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_serve_json(
     preset: &str,
     shards: usize,
     policy: &str,
     simd_backend: &str,
+    mv_channels: usize,
     elapsed_s: f64,
     results: &[StreamResult<u64>],
     latency: &LatencyHistogram,
@@ -99,6 +110,7 @@ fn render_serve_json(
     out.push_str("  \"schema\": \"class-serve-throughput/v1\",\n");
     out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"mv_channels\": {mv_channels},\n"));
     out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
     out.push_str(&format!("  \"simd_backend\": \"{simd_backend}\",\n"));
     out.push_str(&format!("  \"streams\": {},\n", results.len()));
@@ -154,6 +166,7 @@ fn main() {
     let mut ring = 256usize;
     let mut policy = Backpressure::Block;
     let mut seed = 0xC1A55u64;
+    let mut mv_channels = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| {
@@ -181,13 +194,18 @@ fn main() {
                 };
             }
             "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
+            "--mv-channels" => {
+                mv_channels = grab("--mv-channels")
+                    .parse()
+                    .expect("numeric --mv-channels")
+            }
             "--out" => out_path = grab("--out"),
             "--check" => check_path = Some(grab("--check")),
             "--tolerance" => tolerance = grab("--tolerance").parse().expect("numeric --tolerance"),
             "--help" | "-h" => {
                 eprintln!(
                     "options: --preset quick|full --shards N --streams N --ring N \
-                     --policy block|drop-oldest --seed N --out PATH \
+                     --policy block|drop-oldest --mv-channels C --seed N --out PATH \
                      --check BASELINE.json --tolerance F"
                 );
                 return;
@@ -195,6 +213,14 @@ fn main() {
             other => panic!("unknown argument: {other}"),
         }
     }
+    // The interleaved multi-channel transport requires the lossless
+    // policy: evicting individual scalar records would desynchronize
+    // frame reassembly and the run would measure a scrambled workload.
+    assert!(
+        mv_channels == 0 || matches!(policy, Backpressure::Block),
+        "--mv-channels requires --policy block (drop-oldest would evict \
+         individual channel records and desynchronize frames)"
+    );
     let baseline = check_path.as_ref().map(|p| {
         std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading baseline {p}: {e}"))
     });
@@ -208,41 +234,76 @@ fn main() {
     };
     eprintln!(
         "serve_throughput: preset={} streams={n_streams} points/stream={} shards={shards} \
-         ring={ring} policy={policy_name} simd_backend={backend}",
+         ring={ring} policy={policy_name} mv_channels={mv_channels} simd_backend={backend}",
         preset.name, preset.points
     );
 
-    let data: Vec<Vec<f64>> = (0..n_streams)
-        .map(|k| stream_values(preset, k, seed))
-        .collect();
+    // Per-stream record sequences: the plain series for the univariate
+    // workload, or `mv_channels` decorrelated channels interleaved
+    // frame-major (the serving engine's multi-channel transport) for the
+    // sensor-fusion workload.
+    let data: Vec<Vec<f64>> = if mv_channels == 0 {
+        (0..n_streams)
+            .map(|k| stream_values(preset, k, seed))
+            .collect()
+    } else {
+        (0..n_streams)
+            .map(|k| {
+                let channels: Vec<Vec<f64>> = (0..mv_channels)
+                    .map(|c| stream_values(preset, k, seed ^ ((c as u64 + 1) << 32)))
+                    .collect();
+                MultiChannelReplaySource::new(channels).interleaved()
+            })
+            .collect()
+    };
     let window = preset.window;
     let width = preset.width;
+    let base_cfg = move || {
+        let mut cfg = ClassConfig::with_window_size(window);
+        cfg.width = WidthSelection::Fixed(width);
+        cfg.warmup = Some(window);
+        cfg.log10_alpha = -15.0;
+        cfg
+    };
 
     let config = EngineConfig {
         shards,
         ring: RingConfig::new(ring, policy),
     };
     let started = std::time::Instant::now();
-    let (results, live) = serve(config, |engine| {
-        let handles: Vec<_> = (0..n_streams)
-            .map(|_| {
-                engine.register(move || {
-                    let mut cfg = ClassConfig::with_window_size(window);
-                    cfg.width = WidthSelection::Fixed(width);
-                    cfg.warmup = Some(window);
-                    cfg.log10_alpha = -15.0;
-                    SegmenterOperator::new(ClassSegmenter::new(cfg))
+    let (results, live) = if mv_channels == 0 {
+        serve(config, |engine| {
+            let handles: Vec<_> = (0..n_streams)
+                .map(|_| {
+                    engine.register(move || SegmenterOperator::new(ClassSegmenter::new(base_cfg())))
                 })
-            })
-            .collect();
-        // All streams are registered and live before the first record is
-        // fed: the engine is serving `n_streams` concurrent streams on
-        // `shards` worker threads from here on.
-        let live = engine.stats().active_streams();
-        let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-        feed_all(handles, &slices);
-        live
-    });
+                .collect();
+            // All streams are registered and live before the first record
+            // is fed: the engine is serving `n_streams` concurrent
+            // streams on `shards` worker threads from here on.
+            let live = engine.stats().active_streams();
+            let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+            feed_all(handles, &slices);
+            live
+        })
+    } else {
+        serve(config, |engine| {
+            let handles: Vec<_> = (0..n_streams)
+                .map(|_| {
+                    engine.register(move || {
+                        MultivariateSegmenterOperator::new(MultivariateClass::new(
+                            MultivariateConfig::new(base_cfg(), mv_channels),
+                            mv_channels,
+                        ))
+                    })
+                })
+                .collect();
+            let live = engine.stats().active_streams();
+            let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+            feed_all(handles, &slices);
+            live
+        })
+    };
     let elapsed = started.elapsed().as_secs_f64();
     assert_eq!(live, n_streams, "every stream live before feeding");
 
@@ -261,6 +322,7 @@ fn main() {
         shards,
         policy_name,
         backend,
+        mv_channels,
         elapsed,
         &results,
         &latency,
@@ -316,6 +378,14 @@ fn main() {
             base_shards, shards,
             "baseline shard-count mismatch: cannot compare {base_shards} vs {shards} \
              (pass --shards {base_shards} to match the baseline)",
+        );
+        // The multivariate operator costs ~channels x a univariate step;
+        // the two workloads are different experiments. (Pre-multivariate
+        // baselines carry no `mv_channels` key and count as 0.)
+        let base_mv = json_number(&baseline, "mv_channels").unwrap_or(0.0) as usize;
+        assert_eq!(
+            base_mv, mv_channels,
+            "baseline mv-channel mismatch: cannot compare {base_mv} vs {mv_channels}",
         );
         let base_rps = json_number(&baseline, "records_per_sec").expect("baseline records_per_sec");
         let pairs = vec![("records_per_sec".to_string(), base_rps, rps)];

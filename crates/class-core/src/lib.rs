@@ -57,7 +57,9 @@ pub use clasp_batch::{clasp_profile, clasp_segment, ClaspConfig};
 pub use class::{ClassConfig, ClassSegmenter, WidthSelection};
 pub use crossval::{CrossVal, ScoreFn};
 pub use knn::{KnnConfig, StreamingKnn};
-pub use multivariate::{ChannelSelection, FusionStrategy, MultivariateClass, MultivariateConfig};
+pub use multivariate::{
+    ChannelSelection, FusionStrategy, MultivariateClass, MultivariateConfig, VoteFuser,
+};
 pub use segmenter::StreamingSegmenter;
 pub use similarity::Similarity;
 pub use stats::{BinaryGroups, SampleSize, SplitMix64};

@@ -35,7 +35,11 @@ pub enum FusionStrategy {
 }
 
 impl FusionStrategy {
-    fn tolerance(&self) -> u64 {
+    /// Maximum distance between agreeing votes, in observations. Public
+    /// so callers overriding the strategy (e.g. the CLI's `--fusion`
+    /// knob) can keep the configured tolerance instead of re-deriving
+    /// the default formula.
+    pub fn tolerance(&self) -> u64 {
         match *self {
             FusionStrategy::Quorum { tolerance, .. } | FusionStrategy::Any { tolerance } => {
                 tolerance
@@ -43,7 +47,9 @@ impl FusionStrategy {
         }
     }
 
-    fn min_votes(&self) -> usize {
+    /// Number of distinct channels that must agree before a change point
+    /// is emitted (1 for [`FusionStrategy::Any`]).
+    pub fn min_votes(&self) -> usize {
         match *self {
             FusionStrategy::Quorum { min_votes, .. } => min_votes.max(1),
             FusionStrategy::Any { .. } => 1,
@@ -90,6 +96,17 @@ impl MultivariateConfig {
             selection: ChannelSelection::All,
         }
     }
+
+    /// The univariate configuration channel `i` is segmented with: the
+    /// shared base with a per-channel seed so channels decorrelate. Public
+    /// so stand-alone per-channel segmenters (differential tests, offline
+    /// fusion references) can reproduce exactly what the multivariate
+    /// segmenter runs internally.
+    pub fn channel_config(&self, i: usize) -> ClassConfig {
+        let mut c = self.base.clone();
+        c.seed ^= (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+        c
+    }
 }
 
 /// One pending per-channel vote.
@@ -97,6 +114,118 @@ impl MultivariateConfig {
 struct Vote {
     channel: usize,
     cp: u64,
+}
+
+/// The online vote-fusion state machine shared change points are distilled
+/// through: per-channel change point reports enter as votes, and a fused
+/// change point is emitted once the configured [`FusionStrategy`] is
+/// satisfied. Extracted from [`MultivariateClass`] so the fusion layer can
+/// be driven stand-alone — e.g. replaying votes recorded from independent
+/// per-channel segmenters must reproduce the fused output exactly (the
+/// serving-engine differential tests rely on this).
+#[derive(Debug, Clone)]
+pub struct VoteFuser {
+    fusion: FusionStrategy,
+    votes: Vec<Vote>,
+    emitted: Vec<u64>,
+}
+
+impl VoteFuser {
+    /// Creates an empty fuser for a fusion strategy.
+    pub fn new(fusion: FusionStrategy) -> Self {
+        Self {
+            fusion,
+            votes: Vec::new(),
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Records one per-channel change point vote. Votes accumulate until
+    /// the next [`VoteFuser::step`] (online) or [`VoteFuser::finish`]
+    /// (end-of-stream) evaluates them.
+    pub fn vote(&mut self, channel: usize, cp: u64) {
+        self.votes.push(Vote { channel, cp });
+    }
+
+    /// Advances the fuser to stream position `pos`: expires votes that can
+    /// no longer join a quorum, then searches for a satisfied vote cluster.
+    /// At most one fused change point is emitted per step.
+    pub fn step(&mut self, pos: u64) -> Option<u64> {
+        let tolerance = self.fusion.tolerance();
+        // Expire votes that can no longer join a quorum.
+        let horizon = 4 * tolerance + 1;
+        self.votes.retain(|v| v.cp + horizon >= pos);
+        self.emitted.retain(|&e| e + 2 * horizon >= pos);
+        // Fusion: find a cluster of votes from distinct channels.
+        let min_votes = self.fusion.min_votes();
+        let mut fused: Option<u64> = None;
+        'anchor: for a in 0..self.votes.len() {
+            let anchor = self.votes[a];
+            let mut members: Vec<&Vote> = self
+                .votes
+                .iter()
+                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
+                .collect();
+            // Distinct channels only.
+            members.sort_by_key(|v| v.channel);
+            members.dedup_by_key(|v| v.channel);
+            if members.len() >= min_votes {
+                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
+                positions.sort_unstable();
+                let cp = positions[positions.len() / 2];
+                // Suppress re-emission of the same change.
+                for &e in &self.emitted {
+                    if e.abs_diff(cp) <= 2 * tolerance {
+                        continue 'anchor;
+                    }
+                }
+                fused = Some(cp);
+                break;
+            }
+        }
+        if let Some(cp) = fused {
+            self.emitted.push(cp);
+            self.votes.retain(|v| v.cp.abs_diff(cp) > tolerance);
+        }
+        fused
+    }
+
+    /// Fuses every remaining vote at end-of-stream (no expiry: a finite
+    /// stream's tail votes all count), appending fused change points to
+    /// `cps` in ascending order.
+    pub fn finish(&mut self, cps: &mut Vec<u64>) {
+        let tolerance = self.fusion.tolerance();
+        let min_votes = self.fusion.min_votes();
+        let mut votes = std::mem::take(&mut self.votes);
+        votes.sort_by_key(|v| v.cp);
+        let mut i = 0;
+        while i < votes.len() {
+            let anchor = votes[i];
+            let mut members: Vec<&Vote> = votes
+                .iter()
+                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
+                .collect();
+            members.sort_by_key(|v| v.channel);
+            members.dedup_by_key(|v| v.channel);
+            if members.len() >= min_votes {
+                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
+                positions.sort_unstable();
+                let cp = positions[positions.len() / 2];
+                if !self
+                    .emitted
+                    .iter()
+                    .any(|&e| e.abs_diff(cp) <= 2 * tolerance)
+                {
+                    cps.push(cp);
+                    self.emitted.push(cp);
+                }
+                let next = votes.iter().position(|v| v.cp > anchor.cp + tolerance);
+                i = next.unwrap_or(votes.len());
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 /// Multivariate streaming segmenter: per-channel ClaSS + vote fusion.
@@ -109,8 +238,7 @@ pub struct MultivariateClass {
     probe_sums: Vec<(f64, f64)>,
     probe_seen: usize,
     selected: bool,
-    votes: Vec<Vote>,
-    emitted: Vec<u64>,
+    fuser: VoteFuser,
     scratch: Vec<u64>,
     t: u64,
 }
@@ -126,11 +254,7 @@ impl MultivariateClass {
             assert!(k >= 1, "selection must keep at least one channel");
         }
         let channels = (0..n_channels)
-            .map(|i| {
-                let mut c = cfg.base.clone();
-                c.seed ^= (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
-                Some(ClassSegmenter::new(c))
-            })
+            .map(|i| Some(ClassSegmenter::new(cfg.channel_config(i))))
             .collect();
         Self {
             n_channels,
@@ -138,8 +262,7 @@ impl MultivariateClass {
             probe_sums: vec![(0.0, 0.0); n_channels],
             probe_seen: 0,
             selected: matches!(cfg.selection, ChannelSelection::All),
-            votes: Vec::new(),
-            emitted: Vec::new(),
+            fuser: VoteFuser::new(cfg.fusion),
             scratch: Vec::new(),
             cfg,
             t: 0,
@@ -197,50 +320,16 @@ impl MultivariateClass {
             }
         }
         // Per-channel segmentation and vote collection.
-        let tolerance = self.cfg.fusion.tolerance();
         for (i, ch) in self.channels.iter_mut().enumerate() {
             let Some(seg) = ch else { continue };
             self.scratch.clear();
             seg.step(xs[i], &mut self.scratch);
             for &cp in &self.scratch {
-                self.votes.push(Vote { channel: i, cp });
+                self.fuser.vote(i, cp);
             }
         }
-        // Expire votes that can no longer join a quorum.
-        let horizon = 4 * tolerance + 1;
-        self.votes.retain(|v| v.cp + horizon >= pos);
-        self.emitted.retain(|&e| e + 2 * horizon >= pos);
-        // Fusion: find a cluster of votes from distinct channels.
-        let min_votes = self.cfg.fusion.min_votes();
-        let mut fused: Option<u64> = None;
-        'anchor: for a in 0..self.votes.len() {
-            let anchor = self.votes[a];
-            let mut members: Vec<&Vote> = self
-                .votes
-                .iter()
-                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
-                .collect();
-            // Distinct channels only.
-            members.sort_by_key(|v| v.channel);
-            members.dedup_by_key(|v| v.channel);
-            if members.len() >= min_votes {
-                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
-                positions.sort_unstable();
-                let cp = positions[positions.len() / 2];
-                // Suppress re-emission of the same change.
-                for &e in &self.emitted {
-                    if e.abs_diff(cp) <= 2 * tolerance {
-                        continue 'anchor;
-                    }
-                }
-                fused = Some(cp);
-                break;
-            }
-        }
-        if let Some(cp) = fused {
+        if let Some(cp) = self.fuser.step(pos) {
             cps.push(cp);
-            self.emitted.push(cp);
-            self.votes.retain(|v| v.cp.abs_diff(cp) > tolerance);
         }
     }
 
@@ -251,40 +340,10 @@ impl MultivariateClass {
             self.scratch.clear();
             seg.finalize(&mut self.scratch);
             for &cp in &self.scratch {
-                self.votes.push(Vote { channel: i, cp });
+                self.fuser.vote(i, cp);
             }
         }
-        let tolerance = self.cfg.fusion.tolerance();
-        let min_votes = self.cfg.fusion.min_votes();
-        let mut votes = std::mem::take(&mut self.votes);
-        votes.sort_by_key(|v| v.cp);
-        let mut i = 0;
-        while i < votes.len() {
-            let anchor = votes[i];
-            let mut members: Vec<&Vote> = votes
-                .iter()
-                .filter(|v| v.cp.abs_diff(anchor.cp) <= tolerance)
-                .collect();
-            members.sort_by_key(|v| v.channel);
-            members.dedup_by_key(|v| v.channel);
-            if members.len() >= min_votes {
-                let mut positions: Vec<u64> = members.iter().map(|v| v.cp).collect();
-                positions.sort_unstable();
-                let cp = positions[positions.len() / 2];
-                if !self
-                    .emitted
-                    .iter()
-                    .any(|&e| e.abs_diff(cp) <= 2 * tolerance)
-                {
-                    cps.push(cp);
-                    self.emitted.push(cp);
-                }
-                let next = votes.iter().position(|v| v.cp > anchor.cp + tolerance);
-                i = next.unwrap_or(votes.len());
-            } else {
-                i += 1;
-            }
-        }
+        self.fuser.finish(cps);
     }
 }
 
@@ -413,6 +472,52 @@ mod tests {
         let mut mv = MultivariateClass::new(cfg, 2);
         let mut cps = Vec::new();
         mv.step(&[1.0], &mut cps);
+    }
+
+    #[test]
+    fn fused_output_is_reproducible_from_per_channel_votes() {
+        // Stand-alone per-channel segmenters (built from `channel_config`)
+        // plus a fresh `VoteFuser` replaying their timed votes must
+        // reproduce the multivariate segmenter's output exactly.
+        let xs = three_channel_stream(5000, 2500, 9);
+        let cfg = MultivariateConfig::new(base_cfg(), 3);
+
+        let mut mv = MultivariateClass::new(cfg.clone(), 3);
+        let mut fused = Vec::new();
+        for row in &xs {
+            mv.step(row, &mut fused);
+        }
+        mv.finalize(&mut fused);
+
+        // Record (emit time, cp) votes from independent channel runs.
+        let mut segs: Vec<ClassSegmenter> = (0..3)
+            .map(|i| ClassSegmenter::new(cfg.channel_config(i)))
+            .collect();
+        let mut fuser = VoteFuser::new(cfg.fusion);
+        let mut replayed = Vec::new();
+        let mut scratch = Vec::new();
+        for (t, row) in xs.iter().enumerate() {
+            for (i, seg) in segs.iter_mut().enumerate() {
+                scratch.clear();
+                seg.step(row[i], &mut scratch);
+                for &cp in &scratch {
+                    fuser.vote(i, cp);
+                }
+            }
+            if let Some(cp) = fuser.step(t as u64) {
+                replayed.push(cp);
+            }
+        }
+        for (i, seg) in segs.iter_mut().enumerate() {
+            scratch.clear();
+            seg.finalize(&mut scratch);
+            for &cp in &scratch {
+                fuser.vote(i, cp);
+            }
+        }
+        fuser.finish(&mut replayed);
+        assert_eq!(fused, replayed);
+        assert!(!fused.is_empty(), "no change point fused at all");
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
+    pub(crate) fn at(line: usize, col: usize, msg: impl Into<String>) -> Self {
         Self {
             line,
             col,
@@ -75,7 +75,7 @@ impl ParseError {
         }
     }
 
-    fn file_level(msg: impl Into<String>) -> Self {
+    pub(crate) fn file_level(msg: impl Into<String>) -> Self {
         Self::at(0, 0, msg)
     }
 }
@@ -330,6 +330,226 @@ pub fn csv_file_name(s: &RawSeries) -> String {
     format!("{}.csv", s.name)
 }
 
+// ---------------------------------------------------------------------------
+// Wide (multi-channel) `.csv`
+// ---------------------------------------------------------------------------
+
+/// A multi-channel series parsed from (or destined for) one wide-CSV file
+/// or WFDB record, before archive stamping turns it into a
+/// [`crate::MultivariateSeries`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultivariateRaw {
+    /// Series name (the file stem).
+    pub name: String,
+    /// Channel names, in column order.
+    pub channel_names: Vec<String>,
+    /// Channel-major values: `channels[c][t]`. `NaN` marks invalid
+    /// samples (a dead or disconnected sensor); infinities are rejected.
+    pub channels: Vec<Vec<f64>>,
+    /// Shared ground-truth change points, strictly ascending.
+    pub change_points: Vec<u64>,
+    /// Annotated temporal pattern width.
+    pub width: usize,
+}
+
+impl MultivariateRaw {
+    /// Series length (rows).
+    pub fn len(&self) -> usize {
+        self.channels.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the series holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of channels.
+    pub fn n_channels(&self) -> usize {
+        self.channels.len()
+    }
+}
+
+/// Validates the structural invariants of a multivariate series.
+pub(crate) fn validate_multivariate(s: &MultivariateRaw) -> Result<(), ParseError> {
+    if s.channels.len() < 2 {
+        return Err(ParseError::file_level(format!(
+            "multivariate series needs at least 2 channels, got {}",
+            s.channels.len()
+        )));
+    }
+    if s.channel_names.len() != s.channels.len() {
+        return Err(ParseError::file_level(format!(
+            "{} channel names for {} channels",
+            s.channel_names.len(),
+            s.channels.len()
+        )));
+    }
+    let n = s.len();
+    if n == 0 {
+        return Err(ParseError::file_level("file contains no observations"));
+    }
+    for (c, chan) in s.channels.iter().enumerate() {
+        if chan.len() != n {
+            return Err(ParseError::file_level(format!(
+                "channel {c} holds {} rows, expected {n}",
+                chan.len()
+            )));
+        }
+    }
+    if s.width < 2 {
+        return Err(ParseError::file_level(format!(
+            "annotated width must be >= 2, got {}",
+            s.width
+        )));
+    }
+    let mut prev = 0u64;
+    for (i, &cp) in s.change_points.iter().enumerate() {
+        if cp == 0 || (i > 0 && cp <= prev) || cp as usize >= n {
+            return Err(ParseError::file_level(format!(
+                "bad change point {cp} (len {n})"
+            )));
+        }
+        prev = cp;
+    }
+    Ok(())
+}
+
+/// Parses a wide-CSV file: `# window=<w>` preamble, a header naming each
+/// channel column and ending in `label`, then one
+/// `<v0>,...,<vN>,<segment-label>` row per observation. At least two
+/// channel columns are required — that is also what distinguishes the
+/// format from UTSA-style `value,label` files during loader sniffing.
+pub fn parse_wide_csv(stem: &str, body: &str) -> Result<MultivariateRaw, ParseError> {
+    let mut lines = body.lines().enumerate();
+    let (_, preamble) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("empty file"))?;
+    let width: usize = preamble
+        .strip_prefix("# window=")
+        .and_then(|w| w.trim().parse().ok())
+        .ok_or_else(|| {
+            ParseError::at(
+                1,
+                1,
+                format!("expected `# window=<w>` preamble, got `{preamble}`"),
+            )
+        })?;
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("missing channel header"))?;
+    // Header fields are trimmed like data fields, so hand-edited files
+    // with spaces after commas classify and parse the same way.
+    let fields: Vec<&str> = header.split(',').map(str::trim).collect();
+    if fields.len() < 3 || fields[fields.len() - 1] != "label" {
+        return Err(ParseError::at(
+            2,
+            1,
+            format!("expected `<ch0>,...,<chN>,label` header with >= 2 channels, got `{header}`"),
+        ));
+    }
+    let channel_names: Vec<String> = fields[..fields.len() - 1]
+        .iter()
+        .map(|f| f.to_string())
+        .collect();
+    if let Some(empty) = channel_names.iter().position(String::is_empty) {
+        return Err(ParseError::at(
+            2,
+            1,
+            format!("channel column {empty} has an empty name in `{header}`"),
+        ));
+    }
+    let n_channels = channel_names.len();
+    let mut channels: Vec<Vec<f64>> = vec![Vec::new(); n_channels];
+    let mut change_points = Vec::new();
+    let mut prev_label: Option<u64> = None;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_channels + 1 {
+            return Err(ParseError::at(
+                lineno,
+                1,
+                format!(
+                    "expected {} comma-separated fields, got {} in `{line}`",
+                    n_channels + 1,
+                    fields.len()
+                ),
+            ));
+        }
+        let mut col = 1usize;
+        for (c, field) in fields[..n_channels].iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| {
+                ParseError::at(
+                    lineno,
+                    col,
+                    format!("expected a decimal value, got `{field}`"),
+                )
+            })?;
+            if v.is_infinite() {
+                return Err(ParseError::at(
+                    lineno,
+                    col,
+                    format!("infinite value `{field}`"),
+                ));
+            }
+            channels[c].push(v);
+            col += field.len() + 1;
+        }
+        let label_field = fields[n_channels];
+        let label: u64 = label_field.trim().parse().map_err(|_| {
+            ParseError::at(
+                lineno,
+                col,
+                format!("expected an integer segment label, got `{label_field}`"),
+            )
+        })?;
+        if let Some(p) = prev_label {
+            if label != p {
+                change_points.push(channels[0].len() as u64 - 1);
+            }
+        }
+        prev_label = Some(label);
+    }
+    let s = MultivariateRaw {
+        name: stem.to_string(),
+        channel_names,
+        channels,
+        change_points,
+        width,
+    };
+    validate_multivariate(&s)?;
+    Ok(s)
+}
+
+/// Serializes a wide-CSV body: `# window=` preamble, channel header, one
+/// row per observation with the segment index as label. Byte-exactly
+/// re-parseable ([`parse_wide_csv`] recovers channels, names and change
+/// points; `NaN` samples survive the trip).
+pub fn write_wide_csv(s: &MultivariateRaw) -> String {
+    let mut out = String::with_capacity(s.len() * (s.n_channels() * 9 + 3) + 32);
+    out.push_str(&format!("# window={}\n", s.width));
+    out.push_str(&s.channel_names.join(","));
+    out.push_str(",label\n");
+    let mut label = 0usize;
+    let mut next_cp = 0usize;
+    for t in 0..s.len() {
+        if next_cp < s.change_points.len() && s.change_points[next_cp] == t as u64 {
+            label += 1;
+            next_cp += 1;
+        }
+        for chan in &s.channels {
+            out.push_str(&format!("{},", chan[t]));
+        }
+        out.push_str(&format!("{label}\n"));
+    }
+    out
+}
+
+/// Renders the file name (without directory) for a wide-CSV series.
+pub fn wide_csv_file_name(s: &MultivariateRaw) -> String {
+    format!("{}.csv", s.name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +660,83 @@ mod tests {
         assert_eq!(parse_csv("X", "").unwrap_err().line, 0);
         let e = parse_txt("X_1_2", "1\n2\n3\n4\n").unwrap_err();
         assert!(e.msg.contains("width"), "{e}");
+    }
+
+    fn demo_wide() -> MultivariateRaw {
+        MultivariateRaw {
+            name: "Gait".into(),
+            channel_names: vec!["acc_x".into(), "acc_y".into(), "gyro_z".into()],
+            channels: vec![
+                vec![0.5, -1.0, 2.25, 0.125],
+                vec![1.5, 1.25, -0.75, 3.0],
+                vec![0.0, f64::NAN, 0.25, f64::NAN],
+            ],
+            change_points: vec![2],
+            width: 4,
+        }
+    }
+
+    #[test]
+    fn wide_csv_roundtrip_preserves_channels_and_nans() {
+        let s = demo_wide();
+        let body = write_wide_csv(&s);
+        assert!(body.starts_with("# window=4\nacc_x,acc_y,gyro_z,label\n0.5,1.5,0,0\n"));
+        let back = parse_wide_csv("Gait", &body).unwrap();
+        assert_eq!(back.name, s.name);
+        assert_eq!(back.channel_names, s.channel_names);
+        assert_eq!(back.change_points, s.change_points);
+        assert_eq!(back.width, s.width);
+        for (a, b) in back.channels.iter().zip(&s.channels) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert!(x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()));
+            }
+        }
+        assert_eq!(write_wide_csv(&back), body, "re-serialization drifted");
+        assert_eq!(wide_csv_file_name(&s), "Gait.csv");
+    }
+
+    #[test]
+    fn wide_csv_errors_locate_line_and_column() {
+        // Bad value in the second channel of data row 1 (file line 3):
+        // column after `0.5,`.
+        let body = "# window=4\na,b,label\n0.5,oops,0\n1.5,2.0,0\n1.0,1.0,1\n";
+        let e = parse_wide_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 5));
+        // Bad label: column after both values.
+        let body = "# window=4\na,b,label\n0.5,1.5,zero\n";
+        let e = parse_wide_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 9));
+        // Ragged row.
+        let body = "# window=4\na,b,label\n0.5,0\n";
+        let e = parse_wide_csv("X", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 1));
+        assert!(e.msg.contains("3 comma-separated fields"), "{e}");
+        // Univariate header is not a wide file.
+        let e = parse_wide_csv("X", "# window=4\nvalue,label\n0.5,0\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+        // Infinite values are rejected even though NaN is allowed.
+        let e = parse_wide_csv("X", "# window=4\na,b,label\n0.5,inf,0\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 5));
+    }
+
+    #[test]
+    fn wide_csv_header_tolerates_spaces_after_commas() {
+        // Hand-edited files pad the header; fields are trimmed like the
+        // data rows, so the file still parses as wide.
+        let body = "# window=4\nacc_x, acc_y, label\n0.5, 1.5, 0\n1.0, 2.0, 1\n";
+        let s = parse_wide_csv("X", body).unwrap();
+        assert_eq!(
+            s.channel_names,
+            vec!["acc_x".to_string(), "acc_y".to_string()]
+        );
+        assert_eq!(s.change_points, vec![1]);
+    }
+
+    #[test]
+    fn wide_csv_single_channel_is_rejected() {
+        let e = parse_wide_csv("X", "# window=4\nonly,label\n0.5,0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains(">= 2 channels"), "{e}");
     }
 }

@@ -4,12 +4,15 @@
 //! annotated data archives (mHealth, MIT-BIH Arr/VE, PAMAP, Sleep DB,
 //! WESAD). This crate serves those workloads from two sources:
 //!
-//! * **Real archives** — parsers for the TSSB/FLOSS-style `.txt` and
-//!   UTSA-style `.csv` file formats ([`formats`], [`loader`]) and a
-//!   manifest layer ([`manifest`]) that discovers archives from a
-//!   `CLASS_DATA_DIR` directory tree (one subdirectory per archive, one
-//!   file per series). Small golden fixtures in real format are bundled
-//!   under `fixtures/` so the loaders run in CI without network access.
+//! * **Real archives** — parsers for the univariate TSSB/FLOSS-style
+//!   `.txt` and UTSA-style `.csv` file formats and the multi-channel
+//!   WFDB `.hea`/`.dat`/`.atr` record triples ([`wfdb`], formats 16 and
+//!   212) and wide `.csv` files the six data archives ship as
+//!   ([`formats`], [`loader`]), plus a manifest layer ([`manifest`])
+//!   that discovers archives from a `CLASS_DATA_DIR` directory tree (one
+//!   subdirectory per archive, one file — or WFDB triple — per series).
+//!   Small golden fixtures in real format are bundled under `fixtures/`
+//!   so the loaders run in CI without network access.
 //! * **Synthetic stand-ins** — deterministic generators with the same
 //!   structural properties as Table 1 (series counts, length and
 //!   segment-count distributions, per-domain signal character) and exact
@@ -40,14 +43,20 @@ pub mod manifest;
 pub mod multivariate;
 pub mod regimes;
 pub mod series;
+pub mod wfdb;
 
 pub use archives::{all_series, archive_series, benchmark_series, Archive, ArchiveSpec, GenConfig};
-pub use formats::{ParseError, RawSeries};
-pub use loader::{load_series_file, parse_series_file, serialize_series, LoadError};
+pub use formats::{MultivariateRaw, ParseError, RawSeries};
+pub use loader::{
+    annotate_multivariate, classify_series_file, load_multivariate_file, load_series_file,
+    parse_multivariate_file, parse_series_file, serialize_series, LoadError, SeriesKind,
+};
 pub use manifest::{
     fixtures_dir, resolve_all_series, resolve_archive, resolve_archive_series,
-    resolve_benchmark_series, DataDir, DiskArchive, SeriesOrigin, DATA_DIR_ENV,
+    resolve_benchmark_series, resolve_multivariate_archive, resolve_multivariate_series, DataDir,
+    DiskArchive, SeriesOrigin, DATA_DIR_ENV,
 };
 pub use multivariate::{generate_multivariate, MultivariateSeries, MultivariateSpec};
 pub use regimes::Regime;
 pub use series::{build_series, random_segment_lengths, AnnotatedSeries, NoiseSpec};
+pub use wfdb::{SignalSpec, WfdbFormat, WfdbHeader, WfdbRecord};

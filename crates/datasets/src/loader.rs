@@ -1,9 +1,19 @@
 //! File-backed series loading: format dispatch, provenance stamping, and
 //! the archive-name interner that lets loaded series share the
 //! [`AnnotatedSeries::archive`] representation with synthetic ones.
+//!
+//! Four on-disk formats are dispatched here — univariate TSSB/FLOSS-style
+//! `.txt` and UTSA-style `.csv` ([`load_series_file`]), and multi-channel
+//! WFDB `.hea`/`.dat`/`.atr` triples and wide `.csv`
+//! ([`load_multivariate_file`]). Extensions match **case-insensitively**
+//! (archives unpacked on case-preserving filesystems ship `.TXT`/`.CSV`
+//! files); `.csv` is disambiguated by sniffing the header — `value,label`
+//! is univariate, two-plus channel columns are wide.
 
-use crate::formats::{self, ParseError, RawSeries};
+use crate::formats::{self, MultivariateRaw, ParseError, RawSeries};
+use crate::multivariate::MultivariateSeries;
 use crate::series::AnnotatedSeries;
+use crate::wfdb;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -67,16 +77,62 @@ pub fn intern_archive_name(name: &str) -> &'static str {
     leaked
 }
 
-/// Whether a path looks like a loadable series file (by extension).
-pub fn is_series_file(path: &Path) -> bool {
-    matches!(
-        path.extension().and_then(|e| e.to_str()),
-        Some("txt") | Some("csv")
-    )
+/// The file's lowercased extension, so `.TXT`/`.Csv`/`.HEA` files from
+/// case-preserving archive unpacks dispatch like their lowercase twins.
+fn extension_lc(path: &Path) -> Option<String> {
+    path.extension()
+        .and_then(|e| e.to_str())
+        .map(str::to_ascii_lowercase)
 }
 
-/// Parses one archive file (format chosen by extension) into a
-/// [`RawSeries`], without archive stamping.
+/// Whether a path looks like a loadable series file (by extension,
+/// case-insensitively). `.csv` may still turn out multivariate — see
+/// [`classify_series_file`].
+pub fn is_series_file(path: &Path) -> bool {
+    matches!(extension_lc(path).as_deref(), Some("txt" | "csv" | "hea"))
+}
+
+/// Which loader a series file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// One-channel file: [`load_series_file`].
+    Univariate,
+    /// Multi-channel file: [`load_multivariate_file`].
+    Multivariate,
+}
+
+/// Classifies a file by extension (case-insensitive), sniffing `.csv`
+/// headers to tell UTSA-style `value,label` files from wide multi-channel
+/// ones. Returns `None` for non-series extensions (e.g. the `.dat`/`.atr`
+/// companions of a WFDB header).
+pub fn classify_series_file(path: &Path) -> std::io::Result<Option<SeriesKind>> {
+    match extension_lc(path).as_deref() {
+        Some("txt") => Ok(Some(SeriesKind::Univariate)),
+        Some("hea") => Ok(Some(SeriesKind::Multivariate)),
+        Some("csv") => {
+            use std::io::BufRead;
+            let file = std::fs::File::open(path)?;
+            let mut lines = std::io::BufReader::new(file).lines();
+            let _preamble = lines.next().transpose()?;
+            let header = lines.next().transpose()?.unwrap_or_default();
+            // Wide files name two or more channel columns before `label`;
+            // anything else parses (or fails) as univariate. Fields are
+            // trimmed to match the parser's handling of hand-edited
+            // files with spaces after commas.
+            let fields: Vec<&str> = header.split(',').map(str::trim).collect();
+            let wide = fields.len() >= 3 && fields.last() == Some(&"label");
+            Ok(Some(if wide {
+                SeriesKind::Multivariate
+            } else {
+                SeriesKind::Univariate
+            }))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Parses one univariate archive file (format chosen by extension,
+/// case-insensitively) into a [`RawSeries`], without archive stamping.
 pub fn parse_series_file(path: &Path) -> Result<RawSeries, LoadError> {
     let wrap = |error: ParseError| LoadError {
         path: path.to_path_buf(),
@@ -90,7 +146,7 @@ pub fn parse_series_file(path: &Path) -> Result<RawSeries, LoadError> {
         })
     })?;
     let body = std::fs::read_to_string(path).map_err(|e| LoadError::io(path, e))?;
-    match path.extension().and_then(|e| e.to_str()) {
+    match extension_lc(path).as_deref() {
         Some("txt") => formats::parse_txt(stem, &body).map_err(wrap),
         Some("csv") => formats::parse_csv(stem, &body).map_err(wrap),
         other => Err(wrap(ParseError {
@@ -141,6 +197,128 @@ pub fn serialize_series(series: &AnnotatedSeries, csv: bool) -> (String, String)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multivariate loading (WFDB + wide-CSV)
+// ---------------------------------------------------------------------------
+
+/// Resolves a WFDB companion file (`<stem>.dat` / `<stem>.atr`) next to
+/// its header, matching the extension case-insensitively: a triple
+/// unpacked as `R100.HEA`/`R100.DAT`/`R100.ATR` on a case-sensitive
+/// filesystem must load just like its lowercase twin (the same
+/// case-preserving-unpack scenario the extension dispatch handles).
+/// Falls back to the canonical lowercase name so a missing companion's
+/// error message points at the expected file.
+fn companion_path(dir: &Path, stem: &str, ext: &str) -> PathBuf {
+    let canonical = dir.join(format!("{stem}.{ext}"));
+    if canonical.exists() {
+        return canonical;
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(|e| e.ok()) {
+            let p = entry.path();
+            let stem_matches = p.file_stem().and_then(|s| s.to_str()) == Some(stem);
+            if stem_matches && extension_lc(&p).as_deref() == Some(ext) {
+                return p;
+            }
+        }
+    }
+    canonical
+}
+
+/// Parses one multivariate archive file — a WFDB `.hea` header (pulling
+/// in its `.dat` signal and `.atr` annotation companions) or a wide
+/// `.csv` — into a [`MultivariateRaw`], without archive stamping. Errors
+/// name the specific file that broke (a corrupt `.dat` reports the
+/// `.dat` path, not the header's).
+pub fn parse_multivariate_file(path: &Path) -> Result<MultivariateRaw, LoadError> {
+    let wrap = |p: &Path, error: ParseError| LoadError {
+        path: p.to_path_buf(),
+        error,
+    };
+    let stem = path.file_stem().and_then(|s| s.to_str()).ok_or_else(|| {
+        wrap(
+            path,
+            ParseError::file_level("file has no UTF-8 stem".to_string()),
+        )
+    })?;
+    match extension_lc(path).as_deref() {
+        Some("hea") => {
+            let body = std::fs::read_to_string(path).map_err(|e| LoadError::io(path, e))?;
+            let header = wfdb::parse_header(stem, &body).map_err(|e| wrap(path, e))?;
+            let dir = path.parent().unwrap_or(Path::new("."));
+            let dat_path = companion_path(dir, stem, "dat");
+            let dat = std::fs::read(&dat_path).map_err(|e| LoadError::io(&dat_path, e))?;
+            let samples =
+                wfdb::parse_dat(&dat, header.signals.len(), header.n_samples, header.format)
+                    .map_err(|e| wrap(&dat_path, e))?;
+            let atr_path = companion_path(dir, stem, "atr");
+            let atr = std::fs::read(&atr_path).map_err(|e| LoadError::io(&atr_path, e))?;
+            let change_points = wfdb::parse_atr(&atr).map_err(|e| wrap(&atr_path, e))?;
+            let record = wfdb::WfdbRecord {
+                name: header.name,
+                fs: header.fs,
+                format: header.format,
+                signals: header.signals,
+                samples,
+                width: header.width,
+                change_points,
+            };
+            wfdb::validate_record(&record).map_err(|e| wrap(path, e))?;
+            let channel_names = record
+                .signals
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if s.description.is_empty() {
+                        format!("ch{i}")
+                    } else {
+                        s.description.clone()
+                    }
+                })
+                .collect();
+            Ok(MultivariateRaw {
+                channels: record.physical(),
+                name: record.name,
+                channel_names,
+                change_points: record.change_points,
+                width: record.width,
+            })
+        }
+        Some("csv") => {
+            let body = std::fs::read_to_string(path).map_err(|e| LoadError::io(path, e))?;
+            formats::parse_wide_csv(stem, &body).map_err(|e| wrap(path, e))
+        }
+        other => Err(wrap(
+            path,
+            ParseError::file_level(format!(
+                "unsupported extension {other:?} (expected .hea or a wide .csv)"
+            )),
+        )),
+    }
+}
+
+/// Loads one multivariate archive file as a [`MultivariateSeries`]
+/// attributed to `archive`.
+pub fn load_multivariate_file(path: &Path, archive: &str) -> Result<MultivariateSeries, LoadError> {
+    let raw = parse_multivariate_file(path)?;
+    Ok(annotate_multivariate(raw, archive))
+}
+
+/// Stamps a parsed multivariate series with its archive provenance. Every
+/// channel of a real recording counts as informative — which sensors
+/// carry the pattern is exactly what segmentation has to discover.
+pub fn annotate_multivariate(raw: MultivariateRaw, archive: &str) -> MultivariateSeries {
+    let n = raw.channels.len();
+    MultivariateSeries {
+        name: format!("{}/{}", archive.to_lowercase(), raw.name),
+        channels: raw.channels,
+        change_points: raw.change_points,
+        width: raw.width,
+        informative: (0..n).collect(),
+        archive: intern_archive_name(archive),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +366,159 @@ mod tests {
     fn missing_file_is_a_file_level_error() {
         let e = load_series_file(Path::new("/no/such/File_4.txt"), "X").unwrap_err();
         assert_eq!(e.error.line, 0);
+    }
+
+    #[test]
+    fn extension_dispatch_is_case_insensitive() {
+        // Regression: `.TXT`/`.CSV` files used to be silently skipped by
+        // the case-sensitive extension match while the manifest resolved
+        // archive *names* case-insensitively.
+        let dir = std::env::temp_dir().join("class-datasets-loader-case");
+        std::fs::create_dir_all(&dir).unwrap();
+        let upper_txt = dir.join("Shout_4_3.TXT");
+        std::fs::write(&upper_txt, "0.5\n1.5\n-0.25\n2\n7.125\n").unwrap();
+        assert!(is_series_file(&upper_txt));
+        assert_eq!(
+            classify_series_file(&upper_txt).unwrap(),
+            Some(SeriesKind::Univariate)
+        );
+        let s = load_series_file(&upper_txt, "TSSB").unwrap();
+        assert_eq!(s.change_points, vec![3]);
+
+        let upper_csv = dir.join("Loud.Csv");
+        std::fs::write(&upper_csv, "# window=4\nvalue,label\n0.5,0\n1.5,0\n2.5,1\n").unwrap();
+        assert_eq!(
+            classify_series_file(&upper_csv).unwrap(),
+            Some(SeriesKind::Univariate)
+        );
+        let s = load_series_file(&upper_csv, "UTSA").unwrap();
+        assert_eq!(s.change_points, vec![2]);
+        std::fs::remove_file(&upper_txt).ok();
+        std::fs::remove_file(&upper_csv).ok();
+    }
+
+    #[test]
+    fn csv_sniffing_separates_wide_from_univariate() {
+        let dir = std::env::temp_dir().join("class-datasets-loader-sniff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wide = dir.join("Wide.csv");
+        std::fs::write(&wide, "# window=4\na,b,label\n0.5,1.5,0\n1.0,2.0,1\n").unwrap();
+        assert_eq!(
+            classify_series_file(&wide).unwrap(),
+            Some(SeriesKind::Multivariate)
+        );
+        let s = load_multivariate_file(&wide, "mHealth").unwrap();
+        assert_eq!(s.name, "mhealth/Wide");
+        assert_eq!(s.archive, "mHealth");
+        assert_eq!(s.n_channels(), 2);
+        assert_eq!(s.informative, vec![0, 1]);
+        assert_eq!(s.change_points, vec![1]);
+        // Companions are not series files.
+        assert_eq!(classify_series_file(&dir.join("x.dat")).unwrap(), None);
+        assert_eq!(classify_series_file(&dir.join("x.atr")).unwrap(), None);
+        std::fs::remove_file(&wide).ok();
+    }
+
+    #[test]
+    fn uppercase_wfdb_triples_load_like_lowercase_ones() {
+        use crate::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
+        let dir = std::env::temp_dir().join("class-datasets-loader-wfdb-upper");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = WfdbRecord {
+            name: "R9".into(),
+            fs: 250.0,
+            format: WfdbFormat::Fmt16,
+            signals: vec![SignalSpec {
+                gain: 100.0,
+                baseline: 0,
+                units: "mV".into(),
+                description: String::new(),
+            }],
+            samples: vec![vec![0, 100, -100, 200]],
+            width: 2,
+            change_points: vec![2],
+        };
+        // A case-preserving unpack: every extension upper-cased, header
+        // naming `R9.DAT`.
+        let header = wfdb::write_header(&rec).replace("R9.dat", "R9.DAT");
+        std::fs::write(dir.join("R9.HEA"), header).unwrap();
+        std::fs::write(
+            dir.join("R9.DAT"),
+            wfdb::write_dat(&rec.samples, rec.format),
+        )
+        .unwrap();
+        std::fs::write(dir.join("R9.ATR"), wfdb::write_atr(&rec.change_points)).unwrap();
+        let s = load_multivariate_file(&dir.join("R9.HEA"), "ArrDB").unwrap();
+        assert_eq!(s.name, "arrdb/R9");
+        assert_eq!(s.channels[0], vec![0.0, 1.0, -1.0, 2.0]);
+        assert_eq!(s.change_points, vec![2]);
+        // A wrong *stem* in the signal line is still rejected.
+        let e = wfdb::parse_header("R9", "R9 1 250 4\nr9.dat 16 100(0)/mV\n# width=2\n");
+        assert!(e.is_err(), "stem case must match exactly");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wfdb_triple_loads_and_errors_name_the_broken_file() {
+        use crate::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
+        let dir = std::env::temp_dir().join("class-datasets-loader-wfdb");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = WfdbRecord {
+            name: "r7".into(),
+            fs: 250.0,
+            format: WfdbFormat::Fmt16,
+            signals: vec![
+                SignalSpec {
+                    gain: 100.0,
+                    baseline: 0,
+                    units: "mV".into(),
+                    description: "MLII".into(),
+                },
+                SignalSpec {
+                    gain: 50.0,
+                    baseline: 10,
+                    units: "mV".into(),
+                    description: String::new(),
+                },
+            ],
+            samples: vec![vec![0, 100, -100, 200], vec![10, 60, 10, -40]],
+            width: 2,
+            change_points: vec![2],
+        };
+        wfdb::validate_record(&rec).unwrap();
+        std::fs::write(dir.join("r7.hea"), wfdb::write_header(&rec)).unwrap();
+        std::fs::write(
+            dir.join("r7.dat"),
+            wfdb::write_dat(&rec.samples, rec.format),
+        )
+        .unwrap();
+        std::fs::write(dir.join("r7.atr"), wfdb::write_atr(&rec.change_points)).unwrap();
+
+        let s = load_multivariate_file(&dir.join("r7.hea"), "ArrDB").unwrap();
+        assert_eq!(s.name, "arrdb/r7");
+        assert_eq!(s.n_channels(), 2);
+        assert_eq!(s.channels[0], vec![0.0, 1.0, -1.0, 2.0]);
+        assert_eq!(s.channels[1], vec![0.0, 1.0, 0.0, -1.0]);
+        assert_eq!(s.change_points, vec![2]);
+        // `ch1` fallback name for the description-less second signal is
+        // only visible on the raw parse.
+        let raw = parse_multivariate_file(&dir.join("r7.hea")).unwrap();
+        assert_eq!(
+            raw.channel_names,
+            vec!["MLII".to_string(), "ch1".to_string()]
+        );
+
+        // Truncated .dat: the error points at the .dat file.
+        let dat = std::fs::read(dir.join("r7.dat")).unwrap();
+        std::fs::write(dir.join("r7.dat"), &dat[..dat.len() - 2]).unwrap();
+        let e = load_multivariate_file(&dir.join("r7.hea"), "ArrDB").unwrap_err();
+        assert!(e.path.ends_with("r7.dat"), "{e}");
+        std::fs::write(dir.join("r7.dat"), &dat).unwrap();
+
+        // Missing .atr: the error points at the .atr file.
+        std::fs::remove_file(dir.join("r7.atr")).unwrap();
+        let e = load_multivariate_file(&dir.join("r7.hea"), "ArrDB").unwrap_err();
+        assert!(e.path.ends_with("r7.atr"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

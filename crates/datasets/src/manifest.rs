@@ -23,7 +23,10 @@
 //! [`fixtures_dir`] can serve as a miniature always-available data dir.
 
 use crate::archives::{Archive, GenConfig};
-use crate::loader::{is_series_file, load_series_file, LoadError};
+use crate::loader::{
+    classify_series_file, load_multivariate_file, load_series_file, LoadError, SeriesKind,
+};
+use crate::multivariate::{generate_multivariate, MultivariateSeries, MultivariateSpec};
 use crate::series::AnnotatedSeries;
 use std::path::{Path, PathBuf};
 
@@ -44,16 +47,30 @@ pub struct DiskArchive {
     pub name: String,
     /// The directory.
     pub dir: PathBuf,
-    /// Loadable series files, sorted by file name for determinism.
+    /// Loadable univariate series files, sorted by file name for
+    /// determinism.
     pub files: Vec<PathBuf>,
+    /// Loadable multivariate series files (WFDB `.hea` headers and wide
+    /// `.csv`), sorted by file name. The `.dat`/`.atr` companions of a
+    /// header are not listed — the header pulls them in.
+    pub multivariate_files: Vec<PathBuf>,
 }
 
 impl DiskArchive {
-    /// Loads every series of the archive, in file-name order.
+    /// Loads every univariate series of the archive, in file-name order.
     pub fn load(&self) -> Result<Vec<AnnotatedSeries>, LoadError> {
         self.files
             .iter()
             .map(|f| load_series_file(f, &self.name))
+            .collect()
+    }
+
+    /// Loads every multivariate series of the archive, in file-name
+    /// order.
+    pub fn load_multivariate(&self) -> Result<Vec<MultivariateSeries>, LoadError> {
+        self.multivariate_files
+            .iter()
+            .map(|f| load_multivariate_file(f, &self.name))
             .collect()
     }
 }
@@ -93,15 +110,16 @@ impl DataDir {
     }
 
     /// Finds the on-disk archive whose name matches `name`
-    /// case-insensitively (Table 1 prints "TSSB", a tree may hold
-    /// `tssb/`). Only the matching subdirectory is read — a full-archive
-    /// tree holds thousands of series files per directory, and resolvers
-    /// call this once per archive.
+    /// case-insensitively and ignoring spaces/`-`/`_` (Table 1 prints
+    /// "Arr DB" and "Sleep DB", a tree holds `arr-db/` or `SleepDB/`).
+    /// Only the matching subdirectory is read — a full-archive tree holds
+    /// thousands of series files per directory, and resolvers call this
+    /// once per archive.
     pub fn find(&self, name: &str) -> std::io::Result<Option<DiskArchive>> {
         for entry in std::fs::read_dir(&self.root)? {
             let entry = entry?;
             let dir_name = entry.file_name().to_string_lossy().into_owned();
-            if dir_name.eq_ignore_ascii_case(name) {
+            if normalize_archive_name(&dir_name) == normalize_archive_name(name) {
                 if let Some(archive) = read_archive_dir(&entry.path(), dir_name)? {
                     return Ok(Some(archive));
                 }
@@ -111,25 +129,66 @@ impl DataDir {
     }
 }
 
+/// Canonical form archive names are matched in: ASCII-lowercased with
+/// spaces, dashes and underscores removed.
+fn normalize_archive_name(name: &str) -> String {
+    name.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_'))
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
 /// Reads one candidate archive directory; `None` for non-directories and
-/// directories without loadable series files.
+/// directories without loadable series files of either kind.
+///
+/// `.txt`/`.hea` classify by extension alone; `.csv` needs a header
+/// sniff (univariate `value,label` vs wide multi-channel), which opens
+/// the file. A full-scale archive directory holds thousands of series
+/// files, so only the **first** `.csv` (in sorted order) is sniffed and
+/// its kind applied to the rest — real archive directories are
+/// format-homogeneous, and a mixed directory still fails loudly at load
+/// time with the parser's header diagnostics.
 fn read_archive_dir(dir: &Path, name: String) -> std::io::Result<Option<DiskArchive>> {
     if !dir.is_dir() {
         return Ok(None);
     }
-    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| p.is_file() && is_series_file(p))
+        .filter(|p| p.is_file())
         .collect();
-    if files.is_empty() {
+    paths.sort();
+    let mut files = Vec::new();
+    let mut multivariate_files = Vec::new();
+    let mut csv_kind: Option<SeriesKind> = None;
+    for path in paths {
+        let kind = match path.extension().and_then(|e| e.to_str()) {
+            Some(e) if e.eq_ignore_ascii_case("csv") => match csv_kind {
+                Some(k) => Some(k),
+                None => {
+                    let k = classify_series_file(&path)?;
+                    if let Some(k) = k {
+                        csv_kind = Some(k);
+                    }
+                    k
+                }
+            },
+            _ => classify_series_file(&path)?,
+        };
+        match kind {
+            Some(SeriesKind::Univariate) => files.push(path),
+            Some(SeriesKind::Multivariate) => multivariate_files.push(path),
+            None => {}
+        }
+    }
+    if files.is_empty() && multivariate_files.is_empty() {
         return Ok(None);
     }
-    files.sort();
     Ok(Some(DiskArchive {
         name,
         dir: dir.to_path_buf(),
         files,
+        multivariate_files,
     }))
 }
 
@@ -155,11 +214,13 @@ pub fn resolve_archive(
 ) -> Result<(Vec<AnnotatedSeries>, SeriesOrigin), LoadError> {
     if let Some(dir) = data_dir {
         match dir.find(archive.spec().name) {
-            Ok(Some(disk)) => {
+            // A directory holding only multivariate files is not a hit
+            // for the univariate resolver — fall through.
+            Ok(Some(disk)) if !disk.files.is_empty() => {
                 let series = disk.load()?;
                 return Ok((series, SeriesOrigin::Disk(disk.dir)));
             }
-            Ok(None) => {}
+            Ok(_) => {}
             // A nonexistent root means "no real archives": fall back.
             // Any other I/O failure (permissions, transient FS errors)
             // must surface, or experiments would silently run synthetic.
@@ -168,6 +229,86 @@ pub fn resolve_archive(
         }
     }
     Ok((archive.generate(cfg), SeriesOrigin::Synthetic))
+}
+
+/// Synthetic stand-in parameters for one archive's multivariate form:
+/// `(series count, spec template)`. The channel counts follow the
+/// archives' sensor setups in miniature (mHealth/PAMAP are multi-IMU
+/// wearables, the PhysioNet databases are 2-lead ECG / few-channel
+/// polysomnography); series counts and lengths are kept laptop-small —
+/// the multivariate fallback is a functional stand-in, not a Table 1
+/// reproduction.
+fn multivariate_fallback(archive: Archive, cfg: &GenConfig) -> Option<(usize, MultivariateSpec)> {
+    let spec = archive.spec();
+    if spec.is_benchmark {
+        return None;
+    }
+    let (n_channels, n_informative) = match archive {
+        Archive::MHealth | Archive::Pamap => (6, 4),
+        Archive::ArrDb | Archive::VeDb => (2, 2),
+        Archive::SleepDb | Archive::Wesad => (4, 3),
+        Archive::Tssb | Archive::Utsa => unreachable!("benchmark archives handled above"),
+    };
+    let scale = if cfg.paper_sizes {
+        1.0
+    } else {
+        spec.default_scale * cfg.scale
+    };
+    let len = ((spec.len.1 as f64 * scale) as usize).clamp(6_000, 40_000);
+    let n_segments = spec.segments.1.clamp(2, 6);
+    Some((
+        4,
+        MultivariateSpec {
+            n_channels,
+            n_informative,
+            len,
+            n_segments,
+            noise: 0.08,
+            seed: 0,
+        },
+    ))
+}
+
+/// Resolves one archive's **multivariate** series: real WFDB / wide-CSV
+/// files when `data_dir` holds a matching directory with multivariate
+/// content, a small synthetic multi-channel stand-in otherwise. Benchmark
+/// archives (TSSB, UTSA) are univariate by construction and resolve to an
+/// empty list.
+pub fn resolve_multivariate_archive(
+    archive: Archive,
+    cfg: &GenConfig,
+    data_dir: Option<&DataDir>,
+) -> Result<(Vec<MultivariateSeries>, SeriesOrigin), LoadError> {
+    let Some((count, template)) = multivariate_fallback(archive, cfg) else {
+        return Ok((Vec::new(), SeriesOrigin::Synthetic));
+    };
+    if let Some(dir) = data_dir {
+        match dir.find(archive.spec().name) {
+            Ok(Some(disk)) if !disk.multivariate_files.is_empty() => {
+                let series = disk.load_multivariate()?;
+                return Ok((series, SeriesOrigin::Disk(disk.dir)));
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(LoadError::io(dir.root(), e)),
+        }
+    }
+    let spec = archive.spec();
+    let name_lc = spec.name.to_lowercase().replace(' ', "-");
+    let series = (0..count)
+        .map(|i| {
+            let mut s = generate_multivariate(&MultivariateSpec {
+                seed: cfg.seed.wrapping_add(
+                    (archive as u64 * 100 + i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                ),
+                ..template
+            });
+            s.name = format!("{name_lc}/{i:03}");
+            s.archive = crate::loader::intern_archive_name(spec.name);
+            s
+        })
+        .collect();
+    Ok((series, SeriesOrigin::Synthetic))
 }
 
 /// Resolves the paper's benchmark group (TSSB + UTSA), mixing real and
@@ -204,6 +345,22 @@ pub fn resolve_all_series(
 ) -> Result<Vec<AnnotatedSeries>, LoadError> {
     let mut out = resolve_benchmark_series(cfg, data_dir)?;
     out.extend(resolve_archive_series(cfg, data_dir)?);
+    Ok(out)
+}
+
+/// Resolves the multivariate form of every data archive (the six
+/// annotated archives; TSSB/UTSA are univariate), mixing real and
+/// synthetic as available.
+pub fn resolve_multivariate_series(
+    cfg: &GenConfig,
+    data_dir: Option<&DataDir>,
+) -> Result<Vec<MultivariateSeries>, LoadError> {
+    let mut out = Vec::new();
+    for a in Archive::all() {
+        if !a.spec().is_benchmark {
+            out.extend(resolve_multivariate_archive(a, cfg, data_dir)?.0);
+        }
+    }
     Ok(out)
 }
 
@@ -256,7 +413,11 @@ mod tests {
         // The malformed fixtures live in their own directory and are
         // intentionally discoverable — loading them is what must fail.
         for a in &archives {
-            assert!(!a.files.is_empty());
+            assert!(
+                !a.files.is_empty() || !a.multivariate_files.is_empty(),
+                "{}: no loadable files",
+                a.name
+            );
         }
     }
 
@@ -266,5 +427,64 @@ mod tests {
         assert!(dir.find("tssb").unwrap().is_some());
         assert!(dir.find("TsSb").unwrap().is_some());
         assert!(dir.find("nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn find_ignores_spaces_and_dashes() {
+        // Table 1 prints "Arr DB" / "Sleep DB"; trees hold `ArrDB/`,
+        // `arr-db/`, `sleep_db/` — all must resolve.
+        assert_eq!(normalize_archive_name("Arr DB"), "arrdb");
+        assert_eq!(normalize_archive_name("arr-db"), "arrdb");
+        assert_eq!(normalize_archive_name("Sleep_DB"), "sleepdb");
+        let dir = DataDir::open(fixtures_dir());
+        assert!(dir.find("Arr DB").unwrap().is_some(), "ArrDB fixtures");
+    }
+
+    #[test]
+    fn multivariate_fallback_is_deterministic_and_shaped() {
+        let cfg = GenConfig::default();
+        for a in [Archive::MHealth, Archive::ArrDb, Archive::SleepDb] {
+            let (series, origin) = resolve_multivariate_archive(a, &cfg, None).unwrap();
+            assert_eq!(origin, SeriesOrigin::Synthetic);
+            assert_eq!(series.len(), 4, "{}", a.spec().name);
+            for s in &series {
+                assert!(s.n_channels() >= 2);
+                assert!(s.len() >= 6_000);
+                assert!(!s.change_points.is_empty());
+                assert_eq!(s.archive, a.spec().name);
+            }
+            let (again, _) = resolve_multivariate_archive(a, &cfg, None).unwrap();
+            assert_eq!(series[0].channels, again[0].channels);
+        }
+        // Benchmark archives have no multivariate form.
+        let (series, _) = resolve_multivariate_archive(Archive::Tssb, &cfg, None).unwrap();
+        assert!(series.is_empty());
+    }
+
+    #[test]
+    fn multivariate_fixtures_resolve_as_disk_archives() {
+        let cfg = GenConfig::default();
+        let dir = DataDir::open(fixtures_dir());
+        for (archive, n_channels) in [(Archive::ArrDb, 2), (Archive::MHealth, 3)] {
+            let (series, origin) = resolve_multivariate_archive(archive, &cfg, Some(&dir)).unwrap();
+            assert!(matches!(origin, SeriesOrigin::Disk(_)), "{archive:?}");
+            assert!(!series.is_empty(), "{archive:?}");
+            for s in &series {
+                assert_eq!(s.n_channels(), n_channels, "{}", s.name);
+                assert!(!s.change_points.is_empty(), "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn univariate_resolver_skips_multivariate_only_archives() {
+        // The mHealth fixture directory holds only wide-CSV files; the
+        // univariate resolver must fall back to synthetic, not return an
+        // empty disk archive.
+        let cfg = GenConfig::default();
+        let dir = DataDir::open(fixtures_dir());
+        let (series, origin) = resolve_archive(Archive::MHealth, &cfg, Some(&dir)).unwrap();
+        assert_eq!(origin, SeriesOrigin::Synthetic);
+        assert_eq!(series.len(), Archive::MHealth.spec().n_series);
     }
 }

@@ -13,7 +13,9 @@ use crate::series::random_segment_lengths;
 use class_core::stats::SplitMix64;
 
 /// A multivariate annotated series: channel-major values plus the shared
-/// ground-truth change points.
+/// ground-truth change points. Produced by the synthetic generator below
+/// or loaded from real WFDB / wide-CSV archive files
+/// (`crate::load_multivariate_file`).
 #[derive(Debug, Clone)]
 pub struct MultivariateSeries {
     /// Identifier.
@@ -24,8 +26,12 @@ pub struct MultivariateSeries {
     pub change_points: Vec<u64>,
     /// Representative temporal pattern width.
     pub width: usize,
-    /// Indices of the informative channels (the rest are noise).
+    /// Indices of the informative channels (the rest are noise). Loaded
+    /// real archives mark every channel informative — which sensors carry
+    /// the pattern is unknown for real recordings.
     pub informative: Vec<usize>,
+    /// Name of the source archive (`"synthetic"` for generated series).
+    pub archive: &'static str,
 }
 
 impl MultivariateSeries {
@@ -150,6 +156,7 @@ pub fn generate_multivariate(spec: &MultivariateSpec) -> MultivariateSeries {
         change_points,
         width,
         informative,
+        archive: "synthetic",
     }
 }
 

@@ -1,0 +1,872 @@
+//! WFDB-style record ingestion: `.hea` header + `.dat` signal + `.atr`
+//! annotation triples, the distribution format of the paper's PhysioNet
+//! archives (MIT-BIH Arr/VE, Sleep DB).
+//!
+//! A record named `r100` is three files in one directory:
+//!
+//! * **`r100.hea`** — text header: a record line
+//!   `<name> <n_signals> <fs> <n_samples>`, one signal-spec line per
+//!   channel (`<name>.dat <format> <gain>(<baseline>)/<units>
+//!   <description>`), and a `# width=<w>` comment carrying the annotated
+//!   temporal pattern width:
+//!
+//!   ```text
+//!   r100 2 360 2048
+//!   r100.dat 212 200(0)/mV MLII
+//!   r100.dat 212 200(1024)/mV V5
+//!   # width=45
+//!   ```
+//!
+//! * **`r100.dat`** — binary samples, interleaved frame-major (frame `t`
+//!   holds one sample per signal, in signal order). Two storage formats
+//!   are implemented: **16** (little-endian 16-bit two's complement) and
+//!   **212** (two 12-bit two's-complement samples packed into 3 bytes).
+//!   The WFDB invalid-sample sentinel (`-32768` for format 16, `-2048`
+//!   for format 212) maps to `NaN` in physical units and back.
+//!
+//! * **`r100.atr`** — binary annotations in the MIT format: a stream of
+//!   little-endian 16-bit words whose top 6 bits are the annotation code
+//!   and bottom 10 bits the sample delta, `SKIP` (code 59) extending the
+//!   delta range to 32 bits, terminated by a zero word. Segment
+//!   boundaries are stored as code-1 annotations at each change point.
+//!
+//! Physical values are `(digital - baseline) / gain` per signal. The
+//! writers below are the formatting source of truth (golden fixtures are
+//! generated through them) and every parser is strict: text errors carry
+//! 1-based line/column, binary errors the offending byte offset, and
+//! round-trips are byte-identical (`parse(write(r)) == r` and
+//! `write(parse(bytes)) == bytes` for canonical streams).
+
+use crate::formats::ParseError;
+
+/// Invalid-sample sentinel for format 16 (maps to `NaN`).
+pub const NAN_SENTINEL_16: i32 = -32768;
+/// Invalid-sample sentinel for format 212 (maps to `NaN`).
+pub const NAN_SENTINEL_212: i32 = -2048;
+
+/// WFDB signal storage format (the subset the paper's archives use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WfdbFormat {
+    /// Little-endian 16-bit two's complement, one sample per 2 bytes.
+    Fmt16,
+    /// Two 12-bit two's-complement samples packed into 3 bytes.
+    Fmt212,
+}
+
+impl WfdbFormat {
+    /// The header code for the format.
+    pub fn code(self) -> u32 {
+        match self {
+            WfdbFormat::Fmt16 => 16,
+            WfdbFormat::Fmt212 => 212,
+        }
+    }
+
+    /// Inclusive digital sample range representable in the format,
+    /// excluding the NaN sentinel.
+    pub fn sample_range(self) -> (i32, i32) {
+        match self {
+            WfdbFormat::Fmt16 => (NAN_SENTINEL_16 + 1, i16::MAX as i32),
+            WfdbFormat::Fmt212 => (NAN_SENTINEL_212 + 1, 2047),
+        }
+    }
+
+    /// The format's invalid-sample sentinel.
+    pub fn nan_sentinel(self) -> i32 {
+        match self {
+            WfdbFormat::Fmt16 => NAN_SENTINEL_16,
+            WfdbFormat::Fmt212 => NAN_SENTINEL_212,
+        }
+    }
+}
+
+/// Per-signal calibration and labelling from the header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSpec {
+    /// ADC units per physical unit (must be positive and finite).
+    pub gain: f64,
+    /// Digital value corresponding to 0 physical units.
+    pub baseline: i32,
+    /// Physical units label (e.g. `mV`).
+    pub units: String,
+    /// Free-form signal description (e.g. the ECG lead name).
+    pub description: String,
+}
+
+/// One fully-loaded WFDB record: header metadata, digital samples and
+/// segment annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfdbRecord {
+    /// Record name (the common file stem of the triple).
+    pub name: String,
+    /// Sampling frequency in Hz.
+    pub fs: f64,
+    /// Storage format shared by every signal of the record.
+    pub format: WfdbFormat,
+    /// Per-signal calibration, in signal order.
+    pub signals: Vec<SignalSpec>,
+    /// Digital samples, channel-major: `samples[c][t]`.
+    pub samples: Vec<Vec<i32>>,
+    /// Annotated temporal pattern width (the `# width=` header comment).
+    pub width: usize,
+    /// Segment-boundary annotations, strictly ascending sample indices.
+    pub change_points: Vec<u64>,
+}
+
+impl WfdbRecord {
+    /// Number of signals.
+    pub fn n_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Samples per signal.
+    pub fn n_samples(&self) -> usize {
+        self.samples.first().map_or(0, Vec::len)
+    }
+
+    /// Converts the digital samples to physical units, channel-major:
+    /// `(digital - baseline) / gain`, with the format's invalid-sample
+    /// sentinel mapping to `NaN`.
+    pub fn physical(&self) -> Vec<Vec<f64>> {
+        let sentinel = self.format.nan_sentinel();
+        self.samples
+            .iter()
+            .zip(&self.signals)
+            .map(|(chan, spec)| {
+                chan.iter()
+                    .map(|&d| {
+                        if d == sentinel {
+                            f64::NAN
+                        } else {
+                            (d as f64 - spec.baseline as f64) / spec.gain
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Quantizes one physical value to a digital sample: `NaN` becomes the
+/// format's sentinel, finite values are rounded to
+/// `x * gain + baseline` and clamped to the format's sample range.
+pub fn digitize(x: f64, spec: &SignalSpec, format: WfdbFormat) -> i32 {
+    if x.is_nan() {
+        return format.nan_sentinel();
+    }
+    let (lo, hi) = format.sample_range();
+    let d = (x * spec.gain + spec.baseline as f64).round();
+    (d as i32).clamp(lo, hi)
+}
+
+/// Validates the record invariants shared by the writers and the loaders.
+pub fn validate_record(rec: &WfdbRecord) -> Result<(), ParseError> {
+    if rec.signals.is_empty() {
+        return Err(ParseError::file_level("record declares no signals"));
+    }
+    if rec.samples.len() != rec.signals.len() {
+        return Err(ParseError::file_level(format!(
+            "{} signal specs but {} sample channels",
+            rec.signals.len(),
+            rec.samples.len()
+        )));
+    }
+    let n = rec.n_samples();
+    if n == 0 {
+        return Err(ParseError::file_level("record contains no samples"));
+    }
+    for (c, chan) in rec.samples.iter().enumerate() {
+        if chan.len() != n {
+            return Err(ParseError::file_level(format!(
+                "signal {c} holds {} samples, expected {n}",
+                chan.len()
+            )));
+        }
+        let (lo, hi) = rec.format.sample_range();
+        let sentinel = rec.format.nan_sentinel();
+        for &d in chan {
+            if d != sentinel && !(lo..=hi).contains(&d) {
+                return Err(ParseError::file_level(format!(
+                    "signal {c} sample {d} outside format {} range [{lo}, {hi}]",
+                    rec.format.code()
+                )));
+            }
+        }
+    }
+    for spec in &rec.signals {
+        if !(spec.gain.is_finite() && spec.gain > 0.0) {
+            return Err(ParseError::file_level(format!(
+                "signal gain must be positive and finite, got {}",
+                spec.gain
+            )));
+        }
+    }
+    if !(rec.fs.is_finite() && rec.fs > 0.0) {
+        return Err(ParseError::file_level(format!(
+            "sampling frequency must be positive, got {}",
+            rec.fs
+        )));
+    }
+    if rec.width < 2 {
+        return Err(ParseError::file_level(format!(
+            "annotated width must be >= 2, got {}",
+            rec.width
+        )));
+    }
+    let mut prev = 0u64;
+    for (i, &cp) in rec.change_points.iter().enumerate() {
+        if i > 0 && cp <= prev {
+            return Err(ParseError::file_level(format!(
+                "change points must be strictly ascending: {cp} after {prev}"
+            )));
+        }
+        if cp == 0 || cp as usize >= n {
+            return Err(ParseError::file_level(format!(
+                "change point {cp} outside the record interior (len {n})"
+            )));
+        }
+        prev = cp;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `.hea` header
+// ---------------------------------------------------------------------------
+
+/// Header metadata parsed from a `.hea` file, before the `.dat`/`.atr`
+/// companions are read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfdbHeader {
+    /// Record name (first token of the record line; must match the stem).
+    pub name: String,
+    /// Sampling frequency in Hz.
+    pub fs: f64,
+    /// Declared samples per signal.
+    pub n_samples: usize,
+    /// Storage format shared by every signal.
+    pub format: WfdbFormat,
+    /// Per-signal calibration, in signal order.
+    pub signals: Vec<SignalSpec>,
+    /// Annotated temporal pattern width.
+    pub width: usize,
+}
+
+/// Splits a line into `(1-based column, token)` pairs on ASCII spaces.
+fn columns(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut col = 1usize;
+    for tok in line.split(' ') {
+        if !tok.is_empty() {
+            out.push((col, tok));
+        }
+        col += tok.len() + 1;
+    }
+    out
+}
+
+/// Parses a `.hea` header given the file stem (which the record line must
+/// repeat) and body.
+pub fn parse_header(stem: &str, body: &str) -> Result<WfdbHeader, ParseError> {
+    let mut lines = body.lines().enumerate();
+    let (_, record_line) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("empty header"))?;
+    let toks = columns(record_line);
+    if toks.len() != 4 {
+        return Err(ParseError::at(
+            1,
+            1,
+            format!(
+                "expected `<name> <n_signals> <fs> <n_samples>` record line, got `{record_line}`"
+            ),
+        ));
+    }
+    let name = toks[0].1.to_string();
+    if name != stem {
+        return Err(ParseError::at(
+            1,
+            toks[0].0,
+            format!("record name `{name}` does not match the file stem `{stem}`"),
+        ));
+    }
+    // The declared count sizes allocations below, so bound it before
+    // trusting it: real WFDB records carry at most a few dozen signals,
+    // and a strict parser must reject absurd headers, not abort on them.
+    const MAX_SIGNALS: usize = 1024;
+    let n_signals: usize = toks[1]
+        .1
+        .parse()
+        .ok()
+        .filter(|&n| (1..=MAX_SIGNALS).contains(&n))
+        .ok_or_else(|| {
+            ParseError::at(
+                1,
+                toks[1].0,
+                format!(
+                    "bad signal count `{}` (expected 1..={MAX_SIGNALS})",
+                    toks[1].1
+                ),
+            )
+        })?;
+    let fs: f64 = toks[2]
+        .1
+        .parse()
+        .ok()
+        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+        .ok_or_else(|| {
+            ParseError::at(
+                1,
+                toks[2].0,
+                format!("bad sampling frequency `{}`", toks[2].1),
+            )
+        })?;
+    let n_samples: usize = toks[3]
+        .1
+        .parse()
+        .map_err(|_| ParseError::at(1, toks[3].0, format!("bad sample count `{}`", toks[3].1)))?;
+
+    let mut format: Option<WfdbFormat> = None;
+    let mut signals = Vec::with_capacity(n_signals);
+    for _ in 0..n_signals {
+        let (i, line) = lines.next().ok_or_else(|| {
+            ParseError::file_level(format!(
+                "header ends after {} of {n_signals} signal lines",
+                signals.len()
+            ))
+        })?;
+        let lineno = i + 1;
+        let toks = columns(line);
+        if toks.len() < 3 {
+            return Err(ParseError::at(
+                lineno,
+                1,
+                format!("expected `<file> <format> <gain>(<baseline>)/<units> [description]`, got `{line}`"),
+            ));
+        }
+        // Extension case-insensitive: headers from case-preserving
+        // unpacks name `R100.DAT`; the record stem itself must match
+        // exactly (it is the identity the loader resolved).
+        let want_dat = format!("{stem}.dat");
+        if !toks[0].1.eq_ignore_ascii_case(&want_dat)
+            || toks[0].1[..stem.len().min(toks[0].1.len())] != *stem
+        {
+            return Err(ParseError::at(
+                lineno,
+                toks[0].0,
+                format!(
+                    "signal file `{}` is not the record's `{want_dat}`",
+                    toks[0].1
+                ),
+            ));
+        }
+        let fmt = match toks[1].1 {
+            "16" => WfdbFormat::Fmt16,
+            "212" => WfdbFormat::Fmt212,
+            other => {
+                return Err(ParseError::at(
+                    lineno,
+                    toks[1].0,
+                    format!("unsupported signal format `{other}` (expected 16 or 212)"),
+                ))
+            }
+        };
+        match format {
+            None => format = Some(fmt),
+            Some(f) if f == fmt => {}
+            Some(f) => {
+                return Err(ParseError::at(
+                    lineno,
+                    toks[1].0,
+                    format!(
+                        "mixed signal formats ({} then {}) are not supported",
+                        f.code(),
+                        fmt.code()
+                    ),
+                ))
+            }
+        }
+        let (gcol, gspec) = toks[2];
+        let bad_gain = || {
+            ParseError::at(
+                lineno,
+                gcol,
+                format!("expected `<gain>(<baseline>)/<units>`, got `{gspec}`"),
+            )
+        };
+        let (gain_s, rest) = gspec.split_once('(').ok_or_else(bad_gain)?;
+        let (baseline_s, units) = rest.split_once(")/").ok_or_else(bad_gain)?;
+        let gain: f64 = gain_s
+            .parse()
+            .ok()
+            .filter(|g: &f64| g.is_finite() && *g > 0.0)
+            .ok_or_else(bad_gain)?;
+        let baseline: i32 = baseline_s.parse().map_err(|_| bad_gain())?;
+        if units.is_empty() {
+            return Err(bad_gain());
+        }
+        let description = toks
+            .get(3)
+            .map(|&(col, _)| line[col - 1..].to_string())
+            .unwrap_or_default();
+        signals.push(SignalSpec {
+            gain,
+            baseline,
+            units: units.to_string(),
+            description,
+        });
+    }
+
+    let (i, comment) = lines
+        .next()
+        .ok_or_else(|| ParseError::file_level("missing `# width=<w>` annotation comment"))?;
+    let width: usize = comment
+        .strip_prefix("# width=")
+        .and_then(|w| w.trim().parse().ok())
+        .ok_or_else(|| {
+            ParseError::at(
+                i + 1,
+                1,
+                format!("expected `# width=<w>` comment, got `{comment}`"),
+            )
+        })?;
+    if let Some((i, extra)) = lines.next() {
+        return Err(ParseError::at(
+            i + 1,
+            1,
+            format!("unexpected content after the width comment: `{extra}`"),
+        ));
+    }
+
+    Ok(WfdbHeader {
+        name,
+        fs,
+        n_samples,
+        format: format.expect("n_signals >= 1"),
+        signals,
+        width,
+    })
+}
+
+/// Serializes the `.hea` header of a record, byte-exactly re-parseable.
+pub fn write_header(rec: &WfdbRecord) -> String {
+    let mut out = format!(
+        "{} {} {} {}\n",
+        rec.name,
+        rec.n_signals(),
+        rec.fs,
+        rec.n_samples()
+    );
+    for spec in &rec.signals {
+        out.push_str(&format!(
+            "{}.dat {} {}({})/{}",
+            rec.name,
+            rec.format.code(),
+            spec.gain,
+            spec.baseline,
+            spec.units
+        ));
+        if !spec.description.is_empty() {
+            out.push(' ');
+            out.push_str(&spec.description);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("# width={}\n", rec.width));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// `.dat` signals
+// ---------------------------------------------------------------------------
+
+/// Serializes channel-major digital samples into `.dat` bytes
+/// (frame-major interleaving, then the format's packing).
+///
+/// # Panics
+/// Panics if a sample is outside the format's representable range — the
+/// writers only accept validated records ([`validate_record`]).
+pub fn write_dat(samples: &[Vec<i32>], format: WfdbFormat) -> Vec<u8> {
+    let n_sig = samples.len();
+    let n = samples.first().map_or(0, Vec::len);
+    let total = n_sig * n;
+    let interleaved = (0..total).map(|k| samples[k % n_sig][k / n_sig]);
+    match format {
+        WfdbFormat::Fmt16 => {
+            let mut out = Vec::with_capacity(total * 2);
+            for d in interleaved {
+                let v = i16::try_from(d).expect("validated sample fits i16");
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        WfdbFormat::Fmt212 => {
+            let mut out = Vec::with_capacity(total.div_ceil(2) * 3);
+            let mut it = interleaved;
+            while let Some(a) = it.next() {
+                let b = it.next().unwrap_or(0);
+                assert!((-2048..=2047).contains(&a) && (-2048..=2047).contains(&b));
+                let a12 = (a as u16) & 0x0FFF;
+                let b12 = (b as u16) & 0x0FFF;
+                out.push((a12 & 0xFF) as u8);
+                out.push(((a12 >> 8) as u8 & 0x0F) | (((b12 >> 8) as u8 & 0x0F) << 4));
+                out.push((b12 & 0xFF) as u8);
+            }
+            out
+        }
+    }
+}
+
+/// Sign-extends a 12-bit two's-complement value.
+fn sext12(v: u16) -> i32 {
+    ((v << 4) as i16 >> 4) as i32
+}
+
+/// Parses `.dat` bytes into channel-major digital samples. The byte
+/// length must match the declared geometry exactly — a truncated or
+/// oversized signal file is an error, not a shorter record.
+pub fn parse_dat(
+    bytes: &[u8],
+    n_signals: usize,
+    n_samples: usize,
+    format: WfdbFormat,
+) -> Result<Vec<Vec<i32>>, ParseError> {
+    // Checked geometry: the counts come from an untrusted header, and a
+    // wrapped `want` must not line up with a crafted file length.
+    let (total, want) = n_signals
+        .checked_mul(n_samples)
+        .and_then(|total| {
+            let want = match format {
+                WfdbFormat::Fmt16 => total.checked_mul(2)?,
+                WfdbFormat::Fmt212 => total.div_ceil(2).checked_mul(3)?,
+            };
+            Some((total, want))
+        })
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "declared geometry {n_signals} x {n_samples} overflows"
+            ))
+        })?;
+    if bytes.len() != want {
+        return Err(ParseError::file_level(format!(
+            "signal file holds {} bytes, expected {want} for {n_signals} x {n_samples} format-{} samples",
+            bytes.len(),
+            format.code()
+        )));
+    }
+    let mut flat = Vec::with_capacity(total);
+    match format {
+        WfdbFormat::Fmt16 => {
+            for pair in bytes.chunks_exact(2) {
+                flat.push(i16::from_le_bytes([pair[0], pair[1]]) as i32);
+            }
+        }
+        WfdbFormat::Fmt212 => {
+            for triple in bytes.chunks_exact(3) {
+                let a = (triple[0] as u16) | (((triple[1] & 0x0F) as u16) << 8);
+                let b = (triple[2] as u16) | ((((triple[1] >> 4) & 0x0F) as u16) << 8);
+                flat.push(sext12(a));
+                flat.push(sext12(b));
+            }
+            if total % 2 == 1 {
+                let pad = flat.pop().expect("odd total has a pad sample");
+                if pad != 0 {
+                    return Err(ParseError::file_level(format!(
+                        "non-zero padding sample {pad} at byte {}",
+                        bytes.len() - 3
+                    )));
+                }
+            }
+        }
+    }
+    let mut samples = vec![Vec::with_capacity(n_samples); n_signals];
+    for (k, d) in flat.into_iter().enumerate() {
+        samples[k % n_signals].push(d);
+    }
+    Ok(samples)
+}
+
+// ---------------------------------------------------------------------------
+// `.atr` annotations
+// ---------------------------------------------------------------------------
+
+/// The MIT annotation SKIP pseudo-code (extends deltas to 32 bits).
+const ATR_SKIP: u16 = 59;
+/// Annotation code used for segment boundaries.
+const ATR_BOUNDARY: u16 = 1;
+
+/// Serializes segment-boundary change points into MIT-format annotation
+/// bytes: one code-1 annotation per change point (SKIP-extended when the
+/// delta exceeds 10 bits), zero-word terminated.
+pub fn write_atr(change_points: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(change_points.len() * 2 + 2);
+    let mut prev = 0u64;
+    for &cp in change_points {
+        let delta = cp - prev;
+        if delta <= 0x3FF {
+            out.extend_from_slice(&((ATR_BOUNDARY << 10) | delta as u16).to_le_bytes());
+        } else {
+            let delta = u32::try_from(delta).expect("sample delta fits 32 bits");
+            out.extend_from_slice(&(ATR_SKIP << 10).to_le_bytes());
+            out.extend_from_slice(&((delta >> 16) as u16).to_le_bytes());
+            out.extend_from_slice(&((delta & 0xFFFF) as u16).to_le_bytes());
+            out.extend_from_slice(&(ATR_BOUNDARY << 10).to_le_bytes());
+        }
+        prev = cp;
+    }
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out
+}
+
+/// Parses MIT-format annotation bytes back into ascending change points.
+/// Only the codes the writer emits (boundary 1, SKIP 59, terminator 0)
+/// are accepted; anything else is reported with its byte offset.
+pub fn parse_atr(bytes: &[u8]) -> Result<Vec<u64>, ParseError> {
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    let mut sample = 0u64;
+    let mut pending_skip = 0u64;
+    loop {
+        if idx + 2 > bytes.len() {
+            return Err(ParseError::file_level(format!(
+                "annotation stream truncated at byte {idx} (missing terminator)"
+            )));
+        }
+        let word = u16::from_le_bytes([bytes[idx], bytes[idx + 1]]);
+        idx += 2;
+        let code = word >> 10;
+        let diff = (word & 0x3FF) as u64;
+        match code {
+            0 if diff == 0 => break,
+            ATR_SKIP => {
+                if idx + 4 > bytes.len() {
+                    return Err(ParseError::file_level(format!(
+                        "SKIP annotation truncated at byte {idx}"
+                    )));
+                }
+                let high = u16::from_le_bytes([bytes[idx], bytes[idx + 1]]) as u64;
+                let low = u16::from_le_bytes([bytes[idx + 2], bytes[idx + 3]]) as u64;
+                idx += 4;
+                pending_skip += (high << 16) | low;
+            }
+            ATR_BOUNDARY => {
+                sample += pending_skip + diff;
+                pending_skip = 0;
+                out.push(sample);
+            }
+            other => {
+                return Err(ParseError::file_level(format!(
+                    "unsupported annotation code {other} at byte {}",
+                    idx - 2
+                )));
+            }
+        }
+    }
+    if idx != bytes.len() {
+        return Err(ParseError::file_level(format!(
+            "trailing bytes after the annotation terminator at byte {idx}"
+        )));
+    }
+    let mut prev = 0u64;
+    for (i, &cp) in out.iter().enumerate() {
+        if cp == 0 || (i > 0 && cp <= prev) {
+            return Err(ParseError::file_level(format!(
+                "annotations must be strictly ascending and non-zero, got {cp} after {prev}"
+            )));
+        }
+        prev = cp;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> WfdbRecord {
+        WfdbRecord {
+            name: "r100".into(),
+            fs: 360.0,
+            format: WfdbFormat::Fmt212,
+            signals: vec![
+                SignalSpec {
+                    gain: 200.0,
+                    baseline: 0,
+                    units: "mV".into(),
+                    description: "MLII".into(),
+                },
+                SignalSpec {
+                    gain: 100.0,
+                    baseline: 512,
+                    units: "mV".into(),
+                    description: "V5 lead".into(),
+                },
+            ],
+            samples: vec![
+                vec![0, 200, -200, 400, NAN_SENTINEL_212],
+                vec![512, 612, 412, 512, 512],
+            ],
+            width: 20,
+            change_points: vec![2, 4],
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_is_byte_identical() {
+        let rec = demo();
+        validate_record(&rec).unwrap();
+        let body = write_header(&rec);
+        assert_eq!(
+            body,
+            "r100 2 360 5\nr100.dat 212 200(0)/mV MLII\nr100.dat 212 100(512)/mV V5 lead\n# width=20\n"
+        );
+        let hdr = parse_header("r100", &body).unwrap();
+        assert_eq!(hdr.name, "r100");
+        assert_eq!(hdr.fs, 360.0);
+        assert_eq!(hdr.n_samples, 5);
+        assert_eq!(hdr.format, WfdbFormat::Fmt212);
+        assert_eq!(hdr.signals, rec.signals);
+        assert_eq!(hdr.width, 20);
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_errors_not_aborts() {
+        // A strict parser must reject hostile headers before sizing any
+        // allocation from them.
+        let e = parse_header(
+            "r1",
+            "r1 18446744073709551615 360 5\nr1.dat 16 200(0)/mV\n# width=4\n",
+        )
+        .unwrap_err();
+        assert_eq!((e.line, e.col), (1, 4));
+        assert!(e.msg.contains("signal count"), "{e}");
+        // Overflowing dat geometry is a parse error, not wrapped math.
+        let e = parse_dat(&[0u8; 6], usize::MAX, 3, WfdbFormat::Fmt16).unwrap_err();
+        assert!(e.msg.contains("overflows"), "{e}");
+    }
+
+    #[test]
+    fn header_errors_locate_line_and_column() {
+        // Wrong record name (line 1, name token column).
+        let e =
+            parse_header("r200", "r100 1 360 5\nr100.dat 16 200(0)/mV\n# width=4\n").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+        // Unsupported format code.
+        let e =
+            parse_header("r100", "r100 1 360 5\nr100.dat 80 200(0)/mV\n# width=4\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 10));
+        assert!(e.msg.contains("80"), "{e}");
+        // Bad gain spec.
+        let e = parse_header("r100", "r100 1 360 5\nr100.dat 16 200/mV\n# width=4\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 13));
+        // Mixed formats.
+        let body = "r100 2 360 5\nr100.dat 16 200(0)/mV\nr100.dat 212 200(0)/mV\n# width=4\n";
+        let e = parse_header("r100", body).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 10));
+        // Missing width comment is file-level.
+        let e = parse_header("r100", "r100 1 360 5\nr100.dat 16 200(0)/mV\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("width"), "{e}");
+        // Signal file naming another record.
+        let e =
+            parse_header("r100", "r100 1 360 5\nother.dat 16 200(0)/mV\n# width=4\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+    }
+
+    #[test]
+    fn dat_roundtrip_both_formats() {
+        for format in [WfdbFormat::Fmt16, WfdbFormat::Fmt212] {
+            let sentinel = format.nan_sentinel();
+            let samples = vec![
+                vec![0, 1, -1, 2047, -2047, sentinel, 7],
+                vec![5, -5, 100, -100, 0, 1, sentinel],
+            ];
+            let bytes = write_dat(&samples, format);
+            let back = parse_dat(&bytes, 2, 7, format).unwrap();
+            assert_eq!(back, samples, "{format:?}");
+            assert_eq!(write_dat(&back, format), bytes, "{format:?}");
+        }
+    }
+
+    #[test]
+    fn dat_odd_total_pads_and_checks() {
+        // 1 signal x 3 samples in 212: two pairs, second half-filled.
+        let samples = vec![vec![10, -10, 2047]];
+        let bytes = write_dat(&samples, WfdbFormat::Fmt212);
+        assert_eq!(bytes.len(), 6);
+        assert_eq!(
+            parse_dat(&bytes, 1, 3, WfdbFormat::Fmt212).unwrap(),
+            samples
+        );
+        // Corrupting the pad nibble is detected.
+        let mut bad = bytes.clone();
+        bad[4] |= 0xF0;
+        let e = parse_dat(&bad, 1, 3, WfdbFormat::Fmt212).unwrap_err();
+        assert!(e.msg.contains("padding"), "{e}");
+    }
+
+    #[test]
+    fn dat_length_mismatch_is_reported() {
+        let bytes = write_dat(&[vec![1, 2, 3, 4]], WfdbFormat::Fmt16);
+        let e = parse_dat(&bytes[..6], 1, 4, WfdbFormat::Fmt16).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.msg.contains("6 bytes"), "{e}");
+    }
+
+    #[test]
+    fn atr_roundtrip_with_skip_extension() {
+        let cps = vec![5u64, 900, 2000, 1_000_000];
+        let bytes = write_atr(&cps);
+        assert_eq!(parse_atr(&bytes).unwrap(), cps);
+        assert_eq!(write_atr(&parse_atr(&bytes).unwrap()), bytes);
+        // Empty annotation stream: just the terminator.
+        assert_eq!(parse_atr(&write_atr(&[])).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn atr_rejects_garbage() {
+        // Missing terminator.
+        let e = parse_atr(&write_atr(&[5])[..2]).unwrap_err();
+        assert!(e.msg.contains("truncated"), "{e}");
+        // Unsupported code 63.
+        let word = (63u16 << 10) | 2;
+        let mut bytes = word.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        let e = parse_atr(&bytes).unwrap_err();
+        assert!(e.msg.contains("code 63"), "{e}");
+        // Trailing bytes after the terminator.
+        let mut bytes = write_atr(&[5]);
+        bytes.push(0);
+        let e = parse_atr(&bytes).unwrap_err();
+        assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn physical_scaling_and_nan_sentinel() {
+        let rec = demo();
+        let phys = rec.physical();
+        assert_eq!(phys[0][1], 1.0); // 200 / gain 200
+        assert_eq!(phys[1][0], 0.0); // baseline 512
+        assert_eq!(phys[1][1], 1.0); // (612 - 512) / 100
+        assert!(phys[0][4].is_nan());
+        // Digitize inverts (post rounding/clamping).
+        for (c, spec) in rec.signals.iter().enumerate() {
+            for (t, &d) in rec.samples[c].iter().enumerate() {
+                assert_eq!(digitize(phys[c][t], spec, rec.format), d);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_record_catches_out_of_range_samples() {
+        let mut rec = demo();
+        rec.samples[0][0] = 4000; // outside 212 range
+        assert!(validate_record(&rec).is_err());
+        let mut rec = demo();
+        rec.change_points = vec![4, 2];
+        assert!(validate_record(&rec).is_err());
+        let mut rec = demo();
+        rec.width = 1;
+        assert!(validate_record(&rec).is_err());
+    }
+}

@@ -11,9 +11,10 @@
 //! cargo test -p datasets --test fixtures -- --ignored regen_fixtures
 //! ```
 
+use datasets::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
 use datasets::{
-    build_series, fixtures_dir, load_series_file, serialize_series, AnnotatedSeries, DataDir,
-    NoiseSpec, Regime,
+    build_series, fixtures_dir, load_multivariate_file, load_series_file, parse_multivariate_file,
+    serialize_series, AnnotatedSeries, DataDir, MultivariateRaw, NoiseSpec, Regime,
 };
 use std::fs;
 
@@ -165,6 +166,271 @@ fn malformed_specs() -> Vec<(&'static str, &'static str, (usize, usize))> {
     ]
 }
 
+/// Deliberately broken **multivariate** files: an unsupported WFDB signal
+/// format and a wide-CSV with a non-numeric channel value. Same
+/// convention as [`malformed_specs`].
+fn malformed_multivariate_specs() -> Vec<(&'static str, &'static str, (usize, usize))> {
+    vec![
+        (
+            "BadFormat.hea",
+            "BadFormat 1 360 100\nBadFormat.dat 99 200(0)/mV MLII\n# width=20\n",
+            (2, 15),
+        ),
+        (
+            "BadWide.csv",
+            "# window=20\nacc_x,acc_y,label\n0.5,0.25,0\n0.75,oops,0\n",
+            (4, 6),
+        ),
+    ]
+}
+
+/// Builds one channel from aligned `(regime, length)` segments with the
+/// benchmark noise model, quantized like every other fixture.
+fn channel(segments: &[(Regime, usize)], seed: u64) -> Vec<f64> {
+    let s = build_series("ch".into(), "mv", segments, NoiseSpec::benchmark(), seed);
+    s.values.iter().map(|v| (v * 1e6).round() / 1e6).collect()
+}
+
+/// Cumulative segment boundaries (the shared ground-truth change points).
+fn boundaries(lens: &[usize]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    for l in &lens[..lens.len() - 1] {
+        acc += *l as u64;
+        out.push(acc);
+    }
+    out
+}
+
+/// The bundled wide-CSV fixtures (archive `mHealth`): aligned regime
+/// changes on two informative channels plus one pure-noise sensor.
+fn wide_fixture_specs() -> Vec<MultivariateRaw> {
+    let sine = |period: f64, amp: f64| Regime::Sine {
+        period,
+        amp,
+        phase: 0.0,
+    };
+    let harm = |period: f64, amps: [f64; 3]| Regime::Harmonics { period, amps };
+    let noise = Regime::Noise {
+        level: 0.0,
+        sigma: 0.4,
+    };
+    let gait_lens = [1100usize, 1100];
+    let chest_lens = [900usize, 800, 700];
+    vec![
+        MultivariateRaw {
+            name: "AnkleGait".into(),
+            channel_names: vec!["acc_x".into(), "acc_y".into(), "gyro_z".into()],
+            channels: vec![
+                channel(
+                    &[
+                        (harm(30.0, [1.0, 0.5, 0.25]), gait_lens[0]),
+                        (harm(16.0, [1.6, 0.4, 0.5]), gait_lens[1]),
+                    ],
+                    0xF2001,
+                ),
+                channel(
+                    &[
+                        (sine(40.0, 1.0), gait_lens[0]),
+                        (sine(20.0, 1.2), gait_lens[1]),
+                    ],
+                    0xF2002,
+                ),
+                channel(
+                    &[(noise.clone(), gait_lens[0]), (noise.clone(), gait_lens[1])],
+                    0xF2003,
+                ),
+            ],
+            change_points: boundaries(&gait_lens),
+            width: 30,
+        },
+        MultivariateRaw {
+            name: "ChestActivity".into(),
+            channel_names: vec!["resp".into(), "acc_z".into(), "emg".into()],
+            channels: vec![
+                channel(
+                    &[
+                        (
+                            Regime::RespLike {
+                                period: 40.0,
+                                amp: 1.0,
+                                modulation: 0.2,
+                            },
+                            chest_lens[0],
+                        ),
+                        (
+                            Regime::RespLike {
+                                period: 24.0,
+                                amp: 1.4,
+                                modulation: 0.45,
+                            },
+                            chest_lens[1],
+                        ),
+                        (
+                            Regime::RespLike {
+                                period: 56.0,
+                                amp: 0.8,
+                                modulation: 0.15,
+                            },
+                            chest_lens[2],
+                        ),
+                    ],
+                    0xF2004,
+                ),
+                channel(
+                    &[
+                        (harm(35.0, [1.0, 0.5, 0.25]), chest_lens[0]),
+                        (sine(22.0, 1.3), chest_lens[1]),
+                        (harm(50.0, [0.7, 0.5, 0.1]), chest_lens[2]),
+                    ],
+                    0xF2005,
+                ),
+                channel(
+                    &[
+                        (noise.clone(), chest_lens[0]),
+                        (noise.clone(), chest_lens[1]),
+                        (noise, chest_lens[2]),
+                    ],
+                    0xF2006,
+                ),
+            ],
+            change_points: boundaries(&chest_lens),
+            width: 35,
+        },
+    ]
+}
+
+/// The bundled WFDB fixtures (archive `ArrDB`): one format-212 and one
+/// format-16 record, two ECG leads each, with a rhythm change annotated
+/// in the `.atr` companion.
+fn wfdb_fixture_specs() -> Vec<WfdbRecord> {
+    let ecg = |period: f64, amp: f64, jitter: f64| Regime::EcgLike {
+        period,
+        amp,
+        jitter,
+    };
+    let digitize_channel = |xs: &[f64], spec: &SignalSpec, fmt: WfdbFormat| -> Vec<i32> {
+        xs.iter().map(|&x| wfdb::digitize(x, spec, fmt)).collect()
+    };
+    let mut out = Vec::new();
+    {
+        let lens = [1000usize, 1000];
+        let signals = vec![
+            SignalSpec {
+                gain: 200.0,
+                baseline: 0,
+                units: "mV".into(),
+                description: "MLII".into(),
+            },
+            SignalSpec {
+                gain: 100.0,
+                baseline: 512,
+                units: "mV".into(),
+                description: "V5".into(),
+            },
+        ];
+        let ch0 = channel(
+            &[
+                (ecg(60.0, 1.6, 0.03), lens[0]),
+                (ecg(36.0, 1.3, 0.05), lens[1]),
+            ],
+            0xF3001,
+        );
+        let ch1 = channel(
+            &[
+                (ecg(62.0, 1.4, 0.04), lens[0]),
+                (ecg(38.0, 1.1, 0.06), lens[1]),
+            ],
+            0xF3002,
+        );
+        let fmt = WfdbFormat::Fmt212;
+        out.push(WfdbRecord {
+            name: "r100".into(),
+            fs: 360.0,
+            format: fmt,
+            samples: vec![
+                digitize_channel(&ch0, &signals[0], fmt),
+                digitize_channel(&ch1, &signals[1], fmt),
+            ],
+            signals,
+            width: 45,
+            change_points: boundaries(&lens),
+        });
+    }
+    {
+        let lens = [1200usize, 900];
+        let signals = vec![
+            SignalSpec {
+                gain: 100.0,
+                baseline: 0,
+                units: "mV".into(),
+                description: "ECG1".into(),
+            },
+            SignalSpec {
+                gain: 80.0,
+                baseline: -50,
+                units: "mV".into(),
+                description: "ECG2".into(),
+            },
+        ];
+        let fib = Regime::FibrillationLike {
+            period: 30.0,
+            amp: 1.0,
+        };
+        let ch0 = channel(
+            &[(ecg(70.0, 1.6, 0.04), lens[0]), (fib.clone(), lens[1])],
+            0xF3003,
+        );
+        let ch1 = channel(&[(ecg(72.0, 1.3, 0.05), lens[0]), (fib, lens[1])], 0xF3004);
+        let fmt = WfdbFormat::Fmt16;
+        out.push(WfdbRecord {
+            name: "r201".into(),
+            fs: 250.0,
+            format: fmt,
+            samples: vec![
+                digitize_channel(&ch0, &signals[0], fmt),
+                digitize_channel(&ch1, &signals[1], fmt),
+            ],
+            signals,
+            width: 55,
+            change_points: boundaries(&lens),
+        });
+    }
+    out
+}
+
+/// The mixed-case univariate fixture: archives unpacked on
+/// case-preserving filesystems ship upper-case extensions, which the
+/// loader's extension dispatch must accept (regression: it used to be
+/// case-sensitive and silently skipped these files).
+fn mixed_case_fixture() -> (String, AnnotatedSeries) {
+    let series = quantize(build_series(
+        "CaseMix".into(),
+        "MixedCase",
+        &[
+            (
+                Regime::Sine {
+                    period: 25.0,
+                    amp: 1.0,
+                    phase: 0.0,
+                },
+                700,
+            ),
+            (
+                Regime::Square {
+                    period: 40.0,
+                    amp: 1.0,
+                },
+                800,
+            ),
+        ],
+        NoiseSpec::benchmark(),
+        0xF4001,
+    ));
+    // Width 40 = the median pattern width `build_series` annotates.
+    (format!("CaseMix_{}_700.TXT", series.width), series)
+}
+
 /// Regenerates every bundled fixture in place through the serializers.
 #[test]
 #[ignore = "rewrites crates/datasets/fixtures/ in place; run explicitly after format changes"]
@@ -176,9 +442,46 @@ fn regen_fixtures() {
         let (file, body) = serialize_series(&series, csv);
         fs::write(sub.join(file), body).unwrap();
     }
+    let wide = root.join("mHealth");
+    fs::create_dir_all(&wide).unwrap();
+    for raw in wide_fixture_specs() {
+        fs::write(
+            wide.join(datasets::formats::wide_csv_file_name(&raw)),
+            datasets::formats::write_wide_csv(&raw),
+        )
+        .unwrap();
+    }
+    let arr = root.join("ArrDB");
+    fs::create_dir_all(&arr).unwrap();
+    for rec in wfdb_fixture_specs() {
+        wfdb::validate_record(&rec).unwrap();
+        fs::write(
+            arr.join(format!("{}.hea", rec.name)),
+            wfdb::write_header(&rec),
+        )
+        .unwrap();
+        fs::write(
+            arr.join(format!("{}.dat", rec.name)),
+            wfdb::write_dat(&rec.samples, rec.format),
+        )
+        .unwrap();
+        fs::write(
+            arr.join(format!("{}.atr", rec.name)),
+            wfdb::write_atr(&rec.change_points),
+        )
+        .unwrap();
+    }
+    let mixed = root.join("MixedCase");
+    fs::create_dir_all(&mixed).unwrap();
+    let (file, series) = mixed_case_fixture();
+    let (_, body) = serialize_series(&series, false);
+    fs::write(mixed.join(file), body).unwrap();
     let bad = root.join("malformed");
     fs::create_dir_all(&bad).unwrap();
     for (file, content, _) in malformed_specs() {
+        fs::write(bad.join(file), content).unwrap();
+    }
+    for (file, content, _) in malformed_multivariate_specs() {
         fs::write(bad.join(file), content).unwrap();
     }
 }
@@ -294,5 +597,132 @@ fn discovery_separates_real_and_malformed_archives() {
         .collect();
     assert!(names.iter().any(|n| n == "malformed"));
     let clean: Vec<&String> = names.iter().filter(|n| *n != "malformed").collect();
-    assert_eq!(clean.len(), 2, "{names:?}");
+    assert_eq!(clean.len(), 5, "{names:?}");
+}
+
+#[test]
+fn bundled_wide_csv_fixtures_roundtrip_byte_identically() {
+    let want = wide_fixture_specs();
+    let disk = DataDir::open(fixtures_dir())
+        .find("mHealth")
+        .unwrap()
+        .expect("bundled mHealth fixtures present");
+    assert!(disk.files.is_empty(), "mHealth fixtures are wide-only");
+    assert_eq!(disk.multivariate_files.len(), want.len());
+    for spec in &want {
+        let path = disk.dir.join(datasets::formats::wide_csv_file_name(spec));
+        let raw = parse_multivariate_file(&path).unwrap_or_else(|e| panic!("fixture rotted: {e}"));
+        assert_eq!(&raw, spec, "{}: parsed form drifted", spec.name);
+        let on_disk = fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            datasets::formats::write_wide_csv(&raw),
+            on_disk,
+            "{} does not re-serialize byte-identically",
+            path.display()
+        );
+        // The annotated stamping every consumer sees.
+        let s = load_multivariate_file(&path, "mHealth").unwrap();
+        assert_eq!(s.n_channels(), 3);
+        assert_eq!(s.informative, vec![0, 1, 2]);
+        assert_eq!(s.change_points, spec.change_points);
+    }
+}
+
+#[test]
+fn bundled_wfdb_fixtures_roundtrip_byte_identically() {
+    let want = wfdb_fixture_specs();
+    let disk = DataDir::open(fixtures_dir())
+        .find("ArrDB")
+        .unwrap()
+        .expect("bundled ArrDB fixtures present");
+    assert_eq!(disk.multivariate_files.len(), want.len());
+    for spec in &want {
+        let hea = disk.dir.join(format!("{}.hea", spec.name));
+        let dat = disk.dir.join(format!("{}.dat", spec.name));
+        let atr = disk.dir.join(format!("{}.atr", spec.name));
+        // All three files are byte-exact serializer output.
+        assert_eq!(
+            fs::read_to_string(&hea).unwrap(),
+            wfdb::write_header(spec),
+            "{}: header drifted",
+            spec.name
+        );
+        assert_eq!(
+            fs::read(&dat).unwrap(),
+            wfdb::write_dat(&spec.samples, spec.format),
+            "{}: signal bytes drifted",
+            spec.name
+        );
+        assert_eq!(
+            fs::read(&atr).unwrap(),
+            wfdb::write_atr(&spec.change_points),
+            "{}: annotation bytes drifted",
+            spec.name
+        );
+        // And the loader recovers the physical record exactly.
+        let raw = parse_multivariate_file(&hea).unwrap_or_else(|e| panic!("fixture rotted: {e}"));
+        assert_eq!(raw.n_channels(), spec.n_signals());
+        assert_eq!(raw.change_points, spec.change_points);
+        assert_eq!(raw.width, spec.width);
+        let phys = spec.physical();
+        for (c, chan) in raw.channels.iter().enumerate() {
+            assert_eq!(chan, &phys[c], "{}: channel {c} drifted", spec.name);
+        }
+    }
+}
+
+#[test]
+fn wfdb_fixture_samples_exercise_both_formats() {
+    let specs = wfdb_fixture_specs();
+    let formats: Vec<WfdbFormat> = specs.iter().map(|r| r.format).collect();
+    assert!(formats.contains(&WfdbFormat::Fmt16));
+    assert!(formats.contains(&WfdbFormat::Fmt212));
+    for rec in &specs {
+        wfdb::validate_record(rec).unwrap();
+        assert!(rec.n_samples() >= 1500, "{}: too short", rec.name);
+        assert!(!rec.change_points.is_empty(), "{}", rec.name);
+    }
+}
+
+#[test]
+fn malformed_multivariate_fixtures_fail_with_line_and_column() {
+    let bad = fixtures_dir().join("malformed");
+    for (file, _, (line, col)) in malformed_multivariate_specs() {
+        let path = bad.join(file);
+        let err = load_multivariate_file(&path, "malformed")
+            .expect_err(&format!("{file} should not load"));
+        assert_eq!(
+            (err.error.line, err.error.col),
+            (line, col),
+            "{file}: wrong location: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains(file), "{msg}");
+        assert!(msg.contains(&format!(":{line}:{col}:")), "{msg}");
+    }
+}
+
+/// Satellite regression: the manifest resolved archive *names*
+/// case-insensitively while the loader's extension dispatch was
+/// case-sensitive, so `.TXT`/`.CSV` series were silently skipped. The
+/// bundled `MixedCase/CaseMix_40_700.TXT` fixture pins the fix end to
+/// end: discovery must list it and the loader must parse it.
+#[test]
+fn mixed_case_extension_fixture_is_discovered_and_loads() {
+    let disk = DataDir::open(fixtures_dir())
+        .find("mixedcase")
+        .unwrap()
+        .expect("MixedCase fixture dir discovered despite lowercase query");
+    assert_eq!(disk.files.len(), 1, "{:?}", disk.files);
+    assert!(
+        disk.files[0].to_string_lossy().ends_with(".TXT"),
+        "{:?}",
+        disk.files
+    );
+    let series = disk.load().expect("mixed-case fixture loads");
+    let (_, want) = mixed_case_fixture();
+    assert_eq!(series.len(), 1);
+    assert_eq!(series[0].values, want.values);
+    assert_eq!(series[0].change_points, want.change_points);
+    assert_eq!(series[0].width, want.width);
 }

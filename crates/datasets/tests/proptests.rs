@@ -1,0 +1,175 @@
+//! Property-based round-trips for the multivariate archive parsers:
+//! arbitrary channel counts / lengths / calibrations serialize and parse
+//! back **byte-identically** for wide-CSV and **value-exactly** (post
+//! gain/baseline scaling) for WFDB formats 16 and 212 — including `NaN`
+//! (invalid-sample) and flat-line channels.
+
+use class_core::stats::SplitMix64;
+use datasets::formats::{parse_wide_csv, write_wide_csv, MultivariateRaw};
+use datasets::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
+use proptest::prelude::*;
+
+/// Scales a release-profile case count down for unoptimized builds (the
+/// convention every proptest target in the workspace follows).
+const fn cases(release: u32) -> u32 {
+    if cfg!(debug_assertions) {
+        release.div_ceil(4)
+    } else {
+        release
+    }
+}
+
+/// Draws strictly ascending change points inside `1..len`.
+fn draw_cps(rng: &mut SplitMix64, len: usize, max_cps: usize) -> Vec<u64> {
+    if len < 2 || max_cps == 0 {
+        return Vec::new();
+    }
+    let n = rng.next_below(max_cps as u64 + 1) as usize;
+    let mut cps: Vec<u64> = (0..n).map(|_| 1 + rng.next_below(len as u64 - 1)).collect();
+    cps.sort_unstable();
+    cps.dedup();
+    cps
+}
+
+/// Draws one channel: occasionally flat-line (a dead sensor held at one
+/// level) and, when `allow_nan`, with a sprinkle of invalid samples.
+fn draw_channel(rng: &mut SplitMix64, len: usize, allow_nan: bool) -> Vec<f64> {
+    let flat = rng.next_below(5) == 0;
+    let level = (rng.next_f64() - 0.5) * 100.0;
+    let all_nan = allow_nan && rng.next_below(7) == 0;
+    (0..len)
+        .map(|_| {
+            if all_nan || (allow_nan && rng.next_below(13) == 0) {
+                f64::NAN
+            } else if flat {
+                level
+            } else {
+                (rng.next_f64() - 0.5) * 2e4
+            }
+        })
+        .collect()
+}
+
+/// Bitwise value equality with NaN == NaN.
+fn same_values(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(96)))]
+
+    #[test]
+    fn wide_csv_roundtrip_is_byte_identical(
+        seed in any::<u64>(),
+        n_channels in 2usize..6,
+        len in 1usize..60,
+        width in 2usize..500,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let raw = MultivariateRaw {
+            name: format!("P{:x}", seed & 0xFFFF),
+            channel_names: (0..n_channels).map(|c| format!("s{c}")).collect(),
+            channels: (0..n_channels)
+                .map(|_| draw_channel(&mut rng, len, true))
+                .collect(),
+            change_points: draw_cps(&mut rng, len, 4),
+            width,
+        };
+        let body = write_wide_csv(&raw);
+        let back = parse_wide_csv(&raw.name, &body)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&back.name, &raw.name);
+        prop_assert_eq!(&back.channel_names, &raw.channel_names);
+        prop_assert_eq!(&back.change_points, &raw.change_points);
+        prop_assert_eq!(back.width, raw.width);
+        for (c, (a, b)) in back.channels.iter().zip(&raw.channels).enumerate() {
+            prop_assert!(same_values(a, b), "channel {} drifted", c);
+        }
+        // Byte-identity: re-serialization reproduces the file exactly.
+        prop_assert_eq!(write_wide_csv(&back), body);
+    }
+
+    #[test]
+    fn wfdb_roundtrip_is_value_exact_post_gain_baseline(
+        seed in any::<u64>(),
+        n_signals in 1usize..4,
+        len in 1usize..2500,
+        fmt16 in any::<bool>(),
+        width in 2usize..500,
+    ) {
+        let format = if fmt16 { WfdbFormat::Fmt16 } else { WfdbFormat::Fmt212 };
+        let mut rng = SplitMix64::new(seed);
+        let (lo, hi) = format.sample_range();
+        let span = (hi - lo + 1) as u64;
+        let signals: Vec<SignalSpec> = (0..n_signals)
+            .map(|c| SignalSpec {
+                // Positive finite gains across several magnitudes.
+                gain: (1.0 + rng.next_f64() * 999.0) / 10f64.powi(rng.next_below(3) as i32),
+                baseline: (rng.next_below(4001) as i32) - 2000,
+                units: "mV".into(),
+                description: format!("lead{c}"),
+            })
+            .collect();
+        let samples: Vec<Vec<i32>> = (0..n_signals)
+            .map(|_| {
+                let all_nan = rng.next_below(7) == 0;
+                (0..len)
+                    .map(|_| {
+                        if all_nan || rng.next_below(13) == 0 {
+                            format.nan_sentinel()
+                        } else {
+                            lo + rng.next_below(span) as i32
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let rec = WfdbRecord {
+            name: format!("p{:x}", seed & 0xFFFF),
+            fs: 1.0 + rng.next_below(1000) as f64,
+            format,
+            signals,
+            samples,
+            width,
+            change_points: draw_cps(&mut rng, len, 5),
+        };
+        wfdb::validate_record(&rec)
+            .map_err(|e| TestCaseError::fail(format!("generated record invalid: {e}")))?;
+
+        // Header: text round-trip, byte-identical re-serialization.
+        let hea = wfdb::write_header(&rec);
+        let header = wfdb::parse_header(&rec.name, &hea)
+            .map_err(|e| TestCaseError::fail(format!("header parse failed: {e}")))?;
+        prop_assert_eq!(&header.signals, &rec.signals);
+        prop_assert_eq!(header.format, rec.format);
+        prop_assert_eq!(header.n_samples, len);
+        prop_assert_eq!(header.width, rec.width);
+
+        // Signals: digital samples round-trip exactly through the packing.
+        let dat = wfdb::write_dat(&rec.samples, format);
+        let samples = wfdb::parse_dat(&dat, n_signals, len, format)
+            .map_err(|e| TestCaseError::fail(format!("dat parse failed: {e}")))?;
+        prop_assert_eq!(&samples, &rec.samples);
+        prop_assert_eq!(wfdb::write_dat(&samples, format), dat);
+
+        // Annotations: byte-identical both directions.
+        let atr = wfdb::write_atr(&rec.change_points);
+        let cps = wfdb::parse_atr(&atr)
+            .map_err(|e| TestCaseError::fail(format!("atr parse failed: {e}")))?;
+        prop_assert_eq!(&cps, &rec.change_points);
+        prop_assert_eq!(wfdb::write_atr(&cps), atr);
+
+        // Physical values are exact post gain/baseline: the parsed record
+        // scales the identical digital samples with the identical specs,
+        // so `(d - baseline) / gain` is bit-for-bit reproducible (NaN for
+        // the sentinel).
+        let parsed = WfdbRecord { samples, ..rec.clone() };
+        let want = rec.physical();
+        for (c, chan) in parsed.physical().iter().enumerate() {
+            prop_assert!(same_values(chan, &want[c]), "channel {} drifted", c);
+        }
+    }
+}

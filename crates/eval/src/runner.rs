@@ -4,9 +4,9 @@
 //! matching the paper's single-core measurement protocol).
 
 use crate::covering::covering;
-use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter};
+use class_core::{ClassConfig, ClassSegmenter, MultivariateConfig, StreamingSegmenter};
 use competitors::{build, CompetitorKind, SeriesContext};
-use datasets::AnnotatedSeries;
+use datasets::{AnnotatedSeries, MultivariateSeries};
 use std::time::{Duration, Instant};
 
 /// Which algorithm to run, with the experiment-level knobs.
@@ -113,55 +113,149 @@ pub fn run_one(spec: &AlgoSpec, series: &AnnotatedSeries) -> RunResult {
     }
 }
 
-/// Runs every algorithm over every series on the multi-stream serving
-/// engine: each (algorithm, series) pair is registered as an independent
-/// stream, sharded over `threads` engine workers and fed through bounded
-/// ring buffers with the lossless `Block` policy. Results are returned in
-/// deterministic (algo-major, series-minor) order.
-///
-/// Jobs are bin-packed onto shards greedily, longest series first, so no
-/// shard straggles with a disproportionate share of the points; the
-/// packing depends only on the job list and is fully deterministic. At
-/// most `4 * threads` jobs are *live* (registered, operator built, ring
-/// allocated) at any moment — a paper-scale matrix is thousands of jobs,
-/// and each live ClaSS operator holds O(window) state, so the feeder
-/// opens jobs as earlier ones complete instead of materializing all of
-/// them up front (the pre-engine runner was O(threads) live jobs too).
-/// `runtime` is operator-busy time measured per drained batch
-/// (`stream_engine::Timing::Batch`), which matches the paper's
-/// single-core measurement protocol even though shards interleave many
-/// streams — and keeps per-record clock reads out of baselines whose
-/// step is cheaper than a clock read.
+/// One multivariate job for the matrix runner: a fused multi-channel
+/// segmenter (paper §6 sensor fusion) over one [`MultivariateSeries`],
+/// served as a single engine stream carrying the channels interleaved.
+#[derive(Debug, Clone)]
+pub struct MultivariateJob {
+    /// Fused segmenter configuration (fusion strategy, channel
+    /// selection, per-channel base config).
+    pub cfg: MultivariateConfig,
+    /// The multi-channel series with its shared annotations.
+    pub series: MultivariateSeries,
+}
+
+impl MultivariateJob {
+    /// A quorum-fusion job with the default multivariate configuration
+    /// derived from a univariate base config.
+    pub fn quorum(base: ClassConfig, series: MultivariateSeries) -> Self {
+        Self {
+            cfg: MultivariateConfig::new(base, series.n_channels()),
+            series,
+        }
+    }
+}
+
+/// A job in the mixed matrix: either one (algorithm, series) univariate
+/// pair or one multivariate fused stream.
+#[derive(Debug, Clone, Copy)]
+enum JobRef {
+    Uni(usize, usize),
+    Multi(usize),
+}
+
+/// Runs every algorithm over every univariate series on the multi-stream
+/// serving engine. Equivalent to [`run_matrix_mixed`] with no
+/// multivariate jobs; results are in deterministic (algo-major,
+/// series-minor) order.
 pub fn run_matrix(
     algos: &[AlgoSpec],
     series: &[AnnotatedSeries],
     threads: usize,
 ) -> Vec<RunResult> {
+    run_matrix_mixed(algos, series, &[], threads).0
+}
+
+/// Runs a mixed experiment matrix on the multi-stream serving engine:
+/// every (algorithm, univariate series) pair plus every multivariate job
+/// is registered as an independent stream, sharded over `threads` engine
+/// workers and fed through bounded ring buffers with the lossless
+/// `Block` policy. Returns `(univariate results in (algo-major,
+/// series-minor) order, multivariate results in job order)`.
+///
+/// Jobs are bin-packed onto shards greedily by **record weight** —
+/// points for a univariate job, points x channels for a multivariate one
+/// (its interleaved stream pushes one record per channel per time step)
+/// — heaviest first, so a 6-channel PAMAP stream counts six times a
+/// univariate series of the same length and no shard straggles. The
+/// packing depends only on the job list and is fully deterministic. At
+/// most `4 * threads` jobs are *live* (registered, operator built, ring
+/// allocated) at any moment — a paper-scale matrix is thousands of jobs,
+/// and each live ClaSS operator holds O(window) state per channel, so
+/// the feeder opens jobs as earlier ones complete instead of
+/// materializing all of them up front. `runtime` is operator-busy time
+/// measured per drained batch (`stream_engine::Timing::Batch`), which
+/// matches the paper's single-core measurement protocol even though
+/// shards interleave many streams — and keeps per-record clock reads out
+/// of baselines whose step is cheaper than a clock read.
+pub fn run_matrix_mixed(
+    algos: &[AlgoSpec],
+    series: &[AnnotatedSeries],
+    mv_jobs: &[MultivariateJob],
+    threads: usize,
+) -> (Vec<RunResult>, Vec<RunResult>) {
+    use class_core::MultivariateClass;
     use stream_engine::{
-        serve, Backpressure, EngineConfig, RingConfig, SegmenterOperator, StreamHandle,
-        StreamOptions, Timing,
+        serve, Backpressure, EngineConfig, MultivariateSegmenterOperator, Operator, Record,
+        RingConfig, SegmenterOperator, StreamHandle, StreamOptions, Timing,
     };
 
-    let mut jobs: Vec<(usize, usize)> = (0..algos.len())
-        .flat_map(|a| (0..series.len()).map(move |s| (a, s)))
+    /// The engine serves one operator type per run; a mixed matrix wraps
+    /// both kinds behind one dispatching operator.
+    enum MatrixOperator {
+        Uni(SegmenterOperator<Box<dyn StreamingSegmenter>>),
+        Multi(Box<MultivariateSegmenterOperator>),
+    }
+
+    impl Operator for MatrixOperator {
+        type In = f64;
+        type Out = u64;
+
+        fn process(&mut self, rec: Record<f64>, out: &mut Vec<Record<u64>>) {
+            match self {
+                MatrixOperator::Uni(op) => op.process(rec, out),
+                MatrixOperator::Multi(op) => op.process(rec, out),
+            }
+        }
+
+        fn flush(&mut self, out: &mut Vec<Record<u64>>) {
+            match self {
+                MatrixOperator::Uni(op) => op.flush(out),
+                MatrixOperator::Multi(op) => op.flush(out),
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "matrix"
+        }
+    }
+
+    let mut jobs: Vec<JobRef> = (0..algos.len())
+        .flat_map(|a| (0..series.len()).map(move |s| JobRef::Uni(a, s)))
+        .chain((0..mv_jobs.len()).map(JobRef::Multi))
         .collect();
     if jobs.is_empty() {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
-    // Longest-first; the sort is stable, so ties keep the deterministic
-    // (algo-major, series-minor) order.
-    jobs.sort_by_key(|&(_, s)| std::cmp::Reverse(series[s].len()));
+    // Interleaved record stream for one multivariate job (the engine's
+    // shared frame-major transport layout) — built only when the job
+    // goes live and dropped when it closes, so the bounded-live-jobs
+    // design holds for the duplicated multivariate data too (a
+    // paper-scale matrix never materializes a second copy of every
+    // recording at once).
+    let interleave =
+        |m: usize| -> Vec<f64> { stream_engine::interleave_channels(&mv_jobs[m].series.channels) };
+    // Record weight: how many records the job pushes through its ring.
+    let weight = |job: &JobRef| -> u64 {
+        match *job {
+            JobRef::Uni(_, s) => series[s].len() as u64,
+            JobRef::Multi(m) => (mv_jobs[m].series.len() * mv_jobs[m].series.n_channels()) as u64,
+        }
+    };
+    // Heaviest-first; the sort is stable, so ties keep the deterministic
+    // (uni algo-major, then multivariate job-order) layout.
+    jobs.sort_by_key(|j| std::cmp::Reverse(weight(j)));
     let threads = threads.max(1).min(jobs.len());
-    // Greedy balance: each job (longest first) goes to the least-loaded
-    // shard by total points, ties to the lowest shard index.
+    // Greedy balance: each job (heaviest first) goes to the least-loaded
+    // shard by total records, ties to the lowest shard index.
     let mut load = vec![0u64; threads];
     let shard_of: Vec<usize> = jobs
         .iter()
-        .map(|&(_, s)| {
+        .map(|j| {
             let shard = (0..threads)
                 .min_by_key(|&k| (load[k], k))
                 .expect(">=1 shard");
-            load[shard] += series[s].len() as u64;
+            load[shard] += weight(j);
             shard
         })
         .collect();
@@ -170,31 +264,44 @@ pub fn run_matrix(
         shards: threads,
         ring: RingConfig::new(512, Backpressure::Block),
     };
-    // The greedy packing spreads the longest-first prefix across shards
+    // The greedy packing spreads the heaviest-first prefix across shards
     // (the first `threads` jobs land on distinct shards), so a live
     // window of 4x threads keeps every shard busy.
     let max_live = 4 * threads;
     let (results, stream_jobs) = serve(config, |engine| {
         // Stream id -> index into `jobs`, in registration order.
         let mut stream_jobs: Vec<usize> = Vec::with_capacity(jobs.len());
-        // (job index, handle, feed cursor) of each live job.
-        let mut live: Vec<(usize, StreamHandle, usize)> = Vec::new();
+        // (job index, handle, feed cursor, interleaved buffer for
+        // multivariate jobs) of each live job.
+        let mut live: Vec<(usize, StreamHandle, usize, Option<Vec<f64>>)> = Vec::new();
         let mut next = 0usize;
         loop {
             while live.len() < max_live && next < jobs.len() {
-                let (a, s) = jobs[next];
-                let spec = &algos[a];
-                let ser = &series[s];
+                let job = jobs[next];
                 let handle = engine.register_with(
                     StreamOptions {
                         ring: config.ring,
                         timing: Timing::Batch,
                         shard: Some(shard_of[next]),
                     },
-                    move || SegmenterOperator::new(spec.instantiate(ser)),
+                    move || match job {
+                        JobRef::Uni(a, s) => MatrixOperator::Uni(SegmenterOperator::new(
+                            algos[a].instantiate(&series[s]),
+                        )),
+                        JobRef::Multi(m) => {
+                            let j = &mv_jobs[m];
+                            MatrixOperator::Multi(Box::new(MultivariateSegmenterOperator::new(
+                                MultivariateClass::new(j.cfg.clone(), j.series.n_channels()),
+                            )))
+                        }
+                    },
                 );
                 stream_jobs.push(next);
-                live.push((next, handle, 0));
+                let mv_data = match job {
+                    JobRef::Multi(m) => Some(interleave(m)),
+                    JobRef::Uni(..) => None,
+                };
+                live.push((next, handle, 0, mv_data));
                 next += 1;
             }
             if live.is_empty() {
@@ -203,8 +310,12 @@ pub fn run_matrix(
             let mut progressed = false;
             let mut i = 0;
             while i < live.len() {
-                let (job, handle, cursor) = &mut live[i];
-                let xs = series[jobs[*job].1].values.as_slice();
+                let (job, handle, cursor, mv_data) = &mut live[i];
+                let xs: &[f64] = match (&jobs[*job], mv_data.as_deref()) {
+                    (JobRef::Uni(_, s), _) => &series[*s].values,
+                    (JobRef::Multi(_), Some(buf)) => buf,
+                    (JobRef::Multi(_), None) => unreachable!("multi job registered with buffer"),
+                };
                 if *cursor >= xs.len() {
                     // Close the handle: the shard flushes the operator
                     // and a registration slot frees up.
@@ -228,28 +339,51 @@ pub fn run_matrix(
     });
 
     // Stream ids follow registration order; scatter back to the
-    // algo-major layout through the stream -> job mapping.
-    let mut out: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+    // deterministic layouts through the stream -> job mapping.
+    let mut out: Vec<Option<RunResult>> = (0..algos.len() * series.len()).map(|_| None).collect();
+    let mut out_mv: Vec<Option<RunResult>> = (0..mv_jobs.len()).map(|_| None).collect();
     for r in results {
-        let (a, s) = jobs[stream_jobs[r.stream]];
-        let ser = &series[s];
         let mut cps: Vec<u64> = r.output.iter().map(|rec| rec.value).collect();
         cps.sort_unstable();
         cps.dedup();
-        let cov = covering(&ser.change_points, &cps, ser.len() as u64);
-        out[a * series.len() + s] = Some(RunResult {
-            algo: algos[a].name(),
-            series: ser.name.clone(),
-            archive: ser.archive,
-            covering: cov,
-            runtime: r.busy,
-            n_points: ser.len(),
-            cps,
-        });
+        match jobs[stream_jobs[r.stream]] {
+            JobRef::Uni(a, s) => {
+                let ser = &series[s];
+                let cov = covering(&ser.change_points, &cps, ser.len() as u64);
+                out[a * series.len() + s] = Some(RunResult {
+                    algo: algos[a].name(),
+                    series: ser.name.clone(),
+                    archive: ser.archive,
+                    covering: cov,
+                    runtime: r.busy,
+                    n_points: ser.len(),
+                    cps,
+                });
+            }
+            JobRef::Multi(m) => {
+                let ser = &mv_jobs[m].series;
+                let cov = covering(&ser.change_points, &cps, ser.len() as u64);
+                out_mv[m] = Some(RunResult {
+                    algo: "MultivariateClaSS",
+                    series: ser.name.clone(),
+                    archive: ser.archive,
+                    covering: cov,
+                    runtime: r.busy,
+                    n_points: ser.len(),
+                    cps,
+                });
+            }
+        }
     }
-    out.into_iter()
-        .map(|r| r.expect("every job served"))
-        .collect()
+    (
+        out.into_iter()
+            .map(|r| r.expect("every job served"))
+            .collect(),
+        out_mv
+            .into_iter()
+            .map(|r| r.expect("every multivariate job served"))
+            .collect(),
+    )
 }
 
 /// Extracts the per-series Covering score matrix `scores[algo][series]`
@@ -383,6 +517,47 @@ mod tests {
         for (a, b) in got.iter().zip(&serial) {
             assert_eq!(a.cps, b.cps);
         }
+    }
+
+    #[test]
+    fn run_matrix_mixed_serves_multivariate_jobs() {
+        use datasets::{generate_multivariate, MultivariateSpec};
+        let spec = MultivariateSpec {
+            n_channels: 3,
+            n_informative: 2,
+            len: 6_000,
+            n_segments: 2,
+            noise: 0.05,
+            seed: 13,
+        };
+        let mv = generate_multivariate(&spec);
+        let true_cps = mv.change_points.clone();
+        let mut base = ClassConfig::with_window_size(1500);
+        base.width = class_core::WidthSelection::Fixed(mv.width.clamp(10, 60));
+        base.log10_alpha = -12.0;
+        let jobs = vec![MultivariateJob::quorum(base.clone(), mv)];
+        let algos = vec![AlgoSpec::Baseline {
+            kind: CompetitorKind::Ddm,
+            window_size: 1000,
+        }];
+        let series = vec![small_series()];
+        let (uni, multi) = run_matrix_mixed(&algos, &series, &jobs, 4);
+        assert_eq!(uni.len(), 1);
+        assert_eq!(multi.len(), 1);
+        let r = &multi[0];
+        assert_eq!(r.algo, "MultivariateClaSS");
+        assert_eq!(r.n_points, 6_000, "n_points counts frames, not records");
+        assert!((0.0..=1.0).contains(&r.covering));
+        assert!(
+            r.cps
+                .iter()
+                .any(|&c| true_cps.iter().any(|&t| c.abs_diff(t) < 800)),
+            "no fused cp near the truth: {:?} vs {true_cps:?}",
+            r.cps
+        );
+        // Deterministic across thread counts, like the univariate path.
+        let (_, again) = run_matrix_mixed(&algos, &series, &jobs, 1);
+        assert_eq!(r.cps, again[0].cps);
     }
 
     #[test]

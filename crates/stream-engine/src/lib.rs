@@ -22,10 +22,13 @@
 //! * a single-threaded [`Pipeline`] composes operator chains for
 //!   in-process use and differential testing against the engine,
 //! * [`SegmenterOperator`] adapts any [`class_core::StreamingSegmenter`]
-//!   into a window operator emitting change point records, and
-//! * [`ReplaySource`] replays a loaded (file-backed) series, unpaced like
-//!   the paper's RAM-resident streams or throttled to a configurable
-//!   record rate like a live sensor feed.
+//!   into a window operator emitting change point records,
+//! * [`MultivariateSegmenterOperator`] registers a fused multi-channel
+//!   [`class_core::MultivariateClass`] (paper §6 sensor fusion) as **one**
+//!   stream, its channels travelling interleaved through one ring, and
+//! * [`ReplaySource`] / [`MultiChannelReplaySource`] replay a loaded
+//!   (file-backed) series, unpaced like the paper's RAM-resident streams
+//!   or throttled to a configurable record rate like a live sensor feed.
 
 #![warn(missing_docs)]
 
@@ -41,11 +44,16 @@ pub use engine::{
     feed_all, serve, EngineConfig, ServingEngine, StreamHandle, StreamOptions, StreamResult, Timing,
 };
 pub use latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
-pub use operator::{FilterOperator, MapOperator, Operator, SegmenterOperator, TumblingWindowMean};
+pub use operator::{
+    FilterOperator, MapOperator, MultivariateSegmenterOperator, Operator, SegmenterOperator,
+    TumblingWindowMean,
+};
 pub use parallel::{run_streams, StreamJobResult};
 pub use pipeline::{Pipeline, ThroughputReport};
 pub use ring::{Backpressure, OverflowError, PushError, RingConfig};
-pub use source::{ReplayIter, ReplaySource};
+pub use source::{
+    interleave_channels, MultiChannelReplayIter, MultiChannelReplaySource, ReplayIter, ReplaySource,
+};
 
 /// A timestamped stream record. `timestamp` is the position in the source
 /// stream (processing time in the paper's setup).

@@ -1,7 +1,7 @@
 //! Stream operators: the unit of computation of the engine.
 
 use crate::Record;
-use class_core::StreamingSegmenter;
+use class_core::{MultivariateClass, StreamingSegmenter};
 
 /// A one-at-a-time stream operator transforming `In` records into zero or
 /// more `Out` records. Mirrors Flink's `OneInputStreamOperator`.
@@ -182,6 +182,77 @@ impl<S: StreamingSegmenter> Operator for SegmenterOperator<S> {
 
     fn name(&self) -> &'static str {
         "segmenter"
+    }
+}
+
+/// The multivariate ClaSS window operator (paper §6 sensor fusion): one
+/// multi-channel stream registers as **one** serving-engine stream. The
+/// ring carries the channels interleaved frame-major (the layout
+/// [`crate::MultiChannelReplaySource::interleaved`] produces); this
+/// operator reassembles each frame and steps the fused segmenter once
+/// per complete frame. Emitted records carry the change point position
+/// (in frames) as payload and the frame index as timestamp, matching
+/// [`SegmenterOperator`]'s convention (`u64::MAX` for flush-time
+/// reports).
+///
+/// The interleaving contract requires **lossless transport**: register
+/// the stream with the `Block` backpressure policy. A lossy ring
+/// (`DropOldest`) evicts individual scalar records, which permanently
+/// desynchronizes frame reassembly from the first drop on.
+pub struct MultivariateSegmenterOperator {
+    seg: MultivariateClass,
+    row: Vec<f64>,
+    scratch: Vec<u64>,
+}
+
+impl MultivariateSegmenterOperator {
+    /// Wraps a fused multivariate segmenter.
+    pub fn new(seg: MultivariateClass) -> Self {
+        Self {
+            row: Vec::with_capacity(seg.n_channels()),
+            seg,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Access to the wrapped segmenter.
+    pub fn segmenter(&self) -> &MultivariateClass {
+        &self.seg
+    }
+}
+
+impl Operator for MultivariateSegmenterOperator {
+    type In = f64;
+    type Out = u64;
+
+    fn process(&mut self, rec: Record<f64>, out: &mut Vec<Record<u64>>) {
+        self.row.push(rec.value);
+        if self.row.len() == self.seg.n_channels() {
+            // `rec` is the frame's last interleaved record, so the frame
+            // index is its position divided by the channel count.
+            let frame = rec.timestamp / self.seg.n_channels() as u64;
+            self.scratch.clear();
+            self.seg.step(&self.row, &mut self.scratch);
+            self.row.clear();
+            for &cp in &self.scratch {
+                out.push(Record::new(frame, cp));
+            }
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<Record<u64>>) {
+        // A trailing partial frame (producer closed mid-frame) carries no
+        // complete observation vector and is dropped.
+        self.row.clear();
+        self.scratch.clear();
+        self.seg.finalize(&mut self.scratch);
+        for &cp in &self.scratch {
+            out.push(Record::new(u64::MAX, cp));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "multivariate-segmenter"
     }
 }
 

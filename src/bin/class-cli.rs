@@ -74,11 +74,17 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         List archives under --data-dir (default: $CLASS_DATA_DIR), the
         bundled golden fixtures, and the synthetic Table 1 stand-ins.
     datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
+                         [--channels K] [--fusion quorum|any|N]
                          [--format text|tsv]
-        Load annotated TSSB/FLOSS-style .txt or UTSA-style .csv files,
-        replay each through the streaming pipeline (--rate records/sec
-        simulates a live feed; default: unpaced), and report Covering and
-        detection delay against the files' ground-truth annotations.
+        Load annotated archive files — univariate TSSB/FLOSS-style .txt /
+        UTSA-style .csv, or multi-channel WFDB .hea (with .dat/.atr
+        companions) / wide .csv — replay each through the serving engine
+        (--rate records/sec simulates a live feed; default: unpaced), and
+        report Covering and detection delay against the files'
+        ground-truth annotations. Multi-channel files run the fused
+        multivariate segmenter: --fusion picks the vote fusion (quorum =
+        majority, any = union, N = quorum of N channels) and --channels K
+        keeps only the K highest-variance channels after a probe phase.
 ";
 
 fn parse_args() -> CliArgs {
@@ -129,6 +135,16 @@ fn parse_args() -> CliArgs {
 // `datasets` subcommands
 // ---------------------------------------------------------------------------
 
+/// How `datasets run` fuses per-channel votes on multi-channel files.
+enum FusionChoice {
+    /// Majority quorum (the multivariate default).
+    Quorum,
+    /// Union of every channel's change points.
+    Any,
+    /// Quorum of exactly N channels.
+    Votes(usize),
+}
+
 struct DatasetsRunArgs {
     files: Vec<String>,
     window: Option<usize>,
@@ -136,6 +152,8 @@ struct DatasetsRunArgs {
     alpha: f64,
     rate: Option<f64>,
     tsv: bool,
+    channels: Option<usize>,
+    fusion: FusionChoice,
 }
 
 fn datasets_main(args: Vec<String>) -> ! {
@@ -176,7 +194,17 @@ fn datasets_list(rest: &[String]) -> i32 {
         Ok(archives) if !archives.is_empty() => {
             println!("{label} ({}):", dir.root().display());
             for a in archives {
-                println!("  {:<12} {:>4} series files", a.name, a.files.len());
+                let mv = a.multivariate_files.len();
+                let mv_note = if mv > 0 {
+                    format!(" + {mv} multi-channel")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  {:<12} {:>4} series files{mv_note}",
+                    a.name,
+                    a.files.len()
+                );
             }
         }
         Ok(_) => println!("{label} ({}): no archives", dir.root().display()),
@@ -223,6 +251,8 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         alpha: 1e-15,
         rate: None,
         tsv: false,
+        channels: None,
+        fusion: FusionChoice::Quorum,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -245,6 +275,30 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
                 out.rate = Some(rate);
             }
             "--format" => out.tsv = grab("--format")? == "tsv",
+            "--channels" => {
+                let k: usize = grab("--channels")?
+                    .parse()
+                    .map_err(|_| "numeric --channels")?;
+                if k == 0 {
+                    return Err("--channels must keep at least one channel".into());
+                }
+                out.channels = Some(k);
+            }
+            "--fusion" => {
+                let v = grab("--fusion")?;
+                out.fusion = match v.as_str() {
+                    "quorum" => FusionChoice::Quorum,
+                    "any" => FusionChoice::Any,
+                    other => match other.parse::<usize>() {
+                        Ok(k) if k >= 1 => FusionChoice::Votes(k),
+                        _ => {
+                            return Err(format!(
+                            "--fusion must be quorum, any, or a positive vote count, got {other}"
+                        ))
+                        }
+                    },
+                };
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown argument {flag}")),
             file => out.files.push(file.to_string()),
         }
@@ -253,6 +307,256 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         return Err("datasets run needs at least one FILE".into());
     }
     Ok(out)
+}
+
+/// Everything one scored file prints, regardless of channel count.
+struct FileScore {
+    name: String,
+    archive: &'static str,
+    points: usize,
+    width: usize,
+    channels: usize,
+    true_cps: Vec<u64>,
+    found: Vec<u64>,
+    records_in: u64,
+    elapsed: std::time::Duration,
+}
+
+impl FileScore {
+    fn print(&self, tsv: bool, stats: &eval::DelayStats, cov: f64) {
+        let delay = stats
+            .mean_delay()
+            .map(|d| format!("{d:.0}"))
+            .unwrap_or_else(|| "-".into());
+        if tsv {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.2}\t{delay}\t{}",
+                self.name,
+                self.points,
+                self.width,
+                fmt_cps(&self.true_cps),
+                fmt_cps(&self.found),
+                cov,
+                stats.detection_rate(),
+                self.channels,
+            );
+        } else {
+            println!("series: {} ({})", self.name, self.archive);
+            println!(
+                "points: {}, width: {}, channels: {}, true cps: [{}]",
+                self.points,
+                self.width,
+                self.channels,
+                fmt_cps(&self.true_cps)
+            );
+            println!("found cps: [{}]", fmt_cps(&self.found));
+            println!("covering: {cov:.4}");
+            println!(
+                "detection rate: {:.2}, mean delay: {delay}, false alarms: {}",
+                stats.detection_rate(),
+                stats.false_alarms
+            );
+            println!(
+                "throughput: {:.0} pts/s\n",
+                self.records_in as f64 / self.elapsed.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+}
+
+/// Scores engine output records against annotations: `(sorted deduped
+/// change points, covering, delay stats)`. Flush-time reports
+/// (timestamp `u64::MAX`) count as emitted at end-of-stream.
+fn score_records(
+    records: &[stream_engine::Record<u64>],
+    true_cps: &[u64],
+    n_points: usize,
+    width: usize,
+) -> (Vec<u64>, f64, eval::DelayStats) {
+    let mut found: Vec<u64> = records.iter().map(|r| r.value).collect();
+    found.sort_unstable();
+    found.dedup();
+    let cov = eval::covering(true_cps, &found, n_points as u64);
+    let timed: Vec<eval::TimedReport> = records
+        .iter()
+        .map(|r| eval::TimedReport {
+            emitted_at: if r.timestamp == u64::MAX {
+                n_points as u64
+            } else {
+                r.timestamp
+            },
+            cp: r.value,
+        })
+        .collect();
+    // Localisation tolerance: the paper's minimum-segment margin of
+    // 5 subsequence widths (ClaSP's `excl_radius`); profile maxima
+    // systematically sit a couple of widths before the annotation.
+    let stats = eval::delay_stats(true_cps, &timed, 5 * width as u64);
+    (found, cov, stats)
+}
+
+/// Replays one univariate archive file through a 1-shard serving engine
+/// and prints its scores.
+fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: &str) -> i32 {
+    let series = match datasets::load_series_file(path, archive) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut cfg =
+        ClassConfig::with_window_size(args.window.unwrap_or_else(|| series.len().min(10_000)));
+    cfg.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
+    cfg.log10_alpha = args.alpha.log10();
+
+    // Replay the loaded series through the serving engine — unpaced
+    // like the paper's §4.4 RAM-resident streams, or at --rate
+    // records/sec like a live sensor feed. One stream on one shard:
+    // the ingest loop below paces, the shard steps the segmenter.
+    let mut source = stream_engine::ReplaySource::new(series.values.clone());
+    if let Some(rate) = args.rate {
+        source = source.with_rate(rate);
+    }
+    let started = std::time::Instant::now();
+    let (mut results, ()) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
+        let mut handle = engine
+            .register(move || stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg)));
+        for v in source {
+            handle.push(v).expect("serving engine alive");
+        }
+    });
+    let elapsed = started.elapsed();
+    let result = results.remove(0);
+    let (found, cov, stats) = score_records(
+        &result.output,
+        &series.change_points,
+        series.len(),
+        series.width,
+    );
+    FileScore {
+        name: series.name.clone(),
+        archive: series.archive,
+        points: series.len(),
+        width: series.width,
+        channels: 1,
+        true_cps: series.change_points.clone(),
+        found,
+        records_in: result.records_in,
+        elapsed,
+    }
+    .print(args.tsv, &stats, cov);
+    0
+}
+
+/// Replays one multi-channel archive file (WFDB record or wide-CSV) as a
+/// single fused stream through a 1-shard serving engine — channels
+/// travel interleaved through one ring, the shard reassembles frames and
+/// steps the quorum-fusion segmenter — and prints its scores.
+fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: &str) -> i32 {
+    use class_core::{ChannelSelection, FusionStrategy, MultivariateClass, MultivariateConfig};
+
+    let series = match datasets::load_multivariate_file(path, archive) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let n = series.len();
+    let n_channels = series.n_channels();
+    let window = args.window.unwrap_or_else(|| n.min(10_000));
+    let mut base = ClassConfig::with_window_size(window);
+    base.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
+    base.log10_alpha = args.alpha.log10();
+    let mut cfg = MultivariateConfig::new(base, n_channels);
+    // Overrides keep the default config's clustering tolerance, so
+    // `--fusion N` with the default quorum count behaves identically to
+    // no flag at all.
+    let tolerance = cfg.fusion.tolerance();
+    match args.fusion {
+        FusionChoice::Quorum => {}
+        FusionChoice::Any => cfg.fusion = FusionStrategy::Any { tolerance },
+        FusionChoice::Votes(k) => {
+            if k > n_channels {
+                eprintln!("error: --fusion {k} exceeds the file's {n_channels} channels");
+                return 2;
+            }
+            cfg.fusion = FusionStrategy::Quorum {
+                min_votes: k,
+                tolerance,
+            };
+        }
+    }
+    if let Some(k) = args.channels {
+        if k > n_channels {
+            eprintln!("error: --channels {k} exceeds the file's {n_channels} channels");
+            return 2;
+        }
+        if k < n_channels {
+            // Probe for half a window, floored at 64 frames but never
+            // longer than the stream itself.
+            cfg.selection = ChannelSelection::TopVariance {
+                k,
+                probe: (window / 2).max(64).min(n),
+            };
+            // Only the selected channels can vote, so a quorum sized for
+            // the full channel count could never be satisfied. An
+            // explicit contradictory --fusion N is a usage error; the
+            // default quorum re-derives as a majority of the selection.
+            match args.fusion {
+                FusionChoice::Votes(v) if v > k => {
+                    eprintln!(
+                        "error: --fusion {v} can never be satisfied by the --channels {k} selection"
+                    );
+                    return 2;
+                }
+                FusionChoice::Quorum => {
+                    cfg.fusion = FusionStrategy::Quorum {
+                        min_votes: k.div_ceil(2).max(1),
+                        tolerance,
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut source = stream_engine::MultiChannelReplaySource::new(series.channels.clone());
+    if let Some(rate) = args.rate {
+        source = source.with_rate(rate);
+    }
+    let started = std::time::Instant::now();
+    let (mut results, ()) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
+        let mut handle = engine.register(move || {
+            stream_engine::MultivariateSegmenterOperator::new(MultivariateClass::new(
+                cfg, n_channels,
+            ))
+        });
+        for row in source {
+            for v in row {
+                handle.push(v).expect("serving engine alive");
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    let result = results.remove(0);
+    let (found, cov, stats) = score_records(&result.output, &series.change_points, n, series.width);
+    FileScore {
+        name: series.name.clone(),
+        archive: series.archive,
+        points: n,
+        width: series.width,
+        channels: n_channels,
+        true_cps: series.change_points.clone(),
+        found,
+        // The ring carried frames x channels interleaved records; report
+        // throughput in frames so it is comparable to univariate files.
+        records_in: result.records_in / n_channels as u64,
+        elapsed,
+    }
+    .print(args.tsv, &stats, cov);
+    0
 }
 
 fn datasets_run(rest: &[String]) -> i32 {
@@ -265,7 +569,7 @@ fn datasets_run(rest: &[String]) -> i32 {
     };
     if args.tsv {
         println!(
-            "series\tpoints\twidth\ttrue_cps\tfound_cps\tcovering\tdetection_rate\tmean_delay"
+            "series\tpoints\twidth\ttrue_cps\tfound_cps\tcovering\tdetection_rate\tmean_delay\tchannels"
         );
     }
     for file in &args.files {
@@ -275,95 +579,26 @@ fn datasets_run(rest: &[String]) -> i32 {
             .and_then(|p| p.file_name())
             .and_then(|n| n.to_str())
             .unwrap_or("archive");
-        let series = match datasets::load_series_file(path, archive) {
-            Ok(s) => s,
+        let kind = match datasets::classify_series_file(path) {
+            Ok(Some(kind)) => kind,
+            Ok(None) => {
+                eprintln!(
+                    "error: {}: not a loadable series file (expected .txt, .csv or .hea)",
+                    path.display()
+                );
+                return 1;
+            }
             Err(e) => {
-                eprintln!("error: {e}");
+                eprintln!("error: {}: {e}", path.display());
                 return 1;
             }
         };
-
-        let mut cfg =
-            ClassConfig::with_window_size(args.window.unwrap_or_else(|| series.len().min(10_000)));
-        cfg.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
-        cfg.log10_alpha = args.alpha.log10();
-
-        // Replay the loaded series through the serving engine — unpaced
-        // like the paper's §4.4 RAM-resident streams, or at --rate
-        // records/sec like a live sensor feed. One stream on one shard:
-        // the ingest loop below paces, the shard steps the segmenter.
-        let mut source = stream_engine::ReplaySource::new(series.values.clone());
-        if let Some(rate) = args.rate {
-            source = source.with_rate(rate);
-        }
-        let started = std::time::Instant::now();
-        let (mut results, ()) =
-            stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
-                let mut handle = engine.register(move || {
-                    stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg))
-                });
-                for v in source {
-                    handle.push(v).expect("serving engine alive");
-                }
-            });
-        let elapsed = started.elapsed();
-        let result = results.remove(0);
-        let records = result.output;
-
-        let mut found: Vec<u64> = records.iter().map(|r| r.value).collect();
-        found.sort_unstable();
-        found.dedup();
-        let cov = eval::covering(&series.change_points, &found, series.len() as u64);
-        let timed: Vec<eval::TimedReport> = records
-            .iter()
-            .map(|r| eval::TimedReport {
-                emitted_at: if r.timestamp == u64::MAX {
-                    series.len() as u64
-                } else {
-                    r.timestamp
-                },
-                cp: r.value,
-            })
-            .collect();
-        // Localisation tolerance: the paper's minimum-segment margin of
-        // 5 subsequence widths (ClaSP's `excl_radius`); profile maxima
-        // systematically sit a couple of widths before the annotation.
-        let stats = eval::delay_stats(&series.change_points, &timed, 5 * series.width as u64);
-        let delay = stats
-            .mean_delay()
-            .map(|d| format!("{d:.0}"))
-            .unwrap_or_else(|| "-".into());
-
-        if args.tsv {
-            println!(
-                "{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.2}\t{delay}",
-                series.name,
-                series.len(),
-                series.width,
-                fmt_cps(&series.change_points),
-                fmt_cps(&found),
-                cov,
-                stats.detection_rate(),
-            );
-        } else {
-            println!("series: {} ({})", series.name, series.archive);
-            println!(
-                "points: {}, width: {}, true cps: [{}]",
-                series.len(),
-                series.width,
-                fmt_cps(&series.change_points)
-            );
-            println!("found cps: [{}]", fmt_cps(&found));
-            println!("covering: {cov:.4}");
-            println!(
-                "detection rate: {:.2}, mean delay: {delay}, false alarms: {}",
-                stats.detection_rate(),
-                stats.false_alarms
-            );
-            println!(
-                "throughput: {:.0} pts/s\n",
-                result.records_in as f64 / elapsed.as_secs_f64().max(1e-9)
-            );
+        let code = match kind {
+            datasets::SeriesKind::Univariate => run_univariate_file(&args, path, archive),
+            datasets::SeriesKind::Multivariate => run_multivariate_file(&args, path, archive),
+        };
+        if code != 0 {
+            return code;
         }
     }
     0

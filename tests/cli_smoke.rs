@@ -167,6 +167,200 @@ fn datasets_run_tsv_emits_one_row_per_file() {
 }
 
 #[test]
+fn datasets_run_scores_a_wfdb_fixture_through_the_serving_engine() {
+    let (stdout, stderr, code) = run_cli(&["datasets", "run", &fixture("ArrDB/r100.hea")], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("series: arrdb/r100 (ArrDB)"), "{stdout}");
+    assert!(stdout.contains("channels: 2"), "{stdout}");
+    assert!(stdout.contains("true cps: [1000]"), "{stdout}");
+    let cov_line = stdout
+        .lines()
+        .find(|l| l.starts_with("covering: "))
+        .unwrap_or_else(|| panic!("no covering line in {stdout}"));
+    let cov: f64 = cov_line["covering: ".len()..].trim().parse().unwrap();
+    assert!(cov > 0.6, "covering too low for a clear change: {cov_line}");
+    assert!(
+        stdout.contains("detection rate: 1.00"),
+        "annotated change undetected: {stdout}"
+    );
+}
+
+#[test]
+fn datasets_run_scores_a_wide_csv_fixture_with_fusion_knobs() {
+    // Default quorum fusion.
+    let (stdout, stderr, code) =
+        run_cli(&["datasets", "run", &fixture("mHealth/AnkleGait.csv")], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(
+        stdout.contains("series: mhealth/AnkleGait (mHealth)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("channels: 3"), "{stdout}");
+    assert!(stdout.contains("detection rate: 1.00"), "{stdout}");
+
+    // --fusion any and --channels top-k selection also run cleanly.
+    for extra in [
+        &["--fusion", "any"][..],
+        &["--channels", "2"][..],
+        &["--fusion", "2"][..],
+    ] {
+        let mut args = vec!["datasets", "run"];
+        args.extend_from_slice(extra);
+        let file = fixture("mHealth/AnkleGait.csv");
+        args.push(&file);
+        let (stdout, stderr, code) = run_cli(&args, "");
+        assert_eq!(code, 0, "{extra:?}: {stderr}");
+        assert!(stdout.contains("covering:"), "{extra:?}: {stdout}");
+    }
+
+    // Knobs exceeding the channel count are usage errors.
+    let (_, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--channels",
+            "9",
+            &fixture("mHealth/AnkleGait.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("exceeds"), "{stderr}");
+    let (_, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--fusion",
+            "9",
+            &fixture("mHealth/AnkleGait.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("exceeds"), "{stderr}");
+
+    // A vote count the --channels selection can never satisfy is a
+    // usage error, not a silent zero-detection run.
+    let (_, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--channels",
+            "2",
+            "--fusion",
+            "3",
+            &fixture("mHealth/AnkleGait.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("never be satisfied"), "{stderr}");
+
+    // Selecting a single channel re-derives the default quorum so
+    // detection still works (regression: min_votes used to stay sized
+    // for the full channel count, making fusion impossible).
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--channels",
+            "1",
+            &fixture("mHealth/AnkleGait.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("detection rate: 1.00"), "{stdout}");
+}
+
+#[test]
+fn datasets_run_tsv_is_byte_identical_across_runs() {
+    // The acceptance bar for the multivariate serving path: scoring a
+    // WFDB record and a wide-CSV file (plus a univariate control) is
+    // fully deterministic — two runs produce identical bytes.
+    let args = [
+        "datasets",
+        "run",
+        "--format",
+        "tsv",
+        &fixture("ArrDB/r201.hea"),
+        &fixture("mHealth/ChestActivity.csv"),
+        &fixture("TSSB/SineFreqDouble_50_900.txt"),
+    ];
+    let (a, stderr, code) = run_cli(&args, "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let (b, _, _) = run_cli(&args, "");
+    assert_eq!(a, b, "two runs differ");
+    let lines: Vec<&str> = a.lines().collect();
+    assert_eq!(lines.len(), 4, "{a}");
+    assert!(lines[0].ends_with("\tchannels"), "{a}");
+    assert!(lines[1].starts_with("arrdb/r201\t2100\t55\t1200\t"), "{a}");
+    assert!(lines[1].ends_with("\t2"), "{a}");
+    assert!(
+        lines[2].starts_with("mhealth/ChestActivity\t2400\t35\t900 1700\t"),
+        "{a}"
+    );
+    assert!(lines[2].ends_with("\t3"), "{a}");
+    assert!(
+        lines[3].starts_with("tssb/SineFreqDouble\t1800\t50\t900\t"),
+        "{a}"
+    );
+    assert!(lines[3].ends_with("\t1"), "{a}");
+}
+
+#[test]
+fn datasets_run_channel_selection_survives_tiny_files() {
+    // Regression: the TopVariance probe length used to be computed with
+    // `clamp(64, n)`, which panics when a valid multi-channel file has
+    // fewer than 64 frames.
+    let dir = std::env::temp_dir().join("class-cli-smoke-tiny-wide");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("Tiny.csv");
+    let mut body = String::from("# window=8\na,b,label\n");
+    for i in 0..40 {
+        body.push_str(&format!(
+            "{}.5,{}.25,{}\n",
+            i % 3,
+            i % 2,
+            usize::from(i >= 20)
+        ));
+    }
+    std::fs::write(&path, body).unwrap();
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--channels",
+            "1",
+            &path.display().to_string(),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(stdout.contains("covering:"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn datasets_run_reports_malformed_multivariate_files() {
+    // WFDB header with an unsupported signal format code.
+    let (_, stderr, code) = run_cli(
+        &["datasets", "run", &fixture("malformed/BadFormat.hea")],
+        "",
+    );
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("BadFormat.hea:2:15:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Wide-CSV with a non-numeric channel value.
+    let (_, stderr, code) = run_cli(&["datasets", "run", &fixture("malformed/BadWide.csv")], "");
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("BadWide.csv:4:6:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn datasets_run_reports_line_and_column_on_malformed_files() {
     let (_, stderr, code) = run_cli(
         &["datasets", "run", &fixture("malformed/BadValue_20_600.txt")],

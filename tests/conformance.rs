@@ -12,9 +12,10 @@
 //! files' ground-truth annotations.
 
 use class_core::{
-    clasp_segment, ClaspConfig, ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection,
+    clasp_segment, ClaspConfig, ClassConfig, ClassSegmenter, MultivariateClass, MultivariateConfig,
+    StreamingSegmenter, VoteFuser, WidthSelection,
 };
-use datasets::{fixtures_dir, AnnotatedSeries, DataDir};
+use datasets::{fixtures_dir, AnnotatedSeries, DataDir, MultivariateSeries};
 
 const LOG10_ALPHA: f64 = -15.0;
 
@@ -93,6 +94,127 @@ fn streaming_class_agrees_with_batch_clasp_on_every_fixture() {
                 "{}: {side} change point {cp} has no counterpart within {tol}\n  \
                  streaming: {streaming:?}\n  batch: {batch:?}",
                 series.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multivariate fixtures: streaming fusion vs batch per-channel + offline
+// fusion
+// ---------------------------------------------------------------------------
+
+fn multivariate_fixture_series() -> Vec<MultivariateSeries> {
+    let dir = DataDir::open(fixtures_dir());
+    let mut out = Vec::new();
+    for archive in ["ArrDB", "mHealth"] {
+        let disk = dir
+            .find(archive)
+            .unwrap()
+            .expect("bundled multivariate fixtures present");
+        out.extend(
+            disk.load_multivariate()
+                .expect("multivariate fixtures load"),
+        );
+    }
+    assert!(
+        out.len() >= 4,
+        "multivariate fixture set shrank to {}",
+        out.len()
+    );
+    out
+}
+
+fn mv_config(series: &MultivariateSeries) -> MultivariateConfig {
+    let mut base = ClassConfig::with_window_size(series.len().min(10_000));
+    base.width = WidthSelection::Fixed(series.width);
+    base.log10_alpha = LOG10_ALPHA;
+    MultivariateConfig::new(base, series.n_channels())
+}
+
+/// The streaming path: the fused multivariate segmenter, frame by frame.
+fn stream_multivariate(series: &MultivariateSeries) -> Vec<u64> {
+    let cfg = mv_config(series);
+    let mut mv = MultivariateClass::new(cfg, series.n_channels());
+    let mut cps = Vec::new();
+    let mut row = vec![0.0; series.n_channels()];
+    for t in 0..series.len() {
+        for (c, chan) in series.channels.iter().enumerate() {
+            row[c] = chan[t];
+        }
+        mv.step(&row, &mut cps);
+    }
+    mv.finalize(&mut cps);
+    cps.sort_unstable();
+    cps.dedup();
+    cps
+}
+
+/// The offline oracle: batch ClaSP on every channel independently, then
+/// one end-of-stream fusion pass over the per-channel votes with the
+/// same strategy the streaming path uses.
+fn batch_per_channel_fused(series: &MultivariateSeries) -> Vec<u64> {
+    let cfg = mv_config(series);
+    let mut fuser = VoteFuser::new(cfg.fusion);
+    for (c, chan) in series.channels.iter().enumerate() {
+        let mut clasp = ClaspConfig::new(series.width);
+        clasp.log10_alpha = LOG10_ALPHA;
+        for cp in clasp_segment(chan, &clasp) {
+            fuser.vote(c, cp as u64);
+        }
+    }
+    let mut cps = Vec::new();
+    fuser.finish(&mut cps);
+    cps.sort_unstable();
+    cps
+}
+
+#[test]
+fn streaming_multivariate_agrees_with_batch_per_channel_fusion() {
+    for series in multivariate_fixture_series() {
+        let tol = 5 * series.width as u64;
+        let streaming = stream_multivariate(&series);
+        let batch = batch_per_channel_fused(&series);
+        assert!(
+            !streaming.is_empty(),
+            "{}: streaming multivariate ClaSS found no change points",
+            series.name
+        );
+        assert!(
+            !batch.is_empty(),
+            "{}: batch per-channel ClaSP + fusion found no change points",
+            series.name
+        );
+        if let Some((side, cp)) = unmatched(&streaming, &batch, tol) {
+            panic!(
+                "{}: {side} change point {cp} has no counterpart within {tol}\n  \
+                 streaming: {streaming:?}\n  batch: {batch:?}",
+                series.name
+            );
+        }
+    }
+}
+
+#[test]
+fn multivariate_paths_localise_the_file_annotations() {
+    for series in multivariate_fixture_series() {
+        let tol = 5 * series.width as u64;
+        for (label, found) in [
+            ("streaming", stream_multivariate(&series)),
+            ("batch", batch_per_channel_fused(&series)),
+        ] {
+            for &gt in &series.change_points {
+                assert!(
+                    found.iter().any(|&cp| cp.abs_diff(gt) <= tol),
+                    "{}: {label} missed annotated change point {gt} (tol {tol}); found {found:?}",
+                    series.name
+                );
+            }
+            assert!(
+                found.len() <= series.change_points.len() + 1,
+                "{}: {label} over-segments: {found:?} vs {:?}",
+                series.name,
+                series.change_points
             );
         }
     }
