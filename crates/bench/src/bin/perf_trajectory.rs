@@ -1,11 +1,19 @@
 //! `perf_trajectory` — the pinned perf workload every PR is measured on.
 //!
-//! Runs the three streaming hot paths (`knn_update`, `crossval_profile`,
-//! full `class_step`) at d ∈ {1_000, 4_000, 10_000} on fixed-seed synthetic
-//! streams and writes `BENCH_perf.json` (median ns/op per kernel) next to
-//! the working directory, plus a Markdown table on stdout. Numbers are
-//! before/after comparable across PRs: same seeds, same widths, same batch
-//! protocol (see `bench::perf`).
+//! Runs the streaming hot paths at d ∈ {1_000, 4_000, 10_000} on
+//! fixed-seed synthetic streams and writes `BENCH_perf.json` (median ns/op
+//! per kernel) next to the working directory, plus a Markdown table on
+//! stdout. Numbers are before/after comparable across PRs: same seeds,
+//! same widths, same batch protocol (see `bench::perf`). Kernels:
+//!
+//! * `knn_update` — one streaming index update,
+//! * `crossval_cold` — one full profile rebuild from the neighbour lists
+//!   (the former `crossval_profile` workload, now the fallback path),
+//! * `crossval_incremental` — advance the stream by one observation
+//!   (untimed; that context is the `knn_update` kernel) and re-evaluate
+//!   the warm journal-synced profile — the steady-state serving cost,
+//! * `class_step` — the full per-observation pipeline at the default
+//!   jump-ahead cadence.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin perf_trajectory              # full
@@ -18,14 +26,16 @@
 //! `CLASS_SIMD` environment variable pins the kernel backend for A/B runs.
 //!
 //! `--check BASELINE.json` turns the run into a **regression gate**: the
-//! fresh `knn_update` medians are compared against the baseline document
-//! (read before `--out` is written, so checking against the committed
-//! `BENCH_perf.json` in place works) and the process exits non-zero if
-//! any matching d regressed by more than `--tolerance` (default 0.25).
+//! fresh medians of *every* kernel shared with the baseline document are
+//! compared (read before `--out` is written, so checking against the
+//! committed `BENCH_perf.json` in place works) and the process exits
+//! non-zero if any shared (kernel, d) regressed beyond its tolerance —
+//! `--tolerance` (default 0.25) for the steady kernels, widened to 0.35
+//! for the noisier end-to-end `class_step`.
 
 use bench::perf::{
-    json_string, kernel_medians, measure_batches, regressions, render_json, render_table,
-    KernelStat,
+    json_string, kernel_medians, measure_batches, measure_batches_paired, regressions, render_json,
+    render_table, KernelStat,
 };
 use class_core::crossval::{CrossVal, ScoreFn};
 use class_core::knn::{KnnConfig, StreamingKnn};
@@ -76,7 +86,7 @@ fn main() {
     let mut preset = &FULL;
     let mut out_path = "BENCH_perf.json".to_string();
     let mut check_path: Option<String> = None;
-    let mut tolerance = 0.25;
+    let mut tolerance: f64 = 0.25;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -133,22 +143,53 @@ fn main() {
             best_ns: best,
             ops,
         });
-        eprintln!("  knn_update        d={d:<6} median {median:>12.1} ns/op");
+        eprintln!("  knn_update           d={d:<6} median {median:>12.1} ns/op");
 
-        // --- crossval_profile: one full incremental profile sweep. ---
+        // --- crossval_cold: one full profile rebuild from the neighbour
+        // lists (reset() drops the persisted incremental state first). ---
         let (knn, _) = filled_knn(d);
         let mut cv = CrossVal::new(ScoreFn::MacroF1);
         let (median, best, ops) = measure_batches(preset.batches, preset.cv_ops, || {
+            cv.reset();
             black_box(cv.compute(&knn, knn.qstart()));
         });
         stats.push(KernelStat {
-            name: "crossval_profile",
+            name: "crossval_cold",
             d,
             median_ns: median,
             best_ns: best,
             ops,
         });
-        eprintln!("  crossval_profile  d={d:<6} median {median:>12.1} ns/op");
+        eprintln!("  crossval_cold        d={d:<6} median {median:>12.1} ns/op");
+
+        // --- crossval_incremental: advance the stream by one observation
+        // (untimed: that context is exactly the knn_update kernel above)
+        // and re-evaluate the warm, journal-synced profile. ---
+        let mut state = {
+            let (knn, rng) = filled_knn(d);
+            let mut cv = CrossVal::new(ScoreFn::MacroF1);
+            cv.compute(&knn, knn.qstart());
+            (knn, cv, rng)
+        };
+        let (median, best, ops) = measure_batches_paired(
+            preset.batches,
+            preset.cv_ops,
+            &mut state,
+            |(knn, _, rng)| {
+                knn.update(black_box(rng.next_f64() * 2.0 - 1.0));
+            },
+            |(knn, cv, _)| {
+                black_box(cv.compute(knn, knn.qstart()));
+            },
+        );
+        stats.push(KernelStat {
+            name: "crossval_incremental",
+            d,
+            median_ns: median,
+            best_ns: best,
+            ops,
+        });
+        eprintln!("  crossval_incremental d={d:<6} median {median:>12.1} ns/op");
 
         // --- class_step: the full per-observation pipeline. ---
         let mut cfg = ClassConfig::with_window_size(d);
@@ -170,7 +211,7 @@ fn main() {
             best_ns: best,
             ops,
         });
-        eprintln!("  class_step        d={d:<6} median {median:>12.1} ns/op");
+        eprintln!("  class_step           d={d:<6} median {median:>12.1} ns/op");
     }
 
     let json = render_json(preset.name, backend, &stats);
@@ -192,36 +233,64 @@ fn main() {
             );
             return;
         }
-        let base = kernel_medians(&baseline, "knn_update");
-        let pairs: Vec<(String, f64, f64)> = stats
-            .iter()
-            .filter(|s| s.name == "knn_update")
-            .filter_map(|s| {
-                base.iter()
-                    .find(|&&(d, _)| d == s.d)
-                    .map(|&(_, m)| (format!("knn_update d={}", s.d), m, s.median_ns))
-            })
-            .collect();
-        assert!(
-            !pairs.is_empty(),
-            "baseline {} shares no knn_update d with preset {}",
-            check_path.as_deref().unwrap_or(""),
-            preset.name
-        );
+        // Gate every kernel shared between the fresh run and the baseline
+        // (a kernel new to this PR has no baseline yet and is skipped; a
+        // kernel retired from the workload no longer gates). Per-kernel
+        // tolerance: the end-to-end class_step mixes cheap skipped steps
+        // with full evaluations and the occasional detection, so it is
+        // noisier than the steady kernels.
         let mut failed = false;
+        let mut matched = 0usize;
         eprintln!(
             "regression check vs {} (baseline backend {base_backend}, tolerance {tolerance}):",
             check_path.as_deref().unwrap_or("")
         );
-        for (label, base_ns, fresh_ns, regressed) in regressions(&pairs, true, tolerance) {
-            eprintln!(
-                "  {label:<22} baseline {base_ns:>10.1} ns/op, fresh {fresh_ns:>10.1} ns/op  {}",
-                if regressed { "REGRESSED" } else { "ok" }
-            );
-            failed |= regressed;
+        // First-occurrence order; stats interleave kernels per d, so a
+        // plain consecutive dedup would visit each kernel once per d.
+        let mut kernels: Vec<&'static str> = Vec::new();
+        for s in &stats {
+            if !kernels.contains(&s.name) {
+                kernels.push(s.name);
+            }
         }
+        for kernel in kernels {
+            let base = kernel_medians(&baseline, kernel);
+            let pairs: Vec<(String, f64, f64)> = stats
+                .iter()
+                .filter(|s| s.name == kernel)
+                .filter_map(|s| {
+                    base.iter()
+                        .find(|&&(d, _)| d == s.d)
+                        .map(|&(_, m)| (format!("{kernel} d={}", s.d), m, s.median_ns))
+                })
+                .collect();
+            if pairs.is_empty() {
+                eprintln!("  {kernel:<31} not in baseline; skipped");
+                continue;
+            }
+            let kernel_tol = if kernel == "class_step" {
+                tolerance.max(0.35)
+            } else {
+                tolerance
+            };
+            matched += pairs.len();
+            for (label, base_ns, fresh_ns, regressed) in regressions(&pairs, true, kernel_tol) {
+                eprintln!(
+                    "  {label:<31} baseline {base_ns:>10.1} ns/op, fresh {fresh_ns:>10.1} ns/op  \
+                     {} (tol {kernel_tol})",
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+                failed |= regressed;
+            }
+        }
+        assert!(
+            matched > 0,
+            "baseline {} shares no kernel/d with preset {}",
+            check_path.as_deref().unwrap_or(""),
+            preset.name
+        );
         if failed {
-            eprintln!("perf regression beyond {:.0}%", tolerance * 100.0);
+            eprintln!("perf regression beyond tolerance");
             std::process::exit(1);
         }
     }

@@ -21,6 +21,12 @@
 //! regressed more than `--tolerance` (default 0.25) against the
 //! baseline document (read before `--out` overwrites it).
 //!
+//! `--jump N` overrides the segmenter's jump-ahead evaluation cadence
+//! (default: the [`ClassConfig`] default, the reference implementation's
+//! `jump=5`; `--jump 1` restores exact per-point evaluation). The value
+//! is recorded in the JSON and gated — throughput at different cadences
+//! measures different operators.
+//!
 //! `--mv-channels C` switches every stream to a C-channel multivariate
 //! sensor (paper §6 sensor fusion): channels travel interleaved through
 //! one ring per stream and the shard steps a quorum-fusion
@@ -99,6 +105,7 @@ fn render_serve_json(
     policy: &str,
     simd_backend: &str,
     mv_channels: usize,
+    jump: usize,
     elapsed_s: f64,
     results: &[StreamResult<u64>],
     latency: &LatencyHistogram,
@@ -111,6 +118,7 @@ fn render_serve_json(
     out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
     out.push_str(&format!("  \"shards\": {shards},\n"));
     out.push_str(&format!("  \"mv_channels\": {mv_channels},\n"));
+    out.push_str(&format!("  \"jump\": {jump},\n"));
     out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
     out.push_str(&format!("  \"simd_backend\": \"{simd_backend}\",\n"));
     out.push_str(&format!("  \"streams\": {},\n", results.len()));
@@ -167,6 +175,7 @@ fn main() {
     let mut policy = Backpressure::Block;
     let mut seed = 0xC1A55u64;
     let mut mv_channels = 0usize;
+    let mut jump: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| {
@@ -194,6 +203,7 @@ fn main() {
                 };
             }
             "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
+            "--jump" => jump = Some(grab("--jump").parse().expect("numeric --jump")),
             "--mv-channels" => {
                 mv_channels = grab("--mv-channels")
                     .parse()
@@ -205,8 +215,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "options: --preset quick|full --shards N --streams N --ring N \
-                     --policy block|drop-oldest --mv-channels C --seed N --out PATH \
-                     --check BASELINE.json --tolerance F"
+                     --policy block|drop-oldest --mv-channels C --jump N --seed N \
+                     --out PATH --check BASELINE.json --tolerance F"
                 );
                 return;
             }
@@ -232,9 +242,23 @@ fn main() {
         Backpressure::DropOldest => "drop-oldest",
         Backpressure::Error => unreachable!(),
     };
+    let window = preset.window;
+    let width = preset.width;
+    let base_cfg = move || {
+        let mut cfg = ClassConfig::with_window_size(window);
+        cfg.width = WidthSelection::Fixed(width);
+        cfg.warmup = Some(window);
+        cfg.log10_alpha = -15.0;
+        if let Some(j) = jump {
+            cfg.jump = j;
+        }
+        cfg
+    };
+    let jump_eff = base_cfg().jump;
     eprintln!(
         "serve_throughput: preset={} streams={n_streams} points/stream={} shards={shards} \
-         ring={ring} policy={policy_name} mv_channels={mv_channels} simd_backend={backend}",
+         ring={ring} policy={policy_name} mv_channels={mv_channels} jump={jump_eff} \
+         simd_backend={backend}",
         preset.name, preset.points
     );
 
@@ -256,16 +280,6 @@ fn main() {
             })
             .collect()
     };
-    let window = preset.window;
-    let width = preset.width;
-    let base_cfg = move || {
-        let mut cfg = ClassConfig::with_window_size(window);
-        cfg.width = WidthSelection::Fixed(width);
-        cfg.warmup = Some(window);
-        cfg.log10_alpha = -15.0;
-        cfg
-    };
-
     let config = EngineConfig {
         shards,
         ring: RingConfig::new(ring, policy),
@@ -323,6 +337,7 @@ fn main() {
         policy_name,
         backend,
         mv_channels,
+        jump_eff,
         elapsed,
         &results,
         &latency,
@@ -386,6 +401,15 @@ fn main() {
         assert_eq!(
             base_mv, mv_channels,
             "baseline mv-channel mismatch: cannot compare {base_mv} vs {mv_channels}",
+        );
+        // Evaluation cadence changes the per-record operator cost. A
+        // pre-jump baseline carries no `jump` key: it measured the old
+        // per-point behaviour, i.e. jump = 1.
+        let base_jump = json_number(&baseline, "jump").unwrap_or(1.0) as usize;
+        assert_eq!(
+            base_jump, jump_eff,
+            "baseline jump-cadence mismatch: cannot compare jump={base_jump} vs jump={jump_eff} \
+             (pass --jump {base_jump} to match the baseline)",
         );
         let base_rps = json_number(&baseline, "records_per_sec").expect("baseline records_per_sec");
         let pairs = vec![("records_per_sec".to_string(), base_rps, rps)];

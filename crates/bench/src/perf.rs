@@ -41,6 +41,41 @@ pub fn measure_batches(batches: usize, ops_per_batch: u64, mut f: impl FnMut()) 
         }
         per_op.push(t.elapsed().as_nanos() as f64 / ops_per_batch as f64);
     }
+    summarize(per_op, batches as u64 * ops_per_batch)
+}
+
+/// Like [`measure_batches`], but every operation is split into an untimed
+/// `setup` phase and a timed `inner` phase over a shared mutable `state`.
+/// This measures a kernel inside a realistically *evolving* context — e.g.
+/// one stream update per profile re-evaluation — without charging the
+/// context to the kernel (the context is typically a kernel of its own).
+pub fn measure_batches_paired<S>(
+    batches: usize,
+    ops_per_batch: u64,
+    state: &mut S,
+    mut setup: impl FnMut(&mut S),
+    mut inner: impl FnMut(&mut S),
+) -> (f64, f64, u64) {
+    assert!(batches >= 1 && ops_per_batch >= 1);
+    for _ in 0..ops_per_batch {
+        setup(state);
+        inner(state);
+    }
+    let mut per_op: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut timed = std::time::Duration::ZERO;
+        for _ in 0..ops_per_batch {
+            setup(state);
+            let t = Instant::now();
+            inner(state);
+            timed += t.elapsed();
+        }
+        per_op.push(timed.as_nanos() as f64 / ops_per_batch as f64);
+    }
+    summarize(per_op, batches as u64 * ops_per_batch)
+}
+
+fn summarize(mut per_op: Vec<f64>, ops: u64) -> (f64, f64, u64) {
     per_op.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = if per_op.len() % 2 == 1 {
         per_op[per_op.len() / 2]
@@ -48,7 +83,7 @@ pub fn measure_batches(batches: usize, ops_per_batch: u64, mut f: impl FnMut()) 
         0.5 * (per_op[per_op.len() / 2 - 1] + per_op[per_op.len() / 2])
     };
     let best = per_op[0];
-    (median, best, batches as u64 * ops_per_batch)
+    (median, best, ops)
 }
 
 /// Renders the stats as the `BENCH_perf.json` document (no serde: the
@@ -165,6 +200,37 @@ mod tests {
         });
         assert_eq!(ops, 500);
         assert!(median >= 0.0 && best >= 0.0 && best <= median);
+    }
+
+    #[test]
+    fn paired_measurement_times_only_the_inner_phase() {
+        // The setup phase spins noticeably longer than the inner phase; the
+        // paired protocol must not charge it to the measurement.
+        let spin = |iters: u64| {
+            let mut x = 0u64;
+            for i in 0..iters {
+                x = x.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(x);
+        };
+        let mut state = 0u64;
+        let (paired_median, _, ops) = measure_batches_paired(
+            5,
+            50,
+            &mut state,
+            |_| spin(40_000),
+            |s| {
+                *s = s.wrapping_add(1);
+                spin(400);
+            },
+        );
+        assert_eq!(ops, 250);
+        assert_eq!(state, 300, "setup/inner must run once per op incl. warm-up");
+        let (combined_median, _, _) = measure_batches(5, 50, || spin(40_000));
+        assert!(
+            paired_median < combined_median,
+            "paired {paired_median} ns/op should exclude the {combined_median} ns/op setup"
+        );
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub struct ClassConfig {
     /// (paper §3.3); 0.75 matches the reference implementation's score
     /// threshold and rejects anti-predictive cold-start artefacts.
     pub min_score: f64,
+    /// Jump-ahead evaluation: run the profile sweep and significance test
+    /// only every `jump`-th completed subsequence, like the reference
+    /// implementation's `jump=5` ("the step size in time points between two
+    /// consecutive change point detection attempts"). The k-NN index is
+    /// still updated on every observation, so skipped points lose no
+    /// information — a detection is merely delayed by at most `jump - 1`
+    /// observations. `1` evaluates at every observation and is bit-exact
+    /// with the pre-jump per-point behaviour. Must be at least 1.
+    pub jump: usize,
     /// Number of observations buffered to learn `w`. `None` uses
     /// `window_size` (Algorithm 1 line 3: "the first d observations").
     /// Ignored with [`WidthSelection::Fixed`], where streaming starts
@@ -89,6 +98,7 @@ impl Default for ClassConfig {
             sample_size: SampleSize::Fixed1000,
             cp_margin_factor: 5.0,
             min_score: 0.75,
+            jump: 5,
             warmup: None,
             relearn_width: false,
             relearn_min: 512,
@@ -128,6 +138,11 @@ struct Running {
     sample_size: SampleSize,
     margin: usize,
     min_score: f64,
+    /// Evaluation cadence in completed subsequences (see
+    /// [`ClassConfig::jump`]).
+    jump: usize,
+    /// Completed subsequences since the last evaluation.
+    since_eval: usize,
     /// Subsequence id (relative to `base`) of the last reported change
     /// point — the start of the evolving segment. The first observed value
     /// is the first CP (Definition 4), hence the initial 0.
@@ -178,6 +193,7 @@ impl ClassSegmenter {
         assert!(cfg.window_size >= 16, "window size too small");
         assert!(cfg.k >= 1, "k must be positive");
         assert!(cfg.cp_margin_factor >= 1.0, "cp_margin_factor must be >= 1");
+        assert!(cfg.jump >= 1, "jump must be >= 1");
         let state = match cfg.width {
             WidthSelection::Fixed(w) => State::Running(Box::new(Self::make_running(&cfg, w, 0))),
             WidthSelection::Learn(_) => {
@@ -215,6 +231,8 @@ impl ClassSegmenter {
             sample_size: cfg.sample_size,
             margin: ((cfg.cp_margin_factor * w as f64).round() as usize).max(2),
             min_score: cfg.min_score,
+            jump: cfg.jump,
+            since_eval: 0,
             cpl_sid: 0,
             next_pos: 0,
             base,
@@ -250,8 +268,11 @@ impl ClassSegmenter {
                 if r.cv.is_empty() {
                     None
                 } else {
-                    let start = r.range_start_sid()?;
-                    Some((r.base + start as u64, r.cv.profile()))
+                    // Under jump-ahead evaluation the latest profile may lag
+                    // the live index range by up to `jump - 1` points, so its
+                    // anchor is the engine's own scored-range start, not the
+                    // index's current one.
+                    Some((r.base + r.cv.range_start_sid() as u64, r.cv.profile()))
                 }
             }
         }
@@ -332,6 +353,20 @@ impl Running {
         if !self.knn.update(x) {
             return None;
         }
+        // Jump-ahead scheduling: the index absorbed the observation above;
+        // the (much more expensive) profile evaluation runs only every
+        // `jump`-th completed subsequence.
+        self.since_eval += 1;
+        if self.since_eval < self.jump {
+            return None;
+        }
+        self.since_eval = 0;
+        self.evaluate(pos, cps)
+    }
+
+    /// Runs one profile evaluation + significance test at stream offset
+    /// `pos`; reports (and returns) a validated change point, if any.
+    fn evaluate(&mut self, pos: u64, cps: &mut Vec<u64>) -> Option<u64> {
         let start_sid = self.range_start_sid()?;
         let start_slot = self.knn.slot_of_sid(start_sid);
         let nn = self.cv.compute(&self.knn, start_slot);
@@ -396,6 +431,18 @@ impl StreamingSegmenter for ClassSegmenter {
         if let State::Warmup { buf, .. } = &self.state {
             if buf.len() >= 64 {
                 self.transition_to_running(cps);
+            }
+        }
+        // Jump-ahead leaves up to `jump - 1` trailing observations between
+        // the last scheduled evaluation and the end of the stream; score
+        // them once so a change point arriving in the tail is not lost.
+        // With jump = 1 every completed subsequence was already evaluated,
+        // keeping finalize (and the whole segmenter) bit-exact with the
+        // pre-jump behaviour.
+        if let State::Running(r) = &mut self.state {
+            if r.jump > 1 && r.since_eval > 0 && r.next_pos > 0 {
+                r.since_eval = 0;
+                r.evaluate(r.next_pos - 1, cps);
             }
         }
     }
@@ -671,6 +718,95 @@ mod tests {
         cfg.relearn_width = true;
         let relearn = ClassSegmenter::new(cfg).segment_series(&xs);
         assert_eq!(plain, relearn);
+    }
+
+    #[test]
+    fn jump_detections_match_per_point_within_bounded_delay() {
+        // jump > 1 only changes *when* the profile is inspected: every
+        // change point found by per-point evaluation must be matched by a
+        // jump-ahead detection nearby, and vice versa. The reported
+        // position is a profile argmax, so the tolerance is the detection
+        // delay plus a small amount of argmax drift.
+        let xs = freq_shift(sz(6000), sz(3000), 12);
+        let mut cfg = ClassConfig::with_window_size(sz(2000));
+        cfg.width = WidthSelection::Fixed(35);
+        cfg.log10_alpha = -15.0;
+        cfg.jump = 1;
+        let exact = run_class(&xs, cfg.clone());
+        cfg.jump = 5;
+        let jumped = run_class(&xs, cfg.clone());
+        assert!(!exact.is_empty(), "per-point run found nothing");
+        assert!(!jumped.is_empty(), "jump run found nothing");
+        let tol = (cfg.jump * 20) as i64;
+        for &c in &exact {
+            assert!(
+                jumped.iter().any(|&j| (j as i64 - c as i64).abs() <= tol),
+                "per-point cp {c} unmatched by jump run {jumped:?}"
+            );
+        }
+        for &j in &jumped {
+            assert!(
+                exact.iter().any(|&c| (j as i64 - c as i64).abs() <= tol),
+                "jump cp {j} unmatched by per-point run {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn finalize_catches_tail_change_point_under_jump() {
+        // Cut the stream right after a change point becomes detectable but
+        // between two scheduled evaluations: finalize must score the tail.
+        let xs = freq_shift(sz(5000), sz(2500), 13);
+        let mut cfg = ClassConfig::with_window_size(sz(2000));
+        cfg.width = WidthSelection::Fixed(35);
+        cfg.log10_alpha = -15.0;
+        cfg.seed = 7;
+        cfg.jump = 1;
+        let mut per_point = ClassSegmenter::new(cfg.clone());
+        let mut exact = Vec::new();
+        for &x in &xs {
+            per_point.step(x, &mut exact);
+        }
+        let Some(&first) = exact.first() else {
+            panic!("per-point run found nothing");
+        };
+        // Find the observation index at which the per-point run fired,
+        // then replay with a large jump, stopping one point later.
+        let fired_at = exact_first_fire(&xs, cfg.clone());
+        cfg.jump = 97; // coprime-ish with the fire position: likely mid-gap
+        let mut class = ClassSegmenter::new(cfg);
+        let mut cps = Vec::new();
+        for &x in &xs[..=fired_at] {
+            class.step(x, &mut cps);
+        }
+        class.finalize(&mut cps);
+        assert!(
+            cps.iter().any(|&c| (c as i64 - first as i64).abs() < 200),
+            "tail cp missed: {cps:?} vs per-point first {first}"
+        );
+    }
+
+    /// Observation index at which a per-point (`jump = 1`) run first
+    /// reports a change point.
+    fn exact_first_fire(xs: &[f64], mut cfg: ClassConfig) -> usize {
+        cfg.jump = 1;
+        let mut class = ClassSegmenter::new(cfg);
+        let mut cps = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            class.step(x, &mut cps);
+            if !cps.is_empty() {
+                return i;
+            }
+        }
+        panic!("no change point fired");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_jump() {
+        let mut cfg = ClassConfig::with_window_size(1000);
+        cfg.jump = 0;
+        let _ = ClassSegmenter::new(cfg);
     }
 
     #[test]

@@ -24,11 +24,58 @@
 use crate::buffer::{ShiftBuffer, ShiftMatrix};
 use crate::simd;
 use crate::similarity::Similarity;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest supported neighbour count; the ablation study uses k in
 /// {1, 3, 5, 7}, so 16 leaves generous headroom while letting the scratch
 /// candidate list live on the stack.
 pub const MAX_K: usize = 16;
+
+/// Capacity of the change journal ring. Generously sized for the steady
+/// state (a handful of events per update, consumed every `jump` updates by
+/// the incremental cross-validation); if a consumer falls further behind
+/// than this, [`StreamingKnn::events_since`] reports the loss and the
+/// consumer rebuilds from the neighbour lists instead.
+const JOURNAL_CAP: usize = 1024;
+
+/// One neighbour-list mutation, as recorded in the change journal.
+///
+/// The journal is what makes the cross-validation profile *incremental
+/// across stream updates*: instead of re-reading all `n·k` neighbour lists
+/// per evaluation, [`crate::crossval::CrossVal`] replays only the edges the
+/// index actually changed since the previous evaluation. Events are emitted
+/// in execution order; sids are absolute subsequence ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnEvent {
+    /// A new subsequence completed and its row entered the index. Emitted
+    /// before the `EdgeAdded` events carrying the row's initial neighbours
+    /// (a dirty-window row may have fewer than `k`, or none).
+    RowCreated {
+        /// Absolute id of the new subsequence.
+        sid: i64,
+    },
+    /// `target` was inserted into `owner`'s neighbour list, which had room.
+    EdgeAdded {
+        /// Row whose list changed.
+        owner: i64,
+        /// Neighbour that was inserted.
+        target: i64,
+    },
+    /// `target` was inserted into `owner`'s full neighbour list, displacing
+    /// the former k-th neighbour `evicted`.
+    EdgeReplaced {
+        /// Row whose list changed.
+        owner: i64,
+        /// Neighbour that was inserted.
+        target: i64,
+        /// Former k-th neighbour that dropped off the list.
+        evicted: i64,
+    },
+}
+
+/// Monotone source of per-index identities; see [`StreamingKnn::instance_id`].
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Configuration of the streaming k-NN index.
 #[derive(Debug, Clone)]
@@ -90,10 +137,18 @@ impl KnnConfig {
 /// Exact streaming k-NN over sliding-window subsequences.
 ///
 /// See the module documentation for the algorithm; all state is pre-sized at
-/// construction, and [`StreamingKnn::update`] performs no heap allocation.
-#[derive(Debug, Clone)]
+/// construction, and [`StreamingKnn::update`] performs no heap allocation
+/// (the change journal ring reaches its fixed capacity and stays there).
+#[derive(Debug)]
 pub struct StreamingKnn {
     cfg: KnnConfig,
+    /// Process-unique identity, refreshed on clone; see
+    /// [`StreamingKnn::instance_id`].
+    instance_id: u64,
+    /// Bounded ring of recent neighbour-list mutations, oldest first.
+    events: VecDeque<KnnEvent>,
+    /// Total events ever emitted (monotone journal sequence number).
+    events_total: u64,
     excl: usize,
     m_max: usize,
     /// Raw window values.
@@ -124,6 +179,34 @@ pub struct StreamingKnn {
     nan_heal: usize,
 }
 
+impl Clone for StreamingKnn {
+    /// Field-for-field copy, except `instance_id`, which is freshly
+    /// assigned: the two indices evolve independently afterwards, so journal
+    /// cursors taken against one must not be replayed against the other.
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+            events: self.events.clone(),
+            events_total: self.events_total,
+            excl: self.excl,
+            m_max: self.m_max,
+            win: self.win.clone(),
+            mu: self.mu.clone(),
+            sig: self.sig.clone(),
+            ssq: self.ssq.clone(),
+            ce2: self.ce2.clone(),
+            q: self.q.clone(),
+            scores: self.scores.clone(),
+            nn_sid: self.nn_sid.clone(),
+            nn_score: self.nn_score.clone(),
+            nn_len: self.nn_len.clone(),
+            next_sid: self.next_sid,
+            nan_heal: self.nan_heal,
+        }
+    }
+}
+
 impl StreamingKnn {
     /// Creates an empty index.
     ///
@@ -135,6 +218,9 @@ impl StreamingKnn {
         let k = cfg.k;
         let excl = cfg.exclusion_radius();
         Self {
+            instance_id: NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed),
+            events: VecDeque::with_capacity(JOURNAL_CAP),
+            events_total: 0,
             excl,
             m_max,
             win: ShiftBuffer::new(cfg.window_size),
@@ -156,6 +242,49 @@ impl StreamingKnn {
     /// Configuration in use.
     pub fn config(&self) -> &KnnConfig {
         &self.cfg
+    }
+
+    /// Process-unique identity of this index. A [`Clone`] receives a fresh
+    /// id: the clone's journal diverges from the original's from that point
+    /// on, so a consumer keyed to the original must not warm-resume against
+    /// the copy (it cold-rebuilds instead).
+    #[inline]
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// Total number of change-journal events ever emitted by this index.
+    /// Consumers remember this value as their cursor and later replay the
+    /// suffix via [`StreamingKnn::events_since`].
+    #[inline]
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    /// Events emitted since journal sequence number `seq` (a previous
+    /// [`StreamingKnn::events_total`] reading), oldest first. Returns `None`
+    /// if the bounded ring has already dropped part of that suffix (the
+    /// consumer fell too far behind and must rebuild from the neighbour
+    /// lists), or if `seq` is from this index's future (wrong index).
+    pub fn events_since(&self, seq: u64) -> Option<impl Iterator<Item = KnnEvent> + '_> {
+        if seq > self.events_total {
+            return None;
+        }
+        let behind = self.events_total - seq;
+        if behind > self.events.len() as u64 {
+            return None;
+        }
+        let skip = self.events.len() - behind as usize;
+        Some(self.events.iter().skip(skip).copied())
+    }
+
+    #[inline]
+    fn push_event(&mut self, ev: KnnEvent) {
+        if self.events.len() == JOURNAL_CAP {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.events_total += 1;
     }
 
     /// Subsequence width `w`.
@@ -376,6 +505,15 @@ impl StreamingKnn {
         self.nn_sid.push_row(&row_sid[..k]);
         self.nn_score.push_row(&row_score[..k]);
         self.nn_len.push(n_chosen as u8);
+        // Journal: row creation precedes its initial edges, so a replaying
+        // consumer resets the row's slot before applying them.
+        self.push_event(KnnEvent::RowCreated { sid });
+        for i in 0..n_chosen {
+            self.push_event(KnnEvent::EdgeAdded {
+                owner: sid,
+                target: row_sid[i],
+            });
+        }
 
         // --- Insert the newest subsequence into older neighbour lists. ---
         if self.cfg.update_existing {
@@ -407,6 +545,8 @@ impl StreamingKnn {
                     }
                 }
                 let end = len.min(k - 1);
+                // Journaled before the shift below overwrites it.
+                let evicted = (len == k).then(|| self.nn_sid.row(r)[k - 1]);
                 {
                     let sr = self.nn_score.row_mut(r);
                     for j in (pos..end).rev() {
@@ -423,6 +563,15 @@ impl StreamingKnn {
                 }
                 if len < k {
                     self.nn_len.as_mut_slice()[r] += 1;
+                }
+                let owner = self.sid_of_slot(s);
+                match evicted {
+                    Some(evicted) => self.push_event(KnnEvent::EdgeReplaced {
+                        owner,
+                        target: sid,
+                        evicted,
+                    }),
+                    None => self.push_event(KnnEvent::EdgeAdded { owner, target: sid }),
                 }
             }
         }

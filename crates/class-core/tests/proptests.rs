@@ -194,6 +194,51 @@ proptest! {
     }
 
     #[test]
+    fn warm_crossval_equals_cold_under_arbitrary_interleavings(
+        seed in any::<u64>(),
+        d in 50usize..120,
+        w in 4usize..9,
+        k in 1usize..5,
+        use_ba in any::<bool>(),
+        script in prop::collection::vec((1usize..40, 0u8..8, 0usize..30), 1..12),
+    ) {
+        // A long-lived warm engine driven through arbitrary interleavings
+        // of stream updates (including NaN stretches that shorten and then
+        // heal neighbour lists), jump-style evaluation gaps, and range
+        // start advances must stay bit-identical to a cold rebuild at
+        // every evaluation point.
+        let sf = if use_ba { ScoreFn::BalancedAccuracy } else { ScoreFn::MacroF1 };
+        let mut rng = class_core::SplitMix64::new(seed);
+        let mut knn = StreamingKnn::new(KnnConfig::new(d, w, k));
+        let mut warm = CrossVal::new(sf);
+        let mut extra = 0usize;
+        for (steps, tag, adv) in script {
+            for i in 0..steps {
+                let x = if tag == 0 && i % 3 == 0 {
+                    f64::NAN
+                } else {
+                    rng.next_f64() * 2.0 - 1.0
+                };
+                knn.update(x);
+            }
+            if knn.n_subsequences() == 0 {
+                continue;
+            }
+            extra = (extra + adv).min(knn.n_subsequences() - 1);
+            let start = knn.qstart() + extra;
+            let nn = warm.compute(&knn, start);
+            let mut cold = CrossVal::new(sf);
+            prop_assert_eq!(cold.compute(&knn, start), nn);
+            for p in 0..nn {
+                prop_assert_eq!(warm.profile()[p].to_bits(), cold.profile()[p].to_bits());
+            }
+            for p in 1..nn {
+                prop_assert_eq!(warm.groups_at(p), cold.groups_at(p));
+            }
+        }
+    }
+
+    #[test]
     fn knn_neighbors_respect_exclusion_and_sorting(
         seed in any::<u64>(),
         d in 60usize..160,

@@ -31,6 +31,7 @@ struct CliArgs {
     delimiter: char,
     format: String,
     relearn: bool,
+    jump: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -45,6 +46,7 @@ impl Default for CliArgs {
             delimiter: ',',
             format: "text".into(),
             relearn: false,
+            jump: None,
         }
     }
 }
@@ -67,6 +69,8 @@ OPTIONS:
     --delimiter C      CSV delimiter (default ',')
     --format FMT       output: text | tsv
     --relearn          re-learn the width after each change point
+    --jump N           evaluate the profile every N-th point (default 5;
+                       1 = exact per-point evaluation)
     --help             print this help
 
 DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
@@ -74,7 +78,7 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         List archives under --data-dir (default: $CLASS_DATA_DIR), the
         bundled golden fixtures, and the synthetic Table 1 stand-ins.
     datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
-                         [--channels K] [--fusion quorum|any|N]
+                         [--jump N] [--channels K] [--fusion quorum|any|N]
                          [--format text|tsv]
         Load annotated archive files — univariate TSSB/FLOSS-style .txt /
         UTSA-style .csv, or multi-channel WFDB .hea (with .dat/.atr
@@ -118,6 +122,14 @@ fn parse_args() -> CliArgs {
             "--delimiter" => args.delimiter = grab("--delimiter").chars().next().unwrap_or(','),
             "--format" => args.format = grab("--format"),
             "--relearn" => args.relearn = true,
+            "--jump" => {
+                let j: usize = grab("--jump").parse().expect("numeric --jump");
+                if j == 0 {
+                    eprintln!("error: --jump must be at least 1");
+                    std::process::exit(2);
+                }
+                args.jump = Some(j);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -154,6 +166,7 @@ struct DatasetsRunArgs {
     tsv: bool,
     channels: Option<usize>,
     fusion: FusionChoice,
+    jump: Option<usize>,
 }
 
 fn datasets_main(args: Vec<String>) -> ! {
@@ -253,6 +266,7 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         tsv: false,
         channels: None,
         fusion: FusionChoice::Quorum,
+        jump: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -275,6 +289,13 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
                 out.rate = Some(rate);
             }
             "--format" => out.tsv = grab("--format")? == "tsv",
+            "--jump" => {
+                let j: usize = grab("--jump")?.parse().map_err(|_| "numeric --jump")?;
+                if j == 0 {
+                    return Err("--jump must be at least 1".into());
+                }
+                out.jump = Some(j);
+            }
             "--channels" => {
                 let k: usize = grab("--channels")?
                     .parse()
@@ -409,6 +430,9 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
         ClassConfig::with_window_size(args.window.unwrap_or_else(|| series.len().min(10_000)));
     cfg.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
     cfg.log10_alpha = args.alpha.log10();
+    if let Some(j) = args.jump {
+        cfg.jump = j;
+    }
 
     // Replay the loaded series through the serving engine — unpaced
     // like the paper's §4.4 RAM-resident streams, or at --rate
@@ -469,6 +493,9 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
     let mut base = ClassConfig::with_window_size(window);
     base.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
     base.log10_alpha = args.alpha.log10();
+    if let Some(j) = args.jump {
+        base.jump = j;
+    }
     let mut cfg = MultivariateConfig::new(base, n_channels);
     // Overrides keep the default config's clustering tolerance, so
     // `--fusion N` with the default quorum count behaves identically to
@@ -625,6 +652,9 @@ fn main() {
     };
     cfg.log10_alpha = args.alpha.log10();
     cfg.relearn_width = args.relearn;
+    if let Some(j) = args.jump {
+        cfg.jump = j;
+    }
     let mut class = ClassSegmenter::new(cfg);
 
     let reader: Box<dyn Read> = match &args.input {

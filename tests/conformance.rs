@@ -34,9 +34,14 @@ fn fixture_series() -> Vec<AnnotatedSeries> {
 }
 
 fn stream_class(series: &AnnotatedSeries) -> Vec<u64> {
+    stream_class_with_jump(series, ClassConfig::default().jump)
+}
+
+fn stream_class_with_jump(series: &AnnotatedSeries, jump: usize) -> Vec<u64> {
     let mut cfg = ClassConfig::with_window_size(series.len().min(10_000));
     cfg.width = WidthSelection::Fixed(series.width);
     cfg.log10_alpha = LOG10_ALPHA;
+    cfg.jump = jump;
     let mut seg = ClassSegmenter::new(cfg);
     let mut cps = Vec::new();
     for &x in &series.values {
@@ -93,6 +98,43 @@ fn streaming_class_agrees_with_batch_clasp_on_every_fixture() {
             panic!(
                 "{}: {side} change point {cp} has no counterpart within {tol}\n  \
                  streaming: {streaming:?}\n  batch: {batch:?}",
+                series.name
+            );
+        }
+    }
+}
+
+#[test]
+fn jump_ahead_cadence_matches_per_point_on_every_fixture() {
+    // The jump knob only changes *when* the profile is inspected, not what
+    // it contains: on every fixture the default jump-ahead cadence and the
+    // exact per-point run (jump = 1, the pre-jump behaviour) must find the
+    // same change points, merely localised a bounded distance apart. The
+    // per-point run is additionally held to the batch oracle, pinning the
+    // jump = 1 path to the pre-jump conformance contract.
+    let jump = ClassConfig::default().jump;
+    assert!(jump > 1, "default cadence is expected to jump");
+    for series in fixture_series() {
+        let exact = stream_class_with_jump(&series, 1);
+        let jumped = stream_class_with_jump(&series, jump);
+        assert!(
+            !exact.is_empty(),
+            "{}: per-point run found no change points",
+            series.name
+        );
+        let tol = series.width as u64 + jump as u64;
+        if let Some((side, cp)) = unmatched(&exact, &jumped, tol) {
+            panic!(
+                "{}: {side} change point {cp} has no counterpart within {tol}\n  \
+                 per-point: {exact:?}\n  jump={jump}: {jumped:?}",
+                series.name
+            );
+        }
+        let batch = batch_clasp(&series);
+        if let Some((side, cp)) = unmatched(&exact, &batch, 5 * series.width as u64) {
+            panic!(
+                "{}: per-point {side} change point {cp} diverged from the batch oracle\n  \
+                 per-point: {exact:?}\n  batch: {batch:?}",
                 series.name
             );
         }
