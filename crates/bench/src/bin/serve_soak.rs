@@ -1,0 +1,334 @@
+//! `serve_soak` — survivability proof for the fault-tolerant serving
+//! engine (requires the `fault-inject` feature).
+//!
+//! The paper's §4.4 deployment argument is that ClaSS runs as an
+//! always-on operator inside a stream processor; an always-on operator
+//! meets faults. This binary serves a fleet of ClaSS streams under a
+//! **seeded, deterministic fault plan** (operator panics, NaN bursts,
+//! flatlined sensors, source stalls, ring-overflow storms) and asserts
+//! the engine's fault-tolerance contract end to end:
+//!
+//! * **no deadlock** — the feeder completes even though streams panic
+//!   and quarantine mid-run (quarantined rings keep draining);
+//! * **exact accounting** — for every stream, faulted or not,
+//!   `records_in + drops + quarantined_after == pushed`, and the
+//!   feeder-side ledger `offered == accepted + rejected` matches;
+//! * **survivability floor** — only streams the plan targets may end
+//!   quarantined; every untargeted stream processes its full feed;
+//! * **bounded memory** — peak RSS (`VmHWM`) stays under a fixed cap.
+//!
+//! ```sh
+//! cargo run --release -p bench --features fault-inject --bin serve_soak -- \
+//!     --preset quick --seed 20260809 --out BENCH_soak.json
+//! ```
+//!
+//! The seed rotates per CI run (printed in the log); any failure is
+//! replayable locally by passing the same `--seed`. The JSON report is
+//! an uploaded artifact, not a committed baseline — a rotating seed
+//! makes run-to-run numbers incomparable by design.
+
+use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
+use datasets::{build_series, NoiseSpec, Regime};
+use stream_engine::{
+    drive, serve, silence_injected_panics, Backpressure, EngineConfig, FaultKind, FaultPlan,
+    FaultingOperator, GuardConfig, RetryPolicy, RingConfig, SegmenterOperator, StreamOptions,
+};
+
+struct Preset {
+    name: &'static str,
+    streams: usize,
+    points: usize,
+    window: usize,
+    width: usize,
+}
+
+const QUICK: Preset = Preset {
+    name: "quick",
+    streams: 48,
+    points: 3_000,
+    window: 500,
+    width: 25,
+};
+
+const FULL: Preset = Preset {
+    name: "full",
+    streams: 256,
+    points: 8_000,
+    window: 1_000,
+    width: 40,
+};
+
+/// Guard installed on every stream: heal isolated NaNs, quarantine on 8
+/// consecutive NaNs or 16 identical values. The synthetic feeds are
+/// noisy sines — no clean stream can trip either detector, so any guard
+/// quarantine is attributable to the plan.
+const GUARD: GuardConfig = GuardConfig {
+    non_finite: stream_engine::GuardAction::Heal,
+    nan_burst: 8,
+    flatline: 16,
+};
+
+/// Peak-RSS cap. The quick fleet's data is ~1 MB and per-stream ClaSS
+/// state is window-bounded; a leak under sustained faulting is the only
+/// way past this.
+const VM_HWM_CAP_KB: u64 = 1_536 * 1024;
+
+fn stream_values(preset: &Preset, k: usize, seed: u64) -> Vec<f64> {
+    let half = preset.points / 2;
+    build_series(
+        format!("soak/{k}"),
+        "soak",
+        &[
+            (
+                Regime::Sine {
+                    period: 25.0 + (k % 7) as f64,
+                    amp: 1.0,
+                    phase: 0.0,
+                },
+                half,
+            ),
+            (
+                Regime::Sawtooth {
+                    period: 40.0 + (k % 5) as f64,
+                    amp: 1.2,
+                },
+                preset.points - half,
+            ),
+        ],
+        NoiseSpec::benchmark(),
+        seed ^ k as u64,
+    )
+    .values
+}
+
+/// Peak resident set size in kB from `/proc/self/status`, if available.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::PanicAt { .. } => "panic_at",
+        FaultKind::PanicInFlush => "panic_in_flush",
+        FaultKind::NanBurst { .. } => "nan_burst",
+        FaultKind::Flatline { .. } => "flatline",
+        FaultKind::Stall { .. } => "stall",
+        FaultKind::OverflowStorm { .. } => "overflow_storm",
+    }
+}
+
+fn main() {
+    let mut preset = &QUICK;
+    let mut seed: u64 = 0x50A6_C0DE;
+    let mut density = 0.25f64;
+    let mut shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut streams_override: Option<usize> = None;
+    let mut out_path = "BENCH_soak.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--preset" => {
+                preset = match grab("--preset").as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => panic!("unknown preset {other} (quick|full)"),
+                };
+            }
+            "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
+            "--density" => density = grab("--density").parse().expect("numeric --density"),
+            "--shards" => shards = grab("--shards").parse().expect("numeric --shards"),
+            "--streams" => {
+                streams_override = Some(grab("--streams").parse().expect("numeric --streams"))
+            }
+            "--out" => out_path = grab("--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --preset quick|full --seed N --density F --shards N \
+                     --streams N --out PATH"
+                );
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    silence_injected_panics();
+
+    let n_streams = streams_override.unwrap_or(preset.streams);
+    let points = preset.points;
+    let plan = FaultPlan::seeded(seed, n_streams, points, density);
+    eprintln!(
+        "serve_soak: preset={} streams={n_streams} points/stream={points} shards={shards} \
+         seed={seed} density={density} faults={}",
+        preset.name,
+        plan.faults.len()
+    );
+    for f in &plan.faults {
+        eprintln!("  fault: stream {} {:?}", f.stream, f.kind);
+    }
+
+    // Build the feeds, then let the plan corrupt the data-fault targets.
+    let mut data: Vec<Vec<f64>> = (0..n_streams)
+        .map(|k| stream_values(preset, k, seed))
+        .collect();
+    for (k, xs) in data.iter_mut().enumerate() {
+        plan.corrupt(k, xs);
+    }
+
+    let window = preset.window;
+    let width = preset.width;
+    let base_cfg = move || {
+        let mut cfg = ClassConfig::with_window_size(window);
+        cfg.width = WidthSelection::Fixed(width);
+        cfg.warmup = Some(window);
+        cfg.log10_alpha = -15.0;
+        cfg
+    };
+
+    let started = std::time::Instant::now();
+    let (results, outcome) = serve(EngineConfig::new(shards), |engine| {
+        let handles: Vec<_> = (0..n_streams)
+            .map(|k| {
+                let kind = plan.fault_for(k);
+                // Overflow storms only reject under the `error` policy;
+                // everything else rides the lossless default.
+                let ring = if matches!(kind, Some(FaultKind::OverflowStorm { .. })) {
+                    RingConfig::new(256, Backpressure::Error)
+                } else {
+                    RingConfig::new(256, Backpressure::Block)
+                };
+                engine.register_with(
+                    StreamOptions {
+                        ring,
+                        guard: Some(GUARD),
+                        ..StreamOptions::default()
+                    },
+                    move || {
+                        FaultingOperator::new(
+                            SegmenterOperator::new(ClassSegmenter::new(base_cfg())),
+                            kind,
+                        )
+                    },
+                )
+            })
+            .collect();
+        drive(handles, &data, &plan, &RetryPolicy::default())
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let outcome = outcome.expect("no deadlock: the feeder must complete under faults");
+
+    // Exact accounting, stream by stream.
+    let mut quarantined = 0usize;
+    let mut records: u64 = 0;
+    for (k, r) in results.iter().enumerate() {
+        records += r.records_in;
+        assert_eq!(
+            r.accounted(),
+            r.pushed,
+            "stream {k}: records_in({}) + drops({}) + quarantined_after({}) != pushed({})",
+            r.records_in,
+            r.drops,
+            r.quarantined_after,
+            r.pushed
+        );
+        assert_eq!(
+            outcome.accepted[k], r.pushed,
+            "stream {k}: feeder-side accepted disagrees with the ring's pushed"
+        );
+        assert_eq!(
+            outcome.offered[k],
+            outcome.accepted[k] + outcome.rejected[k],
+            "stream {k}: offered != accepted + rejected"
+        );
+        if r.is_quarantined() {
+            quarantined += 1;
+            assert!(
+                plan.fault_for(k).is_some(),
+                "stream {k} quarantined but the plan never targeted it: {:?}",
+                r.state
+            );
+        } else if plan.is_clean(k) {
+            // Survivability floor: untargeted streams complete in full.
+            assert_eq!(r.records_in, points as u64, "clean stream {k} lost records");
+            assert_eq!(r.drops, 0, "clean stream {k} dropped records");
+        }
+    }
+    let rejected: u64 = outcome.rejected.iter().sum();
+    let hwm = vm_hwm_kb();
+    if let Some(kb) = hwm {
+        assert!(
+            kb < VM_HWM_CAP_KB,
+            "peak RSS {kb} kB exceeds the {VM_HWM_CAP_KB} kB soak cap"
+        );
+    }
+
+    let mut by_kind: Vec<(&'static str, usize)> = Vec::new();
+    for f in &plan.faults {
+        let name = kind_name(&f.kind);
+        match by_kind.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => by_kind.push((name, 1)),
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"class-serve-soak/v1\",\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", preset.name));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"density\": {density},\n"));
+    json.push_str(&format!("  \"shards\": {shards},\n"));
+    json.push_str(&format!("  \"streams\": {n_streams},\n"));
+    json.push_str(&format!("  \"points_per_stream\": {points},\n"));
+    json.push_str(&format!("  \"faults\": {},\n", plan.faults.len()));
+    json.push_str("  \"faults_by_kind\": {");
+    for (i, (name, count)) in by_kind.iter().enumerate() {
+        json.push_str(&format!(
+            "\"{name}\": {count}{}",
+            if i + 1 < by_kind.len() { ", " } else { "" }
+        ));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!("  \"quarantined\": {quarantined},\n"));
+    json.push_str(&format!("  \"survived\": {},\n", n_streams - quarantined));
+    json.push_str(&format!("  \"records\": {records},\n"));
+    json.push_str(&format!("  \"rejected_at_edge\": {rejected},\n"));
+    json.push_str(&format!("  \"elapsed_s\": {elapsed:.3},\n"));
+    json.push_str(&format!(
+        "  \"records_per_sec\": {:.1},\n",
+        records as f64 / elapsed.max(1e-9)
+    ));
+    match hwm {
+        Some(kb) => json.push_str(&format!("  \"vm_hwm_kb\": {kb},\n")),
+        None => json.push_str("  \"vm_hwm_kb\": null,\n"),
+    }
+    json.push_str("  \"quarantines\": [\n");
+    let quarantined_results: Vec<_> = results.iter().filter(|r| r.is_quarantined()).collect();
+    for (i, r) in quarantined_results.iter().enumerate() {
+        let (cause, at_record) = r.quarantine().expect("filtered on is_quarantined");
+        json.push_str(&format!(
+            "    {{\"stream\": {}, \"at_record\": {at_record}, \"cause\": \"{cause}\"}}{}\n",
+            r.stream,
+            if i + 1 < quarantined_results.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!(
+        "serve_soak: OK — {quarantined}/{n_streams} quarantined (all plan targets), \
+         {records} records in {elapsed:.2}s, {rejected} rejected at the edge, report at {out_path}"
+    );
+    println!("{json}");
+}

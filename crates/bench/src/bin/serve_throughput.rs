@@ -297,7 +297,7 @@ fn main() {
             // streams on `shards` worker threads from here on.
             let live = engine.stats().active_streams();
             let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-            feed_all(handles, &slices);
+            feed_all(handles, &slices).expect("load generator feed completes");
             live
         })
     } else {
@@ -314,7 +314,7 @@ fn main() {
                 .collect();
             let live = engine.stats().active_streams();
             let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-            feed_all(handles, &slices);
+            feed_all(handles, &slices).expect("load generator feed completes");
             live
         })
     };

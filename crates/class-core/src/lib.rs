@@ -58,7 +58,8 @@ pub use class::{ClassConfig, ClassSegmenter, WidthSelection};
 pub use crossval::{CrossVal, ScoreFn};
 pub use knn::{KnnConfig, KnnEvent, StreamingKnn};
 pub use multivariate::{
-    ChannelSelection, FusionStrategy, MultivariateClass, MultivariateConfig, VoteFuser,
+    ChannelFault, ChannelGuardConfig, ChannelSelection, FusionStrategy, MultivariateClass,
+    MultivariateConfig, VoteFuser,
 };
 pub use segmenter::StreamingSegmenter;
 pub use similarity::Similarity;

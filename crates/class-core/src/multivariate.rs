@@ -72,6 +72,59 @@ pub enum ChannelSelection {
     },
 }
 
+/// Why a channel of a fused multivariate stream was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFault {
+    /// The channel delivered `len` consecutive non-finite values.
+    NanBurst {
+        /// Burst length at the trip.
+        len: usize,
+    },
+    /// The channel delivered `len` consecutive identical finite values.
+    Flatline {
+        /// Run length at the trip.
+        len: usize,
+    },
+    /// Retired by the caller (e.g. the serving layer quarantined the
+    /// channel's source) via [`MultivariateClass::quarantine_channel`].
+    External,
+}
+
+impl std::fmt::Display for ChannelFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelFault::NanBurst { len } => write!(f, "{len} consecutive non-finite values"),
+            ChannelFault::Flatline { len } => write!(f, "flatlined for {len} samples"),
+            ChannelFault::External => write!(f, "retired by the caller"),
+        }
+    }
+}
+
+/// Per-channel degraded-input policy: a fused stream should lose a dead
+/// sensor, not die of it. Isolated non-finite values are healed with the
+/// channel's last finite value; a sustained burst or flatline retires the
+/// channel and re-quorums the fuser over the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelGuardConfig {
+    /// Consecutive non-finite values that retire a channel (0 disables;
+    /// non-finite values are then delivered to the segmenter verbatim).
+    pub nan_burst: usize,
+    /// Consecutive identical finite values that retire a channel
+    /// (0 disables).
+    pub flatline: usize,
+}
+
+impl ChannelGuardConfig {
+    /// A guard tripping on `nan_burst` consecutive non-finite values or
+    /// `flatline` consecutive identical values (0 disables either).
+    pub fn new(nan_burst: usize, flatline: usize) -> Self {
+        Self {
+            nan_burst,
+            flatline,
+        }
+    }
+}
+
 /// Configuration of the multivariate segmenter.
 #[derive(Debug, Clone)]
 pub struct MultivariateConfig {
@@ -81,6 +134,9 @@ pub struct MultivariateConfig {
     pub fusion: FusionStrategy,
     /// Channel selection strategy.
     pub selection: ChannelSelection,
+    /// Per-channel degraded-input policy. `None` (the default) delivers
+    /// channel values verbatim and never retires a channel.
+    pub channel_guard: Option<ChannelGuardConfig>,
 }
 
 impl MultivariateConfig {
@@ -94,6 +150,7 @@ impl MultivariateConfig {
                 tolerance,
             },
             selection: ChannelSelection::All,
+            channel_guard: None,
         }
     }
 
@@ -145,6 +202,26 @@ impl VoteFuser {
     /// (end-of-stream) evaluates them.
     pub fn vote(&mut self, channel: usize, cp: u64) {
         self.votes.push(Vote { channel, cp });
+    }
+
+    /// Retires `channel` from the electorate: its pending votes are
+    /// discarded and, under [`FusionStrategy::Quorum`], `min_votes` is
+    /// re-derived so the `remaining_active` survivors can still reach a
+    /// quorum — the same majority-of-channels formula
+    /// [`MultivariateConfig::new`] would use for a fleet of that size,
+    /// never raised above the configured value.
+    pub fn retire_channel(&mut self, channel: usize, remaining_active: usize) {
+        self.votes.retain(|v| v.channel != channel);
+        if let FusionStrategy::Quorum {
+            min_votes,
+            tolerance,
+        } = self.fusion
+        {
+            self.fusion = FusionStrategy::Quorum {
+                min_votes: min_votes.min(remaining_active.div_ceil(2)).max(1),
+                tolerance,
+            };
+        }
     }
 
     /// Advances the fuser to stream position `pos`: expires votes that can
@@ -228,11 +305,20 @@ impl VoteFuser {
     }
 }
 
+/// Per-channel degraded-input tracking for [`ChannelGuardConfig`].
+#[derive(Debug, Clone, Default)]
+struct ChannelGuardState {
+    nan_run: usize,
+    flat_run: usize,
+    last_finite: Option<f64>,
+}
+
 /// Multivariate streaming segmenter: per-channel ClaSS + vote fusion.
 pub struct MultivariateClass {
     cfg: MultivariateConfig,
     n_channels: usize,
-    /// One segmenter per channel; `None` for channels dropped by selection.
+    /// One segmenter per channel; `None` for channels dropped by selection
+    /// or retired by the channel guard.
     channels: Vec<Option<ClassSegmenter>>,
     /// Probe statistics for TopVariance selection.
     probe_sums: Vec<(f64, f64)>,
@@ -240,6 +326,12 @@ pub struct MultivariateClass {
     selected: bool,
     fuser: VoteFuser,
     scratch: Vec<u64>,
+    guards: Vec<ChannelGuardState>,
+    /// Guard-healed copy of the current observation row.
+    row: Vec<f64>,
+    /// Why each retired channel was retired (`None` while healthy or when
+    /// merely dropped by dimension selection).
+    faults: Vec<Option<ChannelFault>>,
     t: u64,
 }
 
@@ -264,6 +356,9 @@ impl MultivariateClass {
             selected: matches!(cfg.selection, ChannelSelection::All),
             fuser: VoteFuser::new(cfg.fusion),
             scratch: Vec::new(),
+            guards: vec![ChannelGuardState::default(); n_channels],
+            row: Vec::new(),
+            faults: vec![None; n_channels],
             cfg,
             t: 0,
         }
@@ -281,6 +376,62 @@ impl MultivariateClass {
             .enumerate()
             .filter_map(|(i, c)| c.is_some().then_some(i))
             .collect()
+    }
+
+    /// Why each channel was retired, indexed by channel; `None` for
+    /// channels still active (or merely dropped by dimension selection).
+    pub fn channel_faults(&self) -> &[Option<ChannelFault>] {
+        &self.faults
+    }
+
+    /// Retires `channel` from the fused stream: its segmenter is dropped,
+    /// the fault recorded, and the fuser re-quorumed over the survivors
+    /// ([`VoteFuser::retire_channel`]). Serving layers call this with
+    /// [`ChannelFault::External`] when a channel's upstream is lost; the
+    /// channel guard calls it on a tripped policy. No-op for a channel
+    /// that is already inactive.
+    pub fn quarantine_channel(&mut self, channel: usize, fault: ChannelFault) {
+        assert!(channel < self.n_channels, "channel out of range");
+        if self.channels[channel].take().is_some() {
+            self.faults[channel] = Some(fault);
+            let remaining = self.channels.iter().filter(|c| c.is_some()).count();
+            self.fuser.retire_channel(channel, remaining);
+        }
+    }
+
+    /// Applies the channel guard to the current row (already copied into
+    /// `self.row`): heals isolated non-finite values in place and appends
+    /// every channel the policy retires this step to `trips`.
+    fn guard_row(&mut self, g: ChannelGuardConfig, trips: &mut Vec<(usize, ChannelFault)>) {
+        for i in 0..self.n_channels {
+            if self.channels[i].is_none() {
+                continue;
+            }
+            let x = self.row[i];
+            let st = &mut self.guards[i];
+            if x.is_finite() {
+                st.nan_run = 0;
+                st.flat_run = if st.last_finite == Some(x) {
+                    st.flat_run + 1
+                } else {
+                    1
+                };
+                st.last_finite = Some(x);
+                if g.flatline > 0 && st.flat_run >= g.flatline {
+                    trips.push((i, ChannelFault::Flatline { len: st.flat_run }));
+                }
+            } else {
+                st.flat_run = 0;
+                st.nan_run += 1;
+                if g.nan_burst > 0 && st.nan_run >= g.nan_burst {
+                    trips.push((i, ChannelFault::NanBurst { len: st.nan_run }));
+                } else {
+                    // Heal: substitute the channel's last finite value
+                    // (zero before any finite value arrived).
+                    self.row[i] = st.last_finite.unwrap_or(0.0);
+                }
+            }
+        }
     }
 
     /// Feeds one observation vector (one value per channel); fused change
@@ -319,11 +470,26 @@ impl MultivariateClass {
                 }
             }
         }
+        // Degraded-input policy: heal or retire channels before their
+        // segmenters see the row.
+        let guarded = if let Some(g) = self.cfg.channel_guard {
+            self.row.clear();
+            self.row.extend_from_slice(xs);
+            let mut trips = Vec::new();
+            self.guard_row(g, &mut trips);
+            for (i, fault) in trips {
+                self.quarantine_channel(i, fault);
+            }
+            true
+        } else {
+            false
+        };
         // Per-channel segmentation and vote collection.
+        let row = &self.row;
         for (i, ch) in self.channels.iter_mut().enumerate() {
             let Some(seg) = ch else { continue };
             self.scratch.clear();
-            seg.step(xs[i], &mut self.scratch);
+            seg.step(if guarded { row[i] } else { xs[i] }, &mut self.scratch);
             for &cp in &self.scratch {
                 self.fuser.vote(i, cp);
             }
@@ -518,6 +684,134 @@ mod tests {
         fuser.finish(&mut replayed);
         assert_eq!(fused, replayed);
         assert!(!fused.is_empty(), "no change point fused at all");
+    }
+
+    #[test]
+    fn nan_burst_retires_a_channel_and_the_fused_stream_survives() {
+        // Channel 2's sensor dies at t=1000 (NaNs forever after); the
+        // fused stream must retire it and still localise the shared
+        // change at 2500 from the two survivors.
+        let mut xs = three_channel_stream(5000, 2500, 11);
+        for row in xs.iter_mut().skip(1000) {
+            row[2] = f64::NAN;
+        }
+        let mut cfg = MultivariateConfig::new(base_cfg(), 3);
+        cfg.channel_guard = Some(ChannelGuardConfig::new(5, 0));
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        for row in &xs {
+            mv.step(row, &mut cps);
+        }
+        mv.finalize(&mut cps);
+        assert_eq!(
+            mv.channel_faults()[2],
+            Some(ChannelFault::NanBurst { len: 5 }),
+            "the dead sensor is retired with its cause recorded"
+        );
+        assert_eq!(mv.active_channels(), vec![0, 1]);
+        assert!(
+            cps.iter().any(|&c| (c as i64 - 2500).unsigned_abs() < 500),
+            "the degraded stream missed the change: {cps:?}"
+        );
+    }
+
+    #[test]
+    fn flatline_retires_a_channel() {
+        let mut xs = three_channel_stream(3000, 1500, 12);
+        for row in xs.iter_mut().skip(800) {
+            row[2] = 0.25; // sensor sticks
+        }
+        let mut cfg = MultivariateConfig::new(base_cfg(), 3);
+        cfg.channel_guard = Some(ChannelGuardConfig::new(0, 50));
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        for row in &xs {
+            mv.step(row, &mut cps);
+        }
+        assert_eq!(
+            mv.channel_faults()[2],
+            Some(ChannelFault::Flatline { len: 50 })
+        );
+        assert_eq!(mv.active_channels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn short_nan_runs_heal_without_retiring_the_channel() {
+        let mut xs = three_channel_stream(3000, 1500, 13);
+        // Isolated dropouts well under the 5-burst threshold.
+        for t in (100..2900).step_by(97) {
+            xs[t][2] = f64::NAN;
+        }
+        let mut cfg = MultivariateConfig::new(base_cfg(), 3);
+        cfg.channel_guard = Some(ChannelGuardConfig::new(5, 0));
+        let mut mv = MultivariateClass::new(cfg, 3);
+        let mut cps = Vec::new();
+        for row in &xs {
+            mv.step(row, &mut cps);
+        }
+        assert_eq!(mv.channel_faults(), &[None, None, None]);
+        assert_eq!(mv.active_channels(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn external_retirement_requorums_so_survivors_can_still_emit() {
+        // Only channel 0 carries the change; 1 and 2 are noise. Under the
+        // default 2-of-3 quorum the change is invisible — but when the
+        // serving layer retires the two noise channels, the re-quorum
+        // (majority of the survivors = 1) lets the last sensor speak.
+        let mut rng = SplitMix64::new(14);
+        let xs: Vec<[f64; 3]> = (0..5000)
+            .map(|i| {
+                let f = if i < 2500 { 0.15 } else { 0.45 };
+                [
+                    (i as f64 * f).sin() + 0.05 * (rng.next_f64() - 0.5),
+                    rng.next_f64() - 0.5,
+                    rng.next_f64() - 0.5,
+                ]
+            })
+            .collect();
+        let run = |retire: bool| -> Vec<u64> {
+            let cfg = MultivariateConfig::new(base_cfg(), 3);
+            let mut mv = MultivariateClass::new(cfg, 3);
+            if retire {
+                mv.quarantine_channel(1, ChannelFault::External);
+                mv.quarantine_channel(2, ChannelFault::External);
+            }
+            let mut cps = Vec::new();
+            for row in &xs {
+                mv.step(row, &mut cps);
+            }
+            mv.finalize(&mut cps);
+            cps
+        };
+        let degraded = run(true);
+        assert!(
+            degraded
+                .iter()
+                .any(|&c| (c as i64 - 2500).unsigned_abs() < 500),
+            "re-quorumed survivor missed the change: {degraded:?}"
+        );
+        let full_quorum = run(false);
+        assert!(
+            !full_quorum
+                .iter()
+                .any(|&c| (c as i64 - 2500).unsigned_abs() < 500),
+            "2-of-3 quorum should not fire on a single channel: {full_quorum:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_and_keeps_the_ledger_of_faults() {
+        let cfg = MultivariateConfig::new(base_cfg(), 3);
+        let mut mv = MultivariateClass::new(cfg, 3);
+        mv.quarantine_channel(1, ChannelFault::External);
+        mv.quarantine_channel(1, ChannelFault::NanBurst { len: 9 });
+        assert_eq!(
+            mv.channel_faults()[1],
+            Some(ChannelFault::External),
+            "the first cause wins; retiring a retired channel is a no-op"
+        );
+        assert_eq!(mv.active_channels(), vec![0, 2]);
     }
 
     #[test]

@@ -283,6 +283,7 @@ pub fn run_matrix_mixed(
                         ring: config.ring,
                         timing: Timing::Batch,
                         shard: Some(shard_of[next]),
+                        ..StreamOptions::default()
                     },
                     move || match job {
                         JobRef::Uni(a, s) => MatrixOperator::Uni(SegmenterOperator::new(
@@ -323,7 +324,9 @@ pub fn run_matrix_mixed(
                     progressed = true;
                     continue;
                 }
-                let n = handle.try_feed(&xs[*cursor..]).expect("engine alive");
+                let n = handle
+                    .try_feed(&xs[*cursor..])
+                    .expect("shard workers outlive the feed loop: consumers are only dropped at engine join()");
                 if n > 0 {
                     *cursor += n;
                     progressed = true;

@@ -22,6 +22,29 @@
 //!   per-stream and per-shard p50/p99 latency, queue depth, and drop
 //!   counts — while the engine runs.
 //!
+//! ## Fault tolerance
+//!
+//! A long-running deployment must survive a faulting stream, not die
+//! with it. Three mechanisms contain faults to the stream that raised
+//! them:
+//!
+//! * **Panic isolation + quarantine.** Every operator step and flush runs
+//!   under [`std::panic::catch_unwind`]. A panicking operator moves its
+//!   stream to [`StreamState::Quarantined`] with the panic message and
+//!   the record index where processing stopped; the shard worker and all
+//!   sibling streams keep running. A quarantined stream's ring keeps
+//!   draining (so its producer never deadlocks) but the drained records
+//!   are discarded and counted, preserving the accounting ledger
+//!   `records_in + drops + quarantined_after == pushed` for every stream.
+//! * **Input guards.** [`StreamOptions::guard`] installs a per-stream
+//!   [`InputGuard`] that heals or skips non-finite values and quarantines
+//!   on NaN bursts or flatlined (stuck-at) feeds before degraded data
+//!   reaches operator state.
+//! * **Ingest retry/backoff.** [`StreamHandle::push_with_retry`] and
+//!   [`feed_all`] return typed [`IngestError`]s — bounded
+//!   exponential-backoff retries under a [`RetryPolicy`] instead of
+//!   panicking on transient ring-full or a wedged engine.
+//!
 //! ```
 //! use stream_engine::{serve, EngineConfig, MapOperator};
 //!
@@ -43,12 +66,15 @@
 //! assert!(results.iter().all(|r| r.records_in == 100));
 //! ```
 
+use crate::guard::{GuardConfig, GuardTrip, GuardVerdict, InputGuard};
 use crate::latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
 use crate::operator::Operator;
 use crate::ring::{self, PushError, RingConfig, RingCounters};
 use crate::Record;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Records a shard worker moves out of a ring per lock acquisition.
@@ -57,6 +83,15 @@ const DRAIN_BATCH: usize = 256;
 const FEED_CHUNK: usize = 64;
 /// How long an idle worker (or starved feeder) sleeps before re-polling.
 const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Locks a monitor mutex, recovering from poisoning. Monitor state
+/// (latency histogram, quarantine cell) is only ever mutated by the
+/// owning shard between operator steps — never *during* user code — so a
+/// poisoned lock means some unrelated holder panicked while the data
+/// itself is consistent; stats must keep flowing for surviving streams.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +147,181 @@ pub struct StreamOptions {
     /// default hash assignment — for callers that balance load
     /// themselves (e.g. the eval matrix runner's bin packing).
     pub shard: Option<usize>,
+    /// Degraded-input policy, consulted per record before the operator.
+    /// `None` (the default) delivers values verbatim with zero overhead.
+    pub guard: Option<GuardConfig>,
 }
+
+/// Why a stream was taken out of service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineCause {
+    /// The operator panicked during `process` or `flush`; the payload's
+    /// message is preserved.
+    OperatorPanic {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The stream's [`InputGuard`] tripped on degraded input.
+    InputGuard(GuardTrip),
+}
+
+impl std::fmt::Display for QuarantineCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineCause::OperatorPanic { message } => {
+                write!(f, "operator panic: {message}")
+            }
+            QuarantineCause::InputGuard(trip) => write!(f, "input guard: {trip}"),
+        }
+    }
+}
+
+/// Lifecycle state of a served stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum StreamState {
+    /// Registered and being served.
+    #[default]
+    Active,
+    /// Closed, drained, and flushed normally.
+    Done,
+    /// Taken out of service at `at_record`; subsequent input is drained
+    /// from the ring and discarded (counted as `quarantined_after`) so
+    /// the producer never wedges.
+    Quarantined {
+        /// What took the stream down.
+        cause: QuarantineCause,
+        /// Records processed before the fault — the index of the first
+        /// record the operator did *not* complete.
+        at_record: u64,
+    },
+}
+
+impl StreamState {
+    /// Whether the stream was quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, StreamState::Quarantined { .. })
+    }
+
+    /// Quarantine cause and fault position, if quarantined.
+    pub fn quarantine(&self) -> Option<(&QuarantineCause, u64)> {
+        match self {
+            StreamState::Quarantined { cause, at_record } => Some((cause, *at_record)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamState::Active => write!(f, "active"),
+            StreamState::Done => write!(f, "done"),
+            StreamState::Quarantined { cause, at_record } => {
+                write!(f, "quarantined at record {at_record}: {cause}")
+            }
+        }
+    }
+}
+
+/// Bounded exponential backoff for ingest retries: attempt `k` sleeps
+/// `min(base_delay << k, max_delay)` before retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total push attempts (>= 1); `1` means fail on the first overflow.
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Cap on the per-retry sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Twelve attempts, 100 µs doubling to a 20 ms cap — rides out a
+    /// consumer pause of ~100 ms before giving up.
+    fn default() -> Self {
+        Self {
+            max_attempts: 12,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first overflow.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Sleep before retry number `attempt` (0-based).
+    fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        exp.min(self.max_delay)
+    }
+}
+
+/// Stall detection for [`feed_all`]: the feeder gives up only after
+/// `FEED_STALL_ROUNDS` *consecutive* no-progress rounds with exponential
+/// backoff between them (~20 s of total silence across every stream) —
+/// generous enough that only a genuinely wedged engine trips it.
+const FEED_STALL_ROUNDS: u32 = 400;
+const FEED_STALL_MAX_DELAY: Duration = Duration::from_millis(50);
+
+/// A typed ingest failure, returned instead of panicking the feeder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Every attempt found the ring full under the `error` policy.
+    RetriesExhausted {
+        /// Stream whose ring rejected the record.
+        stream: usize,
+        /// Attempts made (the policy's `max_attempts`).
+        attempts: u32,
+        /// Capacity of the rejecting ring.
+        capacity: usize,
+    },
+    /// The stream's shard is gone; no record can be delivered.
+    Disconnected {
+        /// Stream whose consumer disappeared.
+        stream: usize,
+    },
+    /// No stream accepted a single record for the full stall window: the
+    /// engine is wedged (or an operator is blocked indefinitely).
+    Stalled {
+        /// Cumulative time slept with zero progress.
+        waited: Duration,
+        /// Streams that still had data to deliver.
+        pending: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::RetriesExhausted {
+                stream,
+                attempts,
+                capacity,
+            } => write!(
+                f,
+                "stream {stream}: ring (capacity {capacity}) still full after {attempts} attempts"
+            ),
+            IngestError::Disconnected { stream } => {
+                write!(f, "stream {stream}: shard worker disconnected")
+            }
+            IngestError::Stalled { waited, pending } => write!(
+                f,
+                "ingest stalled: no progress on {pending} pending streams after {waited:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// Shared live-accounting cell, written by the shard and read by
 /// [`ServingEngine::stats`].
@@ -120,9 +329,26 @@ pub struct StreamOptions {
 struct StreamMonitor {
     shard: usize,
     records_in: AtomicU64,
+    quarantined_after: AtomicU64,
+    healed: AtomicU64,
+    skipped: AtomicU64,
     done: AtomicBool,
+    quarantine: Mutex<Option<(QuarantineCause, u64)>>,
     latency: Mutex<LatencyHistogram>,
     counters: Arc<RingCounters>,
+}
+
+impl StreamMonitor {
+    fn state(&self) -> StreamState {
+        if let Some((cause, at_record)) = lock_recover(&self.quarantine).clone() {
+            return StreamState::Quarantined { cause, at_record };
+        }
+        if self.done.load(Ordering::Relaxed) {
+            StreamState::Done
+        } else {
+            StreamState::Active
+        }
+    }
 }
 
 /// The producer end of one registered stream. Push records with
@@ -153,6 +379,42 @@ impl StreamHandle {
         let rec = Record::new(self.t, value);
         self.t += 1;
         self.producer.push(rec)
+    }
+
+    /// [`StreamHandle::push`] with bounded exponential-backoff retries
+    /// on transient ring-full under the `error` policy, returning a
+    /// typed [`IngestError`] once the policy is exhausted. As with
+    /// `push`, the source position is consumed exactly once per call,
+    /// whether or not the record is eventually accepted.
+    pub fn push_with_retry(&mut self, value: f64, retry: &RetryPolicy) -> Result<(), IngestError> {
+        let rec = Record::new(self.t, value);
+        self.t += 1;
+        let attempts = retry.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match self.producer.push(rec) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.producer.note_retries(u64::from(attempt));
+                    }
+                    return Ok(());
+                }
+                Err(PushError::Disconnected) => {
+                    return Err(IngestError::Disconnected { stream: self.id })
+                }
+                Err(PushError::Overflow(e)) => {
+                    if attempt + 1 == attempts {
+                        self.producer.note_retries(u64::from(attempt));
+                        return Err(IngestError::RetriesExhausted {
+                            stream: self.id,
+                            attempts,
+                            capacity: e.capacity,
+                        });
+                    }
+                    std::thread::sleep(retry.delay(attempt));
+                }
+            }
+        }
+        unreachable!("the retry loop returns on every branch of its final attempt")
     }
 
     /// Non-blocking bulk push of up to one ring capacity of
@@ -186,6 +448,11 @@ impl StreamHandle {
         self.producer.drops()
     }
 
+    /// Records accepted into the ring so far (rejected pushes excluded).
+    pub fn pushed(&self) -> u64 {
+        self.producer.pushed()
+    }
+
     /// Closes the stream (equivalent to dropping the handle).
     pub fn close(self) {}
 }
@@ -198,22 +465,41 @@ struct NewStream<'env, Op> {
     factory: Box<dyn FnOnce() -> Op + Send + 'env>,
     monitor: Arc<StreamMonitor>,
     timing: Timing,
+    guard: Option<GuardConfig>,
 }
 
-/// Final accounting for one served stream.
+/// Final accounting for one served stream. The ledger is exact for every
+/// stream, faulted or not:
+/// `records_in + drops + quarantined_after == pushed`.
 #[derive(Debug, Clone)]
 pub struct StreamResult<Out> {
     /// Stream id (registration order).
     pub stream: usize,
     /// Shard that served the stream.
     pub shard: usize,
-    /// Output records emitted by the operator (flush included).
+    /// Output records emitted by the operator (flush included; for a
+    /// quarantined stream, whatever was emitted before the fault).
     pub output: Vec<Record<Out>>,
-    /// Records processed by the operator.
+    /// Records consumed while healthy: operator-processed plus
+    /// guard-healed/skipped.
     pub records_in: u64,
     /// Records evicted by the `drop-oldest` backpressure policy. For a
     /// lossless policy this is 0 and `records_in` equals the pushes.
     pub drops: u64,
+    /// Records drained and discarded after (and including) the fault.
+    /// Zero for a healthy stream.
+    pub quarantined_after: u64,
+    /// Records accepted into the ring over the stream's lifetime.
+    pub pushed: u64,
+    /// Non-finite values replaced by the input guard.
+    pub healed: u64,
+    /// Records the input guard dropped before the operator.
+    pub skipped: u64,
+    /// Ingest backoff retries performed against this stream's ring.
+    pub retries: u64,
+    /// Terminal state: [`StreamState::Done`] or
+    /// [`StreamState::Quarantined`].
+    pub state: StreamState,
     /// Operator-busy wall time (processing + flush, excluding queueing).
     pub busy: Duration,
     /// Per-record operator latency distribution.
@@ -224,6 +510,22 @@ impl<Out> StreamResult<Out> {
     /// Operator throughput in records per second of busy time.
     pub fn throughput(&self) -> f64 {
         self.records_in as f64 / self.busy.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether the stream ended quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.state.is_quarantined()
+    }
+
+    /// Quarantine cause and fault position, if quarantined.
+    pub fn quarantine(&self) -> Option<(&QuarantineCause, u64)> {
+        self.state.quarantine()
+    }
+
+    /// Left-hand side of the accounting ledger; equals
+    /// [`StreamResult::pushed`] for every completed stream.
+    pub fn accounted(&self) -> u64 {
+        self.records_in + self.drops + self.quarantined_after
     }
 }
 
@@ -308,7 +610,11 @@ where
         let monitor = Arc::new(StreamMonitor {
             shard,
             records_in: AtomicU64::new(0),
+            quarantined_after: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
+            skipped: AtomicU64::new(0),
             done: AtomicBool::new(false),
+            quarantine: Mutex::new(None),
             latency: Mutex::new(LatencyHistogram::new()),
             counters: producer.counters(),
         });
@@ -320,8 +626,9 @@ where
                 factory: Box::new(factory),
                 monitor,
                 timing: opts.timing,
+                guard: opts.guard,
             })
-            .expect("shard worker alive");
+            .expect("registration inbox open: workers hold receivers until join()");
         StreamHandle {
             producer,
             id,
@@ -340,6 +647,7 @@ where
                 shard,
                 streams: 0,
                 active: 0,
+                quarantined: 0,
                 records_in: 0,
                 drops: 0,
                 queue_depth: 0,
@@ -348,14 +656,16 @@ where
             })
             .collect();
         for (id, m) in self.monitors.iter().enumerate() {
-            let hist = m.latency.lock().expect("latency lock").clone();
+            let hist = lock_recover(&m.latency).clone();
             let records_in = m.records_in.load(Ordering::Relaxed);
             let drops = m.counters.drops.load(Ordering::Relaxed);
             let queue_depth = m.counters.depth.load(Ordering::Relaxed);
             let done = m.done.load(Ordering::Relaxed);
+            let state = m.state();
             let agg = &mut shard_stats[m.shard];
             agg.streams += 1;
             agg.active += usize::from(!done);
+            agg.quarantined += usize::from(state.is_quarantined());
             agg.records_in += records_in;
             agg.drops += drops;
             agg.queue_depth += queue_depth;
@@ -365,8 +675,14 @@ where
                 shard: m.shard,
                 records_in,
                 drops,
+                quarantined_after: m.quarantined_after.load(Ordering::Relaxed),
+                pushed: m.counters.pushed.load(Ordering::Relaxed),
+                healed: m.healed.load(Ordering::Relaxed),
+                skipped: m.skipped.load(Ordering::Relaxed),
+                retries: m.counters.retries.load(Ordering::Relaxed),
                 queue_depth,
                 done,
+                state,
                 p50: hist.quantile(0.5),
                 p99: hist.quantile(0.99),
                 mean: hist.mean(),
@@ -388,7 +704,11 @@ where
         drop(self.inboxes);
         let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(self.monitors.len());
         for w in self.workers {
-            results.extend(w.join().expect("shard worker panicked"));
+            results.extend(
+                w.join().expect(
+                    "shard workers never panic: operator faults are caught and quarantined",
+                ),
+            );
         }
         results.sort_by_key(|r| r.stream);
         results
@@ -414,12 +734,34 @@ where
     })
 }
 
+/// Per-stream ingest accounting from one [`feed_all`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FeedReport {
+    /// Records accepted per stream, indexed like the handles.
+    pub pushed: Vec<u64>,
+    /// No-progress rounds the feeder backed off on (0 = never starved).
+    pub backoff_rounds: u64,
+}
+
+impl FeedReport {
+    /// Total records accepted across all streams.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed.iter().sum()
+    }
+}
+
 /// Drives many in-memory streams to completion through their handles:
 /// non-blocking round-robin bulk pushes, so one full ring never stalls
 /// the others (no head-of-line blocking), with each handle closed the
 /// moment its data is exhausted so its shard can flush early. `handles`
 /// and `data` are matched by index.
-pub fn feed_all(handles: Vec<StreamHandle>, data: &[&[f64]]) {
+///
+/// Starvation is bounded: if *no* stream accepts a single record for
+/// ~20 s of exponentially backed-off rounds, the engine is wedged and
+/// `feed_all` returns [`IngestError::Stalled`] instead of spinning
+/// forever (a quarantined stream keeps draining, so it never stalls the
+/// feeder).
+pub fn feed_all(handles: Vec<StreamHandle>, data: &[&[f64]]) -> Result<FeedReport, IngestError> {
     assert_eq!(
         handles.len(),
         data.len(),
@@ -428,6 +770,12 @@ pub fn feed_all(handles: Vec<StreamHandle>, data: &[&[f64]]) {
     let mut slots: Vec<Option<StreamHandle>> = handles.into_iter().map(Some).collect();
     let mut cursors = vec![0usize; data.len()];
     let mut remaining = slots.len();
+    let mut report = FeedReport {
+        pushed: vec![0; data.len()],
+        backoff_rounds: 0,
+    };
+    let mut stall_rounds: u32 = 0;
+    let mut waited = Duration::ZERO;
     while remaining > 0 {
         let mut progressed = false;
         for i in 0..slots.len() {
@@ -442,36 +790,184 @@ pub fn feed_all(handles: Vec<StreamHandle>, data: &[&[f64]]) {
                 continue;
             }
             let end = (cursors[i] + FEED_CHUNK).min(xs.len());
-            let n = handle
-                .try_feed(&xs[cursors[i]..end])
-                .expect("shard worker alive");
+            let n = match handle.try_feed(&xs[cursors[i]..end]) {
+                Ok(n) => n,
+                Err(PushError::Disconnected) => {
+                    return Err(IngestError::Disconnected {
+                        stream: handle.id(),
+                    })
+                }
+                // try_feed never reports overflow: it accepts what fits.
+                Err(PushError::Overflow(_)) => 0,
+            };
             if n > 0 {
                 cursors[i] += n;
+                report.pushed[i] += n as u64;
                 progressed = true;
             }
         }
-        if !progressed {
+        if progressed {
+            stall_rounds = 0;
+        } else {
             // Every unfinished ring is full: the consumers own the pace.
-            std::thread::sleep(IDLE_PARK);
+            // Back off exponentially; give up only after a silence long
+            // enough to mean the engine is wedged.
+            stall_rounds += 1;
+            report.backoff_rounds += 1;
+            if stall_rounds >= FEED_STALL_ROUNDS {
+                return Err(IngestError::Stalled {
+                    waited,
+                    pending: remaining,
+                });
+            }
+            let delay = IDLE_PARK
+                .saturating_mul(1u32.checked_shl(stall_rounds.min(16)).unwrap_or(u32::MAX))
+                .min(FEED_STALL_MAX_DELAY);
+            waited += delay;
+            std::thread::sleep(delay);
         }
     }
+    Ok(report)
 }
 
-/// One stream's live state on its shard.
+/// One stream's live state on its shard. `op` is `None` once the stream
+/// is quarantined (the faulted operator is dropped immediately, under
+/// its own panic boundary).
 struct ActiveStream<Op: Operator<In = f64>> {
     id: usize,
     consumer: ring::Consumer<Record<f64>>,
-    op: Op,
+    op: Option<Op>,
+    guard: Option<InputGuard>,
     timing: Timing,
     output: Vec<Record<Op::Out>>,
     records_in: u64,
+    quarantined_after: u64,
+    quarantine: Option<(QuarantineCause, u64)>,
     busy: Duration,
     monitor: Arc<StreamMonitor>,
 }
 
+impl<Op: Operator<In = f64>> ActiveStream<Op> {
+    /// Moves the stream to quarantine: publishes the cause, drops the
+    /// operator behind a panic boundary (a faulting operator may panic
+    /// again in `Drop`), and from here on the shard drains-and-discards
+    /// the ring so the producer never wedges.
+    fn enter_quarantine(&mut self, cause: QuarantineCause) {
+        let at_record = self.records_in;
+        *lock_recover(&self.monitor.quarantine) = Some((cause.clone(), at_record));
+        self.quarantine = Some((cause, at_record));
+        let op = self.op.take();
+        let _ = catch_unwind(AssertUnwindSafe(move || drop(op)));
+    }
+}
+
+/// Stringifies a panic payload (the common `&str` / `String` cases).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "opaque panic payload".to_string(),
+        },
+    }
+}
+
+/// Steps one drained batch through the stream's guard and operator under
+/// a panic boundary, updating all per-stream accounting. On a fault
+/// (operator panic or guard trip) the stream enters quarantine: records
+/// consumed before the fault stay in `records_in`, the faulting record
+/// and the rest of the batch count into `quarantined_after`.
+///
+/// `AssertUnwindSafe` invariant: on unwind the operator (the only
+/// not-unwind-safe capture) is dropped without being touched again —
+/// `enter_quarantine` takes it straight into a guarded `drop` — so no
+/// code ever observes its possibly-inconsistent state.
+fn step_batch<Op>(st: &mut ActiveStream<Op>, batch: &mut Vec<Record<f64>>, n: usize)
+where
+    Op: Operator<In = f64>,
+{
+    let done = Cell::new(0u64);
+    let stepped = Cell::new(0u64);
+    let trip: Cell<Option<GuardTrip>> = Cell::new(None);
+    // Record into a batch-local histogram so the monitor lock is held
+    // for a merge, not across up to DRAIN_BATCH operator calls — a
+    // stats() snapshot never waits on a processing batch.
+    let mut local = LatencyHistogram::new();
+    let mut busy = Duration::ZERO;
+    let timing = st.timing;
+    let op = st
+        .op
+        .as_mut()
+        .expect("step_batch is only called on healthy streams (op present)");
+    let output = &mut st.output;
+    let mut guard = st.guard.as_mut();
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        for rec in batch.drain(..) {
+            let verdict = match guard.as_deref_mut() {
+                Some(g) => g.inspect(rec.value),
+                None => GuardVerdict::Pass(rec.value),
+            };
+            match verdict {
+                GuardVerdict::Pass(value) => {
+                    match timing {
+                        Timing::PerRecord => {
+                            let s0 = Instant::now();
+                            op.process(Record::new(rec.timestamp, value), output);
+                            let dt = s0.elapsed();
+                            busy += dt;
+                            local.record(dt);
+                        }
+                        Timing::Batch => op.process(Record::new(rec.timestamp, value), output),
+                    }
+                    stepped.set(stepped.get() + 1);
+                }
+                GuardVerdict::Skip => {}
+                GuardVerdict::Trip(t) => {
+                    trip.set(Some(t));
+                    return;
+                }
+            }
+            done.set(done.get() + 1);
+        }
+    }));
+    if timing == Timing::Batch {
+        let dt = t0.elapsed();
+        busy += dt;
+        local.record_n(dt, stepped.get());
+    }
+    st.busy += busy;
+    st.records_in += done.get();
+    st.monitor
+        .records_in
+        .store(st.records_in, Ordering::Relaxed);
+    lock_recover(&st.monitor.latency).merge(&local);
+    if let Some(g) = st.guard.as_ref() {
+        st.monitor.healed.store(g.healed(), Ordering::Relaxed);
+        st.monitor.skipped.store(g.skipped(), Ordering::Relaxed);
+    }
+    let cause = match outcome {
+        Ok(()) => trip.take().map(QuarantineCause::InputGuard),
+        Err(payload) => Some(QuarantineCause::OperatorPanic {
+            message: panic_message(payload),
+        }),
+    };
+    if let Some(cause) = cause {
+        // The faulting record and the rest of the batch were consumed
+        // from the ring but never completed: they count as quarantined.
+        st.quarantined_after += n as u64 - done.get();
+        st.monitor
+            .quarantined_after
+            .store(st.quarantined_after, Ordering::Relaxed);
+        st.enter_quarantine(cause);
+    }
+}
+
 /// The shard event loop: accept registrations, round-robin over owned
 /// streams draining + stepping each, flush and retire finished streams,
-/// park briefly when fully idle. Returns the shard's stream results.
+/// park briefly when fully idle. Operator faults quarantine their stream
+/// (never the shard), so this function itself never panics. Returns the
+/// shard's stream results.
 fn shard_worker<'env, Op>(inbox: mpsc::Receiver<NewStream<'env, Op>>) -> Vec<StreamResult<Op::Out>>
 where
     Op: Operator<In = f64>,
@@ -484,10 +980,13 @@ where
     let accept = |ns: NewStream<'env, Op>| ActiveStream {
         id: ns.id,
         consumer: ns.consumer,
-        op: (ns.factory)(),
+        op: Some((ns.factory)()),
+        guard: ns.guard.map(InputGuard::new),
         timing: ns.timing,
         output: Vec::new(),
         records_in: 0,
+        quarantined_after: 0,
+        quarantine: None,
         busy: Duration::ZERO,
         monitor: ns.monitor,
     };
@@ -507,61 +1006,59 @@ where
             let n = st.consumer.drain_into(&mut batch, DRAIN_BATCH);
             if n > 0 {
                 progressed = true;
-                match st.timing {
-                    Timing::PerRecord => {
-                        // Record into a batch-local histogram so the
-                        // monitor lock is held for a merge, not across
-                        // up to DRAIN_BATCH operator calls — a stats()
-                        // snapshot never waits on a processing batch.
-                        let mut local = LatencyHistogram::new();
-                        for rec in batch.drain(..) {
-                            let t0 = Instant::now();
-                            st.op.process(rec, &mut st.output);
-                            let dt = t0.elapsed();
-                            st.busy += dt;
-                            local.record(dt);
-                        }
-                        st.monitor
-                            .latency
-                            .lock()
-                            .expect("latency lock")
-                            .merge(&local);
-                    }
-                    Timing::Batch => {
-                        let t0 = Instant::now();
-                        for rec in batch.drain(..) {
-                            st.op.process(rec, &mut st.output);
-                        }
-                        let dt = t0.elapsed();
-                        st.busy += dt;
-                        st.monitor
-                            .latency
-                            .lock()
-                            .expect("latency lock")
-                            .record_n(dt, n as u64);
-                    }
+                if st.quarantine.is_some() {
+                    // Drain-and-discard: the producer must never wedge
+                    // on a stream that is already out of service.
+                    batch.clear();
+                    st.quarantined_after += n as u64;
+                    st.monitor
+                        .quarantined_after
+                        .store(st.quarantined_after, Ordering::Relaxed);
+                } else {
+                    step_batch(st, &mut batch, n);
                 }
-                st.records_in += n as u64;
-                st.monitor
-                    .records_in
-                    .store(st.records_in, Ordering::Relaxed);
             }
             // `is_finished` re-checks emptiness: a producer that closed
             // mid-drain still gets its tail drained on the next visit.
             if n < DRAIN_BATCH && st.consumer.is_finished() {
                 let mut st = active.swap_remove(i);
                 progressed = true;
-                let t0 = Instant::now();
-                st.op.flush(&mut st.output);
-                st.busy += t0.elapsed();
+                if st.quarantine.is_none() {
+                    let op = st
+                        .op
+                        .as_mut()
+                        .expect("healthy streams keep their operator until flush");
+                    let output = &mut st.output;
+                    let t0 = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| op.flush(output)));
+                    st.busy += t0.elapsed();
+                    if let Err(payload) = outcome {
+                        st.enter_quarantine(QuarantineCause::OperatorPanic {
+                            message: panic_message(payload),
+                        });
+                    }
+                }
                 st.monitor.done.store(true, Ordering::Relaxed);
-                let latency = st.monitor.latency.lock().expect("latency lock").clone();
+                let latency = lock_recover(&st.monitor.latency).clone();
+                let state = match &st.quarantine {
+                    Some((cause, at_record)) => StreamState::Quarantined {
+                        cause: cause.clone(),
+                        at_record: *at_record,
+                    },
+                    None => StreamState::Done,
+                };
                 finished.push(StreamResult {
                     stream: st.id,
                     shard: st.monitor.shard,
                     output: st.output,
                     records_in: st.records_in,
                     drops: st.monitor.counters.drops.load(Ordering::Relaxed),
+                    quarantined_after: st.quarantined_after,
+                    pushed: st.monitor.counters.pushed.load(Ordering::Relaxed),
+                    healed: st.guard.as_ref().map_or(0, |g| g.healed()),
+                    skipped: st.guard.as_ref().map_or(0, |g| g.skipped()),
+                    retries: st.monitor.counters.retries.load(Ordering::Relaxed),
+                    state,
                     busy: st.busy,
                     latency,
                 });
@@ -599,6 +1096,7 @@ fn splitmix64(mut x: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::GuardAction;
     use crate::operator::TumblingWindowMean;
     use crate::ring::Backpressure;
 
@@ -623,6 +1121,8 @@ mod tests {
             assert_eq!(r.stream, k);
             assert_eq!(r.records_in, 40 + k as u64);
             assert_eq!(r.drops, 0);
+            assert_eq!(r.state, StreamState::Done);
+            assert_eq!(r.accounted(), r.pushed);
             assert!(r.shard < 3);
             // 4-record tumbling mean of 0..n: first window mean is 1.5.
             assert_eq!(r.output[0].value, 1.5);
@@ -655,6 +1155,7 @@ mod tests {
         assert_eq!(results[1].records_in, 0);
         // The empty stream produced no latency samples anywhere.
         assert_eq!(observed.streams[1].records_in, 0);
+        assert_eq!(observed.quarantined(), 0);
     }
 
     #[test]
@@ -693,18 +1194,233 @@ mod tests {
             shards: 3,
             ring: RingConfig::new(4, Backpressure::Block),
         };
-        let (results, ()) = serve(config, |engine| {
+        let (results, report) = serve(config, |engine| {
             let handles: Vec<_> = (0..data.len())
                 .map(|_| engine.register(|| TumblingWindowMean::new(1)))
                 .collect();
             let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-            feed_all(handles, &slices);
+            feed_all(handles, &slices).expect("feed completes")
         });
+        assert_eq!(
+            report.total_pushed() as usize,
+            data.iter().map(Vec::len).sum::<usize>()
+        );
         for (k, r) in results.iter().enumerate() {
             assert_eq!(r.records_in as usize, data[k].len());
+            assert_eq!(report.pushed[k], r.pushed);
             // Width-1 windows echo the stream: order fully preserved.
             let got: Vec<f64> = r.output.iter().map(|rec| rec.value).collect();
             assert_eq!(got, data[k]);
         }
+    }
+
+    /// An operator that panics when it sees a sentinel value.
+    struct PanicOn {
+        sentinel: f64,
+        inner: TumblingWindowMean,
+    }
+
+    impl Operator for PanicOn {
+        type In = f64;
+        type Out = f64;
+
+        fn process(&mut self, record: Record<f64>, out: &mut Vec<Record<f64>>) {
+            assert!(record.value != self.sentinel, "injected sentinel fault");
+            self.inner.process(record, out);
+        }
+
+        fn flush(&mut self, out: &mut Vec<Record<f64>>) {
+            self.inner.flush(out);
+        }
+
+        fn name(&self) -> &'static str {
+            "panic-on"
+        }
+    }
+
+    #[test]
+    fn operator_panic_quarantines_only_its_stream() {
+        let n_streams = 6usize;
+        let points = 200usize;
+        let (results, ()) = serve(EngineConfig::new(2), |engine| {
+            let handles: Vec<_> = (0..n_streams)
+                .map(|k| {
+                    engine.register(move || PanicOn {
+                        sentinel: if k == 3 { 77.0 } else { f64::NEG_INFINITY },
+                        inner: TumblingWindowMean::new(4),
+                    })
+                })
+                .collect();
+            let data: Vec<Vec<f64>> = (0..n_streams)
+                .map(|_| {
+                    (0..points)
+                        .map(|i| if i == 50 { 77.0 } else { i as f64 })
+                        .collect()
+                })
+                .collect();
+            let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+            feed_all(handles, &slices).expect("quarantined streams keep draining");
+        });
+        assert_eq!(results.len(), n_streams);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.accounted(), r.pushed, "stream {k} ledger");
+            assert_eq!(r.pushed, points as u64, "stream {k} pushed");
+            if k == 3 {
+                let (cause, at_record) = r.quarantine().expect("stream 3 faulted");
+                assert_eq!(at_record, 50, "processing stopped at the sentinel");
+                assert_eq!(r.records_in, 50);
+                assert_eq!(r.quarantined_after, points as u64 - 50);
+                match cause {
+                    QuarantineCause::OperatorPanic { message } => {
+                        assert!(message.contains("injected sentinel fault"), "{message}");
+                    }
+                    other => panic!("unexpected cause {other:?}"),
+                }
+            } else {
+                assert_eq!(r.state, StreamState::Done, "stream {k} survived");
+                assert_eq!(r.records_in, points as u64);
+                assert_eq!(r.quarantined_after, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn guard_trip_quarantines_and_stats_expose_the_state() {
+        let opts = StreamOptions {
+            guard: Some(GuardConfig::new(3, 0)),
+            ..StreamOptions::default()
+        };
+        let (results, stats) = serve(EngineConfig::new(1), |engine| {
+            let mut h = engine.register_with(opts, || TumblingWindowMean::new(2));
+            for v in 0..10 {
+                h.push(v as f64).unwrap();
+            }
+            for _ in 0..5 {
+                h.push(f64::NAN).unwrap();
+            }
+            drop(h);
+            // Wait for the shard to observe the fault.
+            loop {
+                let s = engine.stats();
+                if s.streams[0].done {
+                    break s;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        let r = &results[0];
+        let (cause, at_record) = r.quarantine().expect("guard tripped");
+        assert!(matches!(
+            cause,
+            QuarantineCause::InputGuard(GuardTrip::NanBurst { len: 3 })
+        ));
+        // 10 finite + 2 healed NaNs consumed; the third NaN tripped.
+        assert_eq!(at_record, 12);
+        assert_eq!(r.healed, 2);
+        assert_eq!(r.accounted(), r.pushed);
+        assert_eq!(stats.streams[0].state, r.state);
+        assert_eq!(stats.quarantined(), 1);
+        assert_eq!(stats.shards[0].quarantined, 1);
+    }
+
+    #[test]
+    fn guard_heals_nans_without_quarantine() {
+        let opts = StreamOptions {
+            guard: Some(GuardConfig {
+                non_finite: GuardAction::Heal,
+                ..GuardConfig::default()
+            }),
+            ..StreamOptions::default()
+        };
+        let (results, ()) = serve(EngineConfig::new(1), |engine| {
+            let mut h = engine.register_with(opts, || TumblingWindowMean::new(1));
+            for v in [1.0, f64::NAN, 3.0, f64::INFINITY] {
+                h.push(v).unwrap();
+            }
+        });
+        let r = &results[0];
+        assert_eq!(r.state, StreamState::Done);
+        assert_eq!(r.records_in, 4);
+        assert_eq!(r.healed, 2);
+        let got: Vec<f64> = r.output.iter().map(|rec| rec.value).collect();
+        assert_eq!(got, vec![1.0, 1.0, 3.0, 3.0]);
+    }
+
+    /// A handle over a raw ring, bypassing `serve` so the consumer side
+    /// is fully under test control.
+    fn raw_handle(cfg: RingConfig, id: usize) -> (StreamHandle, ring::Consumer<Record<f64>>) {
+        let (producer, consumer) = ring::ring(cfg);
+        (
+            StreamHandle {
+                producer,
+                id,
+                t: 0,
+                scratch: Vec::new(),
+            },
+            consumer,
+        )
+    }
+
+    #[test]
+    fn push_with_retry_exhausts_into_a_typed_error() {
+        let (mut h, _consumer) = raw_handle(RingConfig::new(2, Backpressure::Error), 7);
+        h.push(1.0).unwrap();
+        h.push(2.0).unwrap();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_micros(200),
+        };
+        let err = h.push_with_retry(3.0, &retry).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::RetriesExhausted {
+                stream: 7,
+                attempts: 3,
+                capacity: 2
+            }
+        );
+        // Only the accepted records count as pushed; retries are counted.
+        assert_eq!(h.pushed(), 2);
+        let counters = h.producer.counters();
+        assert_eq!(counters.retries.load(Ordering::Relaxed), 2);
+        // The position was consumed exactly once for the failed record.
+        h.push(4.0).unwrap_err();
+        assert_eq!(h.t, 4);
+    }
+
+    #[test]
+    fn push_with_retry_succeeds_once_the_consumer_drains() {
+        let (mut h, mut consumer) = raw_handle(RingConfig::new(1, Backpressure::Error), 0);
+        h.push(0.0).unwrap();
+        let drainer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let mut out = Vec::new();
+            while consumer.drain_into(&mut out, usize::MAX) == 0 {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            (out, consumer)
+        });
+        let err = h.push_with_retry(1.0, &RetryPolicy::default());
+        assert_eq!(err, Ok(()));
+        assert!(
+            h.producer.counters().retries.load(Ordering::Relaxed) >= 1,
+            "the successful push went through the backoff path"
+        );
+        let (out, _consumer) = drainer.join().unwrap();
+        assert_eq!(out[0].value, 0.0);
+    }
+
+    #[test]
+    fn push_with_retry_reports_disconnect_immediately() {
+        let (mut h, consumer) = raw_handle(RingConfig::new(4, Backpressure::Block), 3);
+        drop(consumer);
+        let t0 = Instant::now();
+        let err = h.push_with_retry(1.0, &RetryPolicy::default()).unwrap_err();
+        assert_eq!(err, IngestError::Disconnected { stream: 3 });
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "no pointless backoff against a dead consumer"
+        );
     }
 }

@@ -1,0 +1,269 @@
+//! Degraded-input policies: per-stream value guards between the ring and
+//! the operator.
+//!
+//! Real archive data makes degraded inputs routine rather than
+//! exceptional: the wide-CSV fixtures model dead IMU sensors, and WFDB's
+//! `-32768`/`-2048` invalid-sample sentinels decode to NaN. A long-running
+//! serving deployment must decide *per stream* what to do when a feed goes
+//! bad — heal an isolated glitch, skip it, or take the stream out of
+//! service — instead of letting poisoned values run through operator state
+//! for hours. [`GuardConfig`] is that policy; the engine instantiates one
+//! [`InputGuard`] per guarded stream (see
+//! [`crate::StreamOptions::guard`]) and consults it for every record
+//! before the operator sees it.
+
+/// What a guard does with a value it objects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardAction {
+    /// Replace the value with the last finite value seen on this stream
+    /// (records before the first finite value are skipped). The default:
+    /// sample-and-hold is what a hardware acquisition front-end does.
+    #[default]
+    Heal,
+    /// Drop the record without stepping the operator.
+    Skip,
+    /// Quarantine the stream immediately.
+    Quarantine,
+}
+
+/// Per-stream degraded-input policy. The zero thresholds disable their
+/// detectors, so `GuardConfig::default()` only heals isolated non-finite
+/// values and never quarantines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardConfig {
+    /// Action for a non-finite (NaN/±inf) value.
+    pub non_finite: GuardAction,
+    /// Quarantine after this many *consecutive* non-finite values,
+    /// regardless of [`GuardConfig::non_finite`] — a burst means the
+    /// sensor is gone, not glitching. `0` disables burst detection.
+    pub nan_burst: usize,
+    /// Quarantine after this many consecutive *identical* finite values —
+    /// a flatlined (stuck-at) sensor. `0` disables flatline detection.
+    pub flatline: usize,
+}
+
+impl GuardConfig {
+    /// A guard that heals isolated non-finite values and quarantines on
+    /// `nan_burst` consecutive non-finite or `flatline` identical values.
+    pub fn new(nan_burst: usize, flatline: usize) -> Self {
+        Self {
+            non_finite: GuardAction::Heal,
+            nan_burst,
+            flatline,
+        }
+    }
+}
+
+/// Why a guard took its stream out of service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardTrip {
+    /// A non-finite value arrived under [`GuardAction::Quarantine`].
+    NonFinite,
+    /// `len` consecutive non-finite values crossed the burst threshold.
+    NanBurst {
+        /// Length of the non-finite run, including the tripping value.
+        len: usize,
+    },
+    /// `len` consecutive identical values crossed the flatline threshold.
+    Flatline {
+        /// Length of the identical run, including the tripping value.
+        len: usize,
+        /// The stuck-at value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for GuardTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardTrip::NonFinite => write!(f, "non-finite value"),
+            GuardTrip::NanBurst { len } => {
+                write!(f, "non-finite burst of {len} consecutive values")
+            }
+            GuardTrip::Flatline { len, value } => {
+                write!(f, "flatline: {len} consecutive values stuck at {value}")
+            }
+        }
+    }
+}
+
+/// The guard's verdict on one value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    /// Deliver this (possibly healed) value to the operator.
+    Pass(f64),
+    /// Drop the record; the operator never sees it.
+    Skip,
+    /// Quarantine the stream.
+    Trip(GuardTrip),
+}
+
+/// Running guard state for one stream. Purely sequential over the
+/// stream's values — the engine consults it record-at-a-time on the
+/// stream's shard, so it needs no synchronisation.
+#[derive(Debug, Clone)]
+pub struct InputGuard {
+    cfg: GuardConfig,
+    last_finite: Option<f64>,
+    nan_run: usize,
+    flat_run: usize,
+    flat_value: f64,
+    healed: u64,
+    skipped: u64,
+}
+
+impl InputGuard {
+    /// A fresh guard for one stream.
+    pub fn new(cfg: GuardConfig) -> Self {
+        Self {
+            cfg,
+            last_finite: None,
+            nan_run: 0,
+            flat_run: 0,
+            flat_value: f64::NAN,
+            healed: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Inspects one incoming value and decides what the operator sees.
+    #[inline]
+    pub fn inspect(&mut self, x: f64) -> GuardVerdict {
+        if !x.is_finite() {
+            self.flat_run = 0;
+            self.nan_run += 1;
+            if self.cfg.nan_burst > 0 && self.nan_run >= self.cfg.nan_burst {
+                return GuardVerdict::Trip(GuardTrip::NanBurst { len: self.nan_run });
+            }
+            return match self.cfg.non_finite {
+                GuardAction::Heal => match self.last_finite {
+                    Some(v) => {
+                        self.healed += 1;
+                        GuardVerdict::Pass(v)
+                    }
+                    // Nothing to hold yet: skip until the first finite
+                    // value arrives.
+                    None => {
+                        self.skipped += 1;
+                        GuardVerdict::Skip
+                    }
+                },
+                GuardAction::Skip => {
+                    self.skipped += 1;
+                    GuardVerdict::Skip
+                }
+                GuardAction::Quarantine => GuardVerdict::Trip(GuardTrip::NonFinite),
+            };
+        }
+        self.nan_run = 0;
+        self.last_finite = Some(x);
+        if self.cfg.flatline > 0 {
+            if self.flat_run > 0 && x == self.flat_value {
+                self.flat_run += 1;
+                if self.flat_run >= self.cfg.flatline {
+                    return GuardVerdict::Trip(GuardTrip::Flatline {
+                        len: self.flat_run,
+                        value: x,
+                    });
+                }
+            } else {
+                self.flat_run = 1;
+                self.flat_value = x;
+            }
+        }
+        GuardVerdict::Pass(x)
+    }
+
+    /// Values healed (replaced by the last finite value) so far.
+    pub fn healed(&self) -> u64 {
+        self.healed
+    }
+
+    /// Records skipped (dropped before the operator) so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_guard_heals_isolated_nans_and_never_trips() {
+        let mut g = InputGuard::new(GuardConfig::default());
+        assert_eq!(g.inspect(1.0), GuardVerdict::Pass(1.0));
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Pass(1.0));
+        assert_eq!(g.inspect(f64::INFINITY), GuardVerdict::Pass(1.0));
+        assert_eq!(g.inspect(2.0), GuardVerdict::Pass(2.0));
+        assert_eq!(g.healed(), 2);
+        assert_eq!(g.skipped(), 0);
+    }
+
+    #[test]
+    fn leading_nans_are_skipped_until_a_finite_value_arrives() {
+        let mut g = InputGuard::new(GuardConfig::default());
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Skip);
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Skip);
+        assert_eq!(g.inspect(3.0), GuardVerdict::Pass(3.0));
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Pass(3.0));
+        assert_eq!(g.skipped(), 2);
+        assert_eq!(g.healed(), 1);
+    }
+
+    #[test]
+    fn nan_burst_threshold_trips_and_overrides_heal() {
+        let mut g = InputGuard::new(GuardConfig::new(3, 0));
+        g.inspect(1.0);
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Pass(1.0));
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Pass(1.0));
+        assert_eq!(
+            g.inspect(f64::NAN),
+            GuardVerdict::Trip(GuardTrip::NanBurst { len: 3 })
+        );
+        // A finite value in between resets the run.
+        let mut g = InputGuard::new(GuardConfig::new(3, 0));
+        g.inspect(1.0);
+        g.inspect(f64::NAN);
+        g.inspect(f64::NAN);
+        assert_eq!(g.inspect(2.0), GuardVerdict::Pass(2.0));
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Pass(2.0));
+    }
+
+    #[test]
+    fn flatline_threshold_trips_on_stuck_values() {
+        let mut g = InputGuard::new(GuardConfig::new(0, 4));
+        for _ in 0..3 {
+            assert_eq!(g.inspect(7.5), GuardVerdict::Pass(7.5));
+        }
+        assert_eq!(
+            g.inspect(7.5),
+            GuardVerdict::Trip(GuardTrip::Flatline { len: 4, value: 7.5 })
+        );
+        // A changing feed never trips.
+        let mut g = InputGuard::new(GuardConfig::new(0, 4));
+        for i in 0..100 {
+            assert!(matches!(g.inspect((i % 2) as f64), GuardVerdict::Pass(_)));
+        }
+    }
+
+    #[test]
+    fn skip_and_quarantine_actions_apply_to_non_finite() {
+        let mut g = InputGuard::new(GuardConfig {
+            non_finite: GuardAction::Skip,
+            ..GuardConfig::default()
+        });
+        g.inspect(1.0);
+        assert_eq!(g.inspect(f64::NAN), GuardVerdict::Skip);
+        assert_eq!(g.skipped(), 1);
+
+        let mut g = InputGuard::new(GuardConfig {
+            non_finite: GuardAction::Quarantine,
+            ..GuardConfig::default()
+        });
+        assert_eq!(
+            g.inspect(f64::NEG_INFINITY),
+            GuardVerdict::Trip(GuardTrip::NonFinite)
+        );
+    }
+}

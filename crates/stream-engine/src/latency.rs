@@ -9,6 +9,7 @@
 //! (p50/p99), queue depth, and backpressure drops per stream and
 //! aggregated per shard.
 
+use crate::engine::StreamState;
 use std::time::Duration;
 
 /// A histogram of durations with power-of-two nanosecond buckets
@@ -123,14 +124,28 @@ pub struct StreamStats {
     pub stream: usize,
     /// Shard the stream is pinned to.
     pub shard: usize,
-    /// Records the operator has processed so far.
+    /// Records consumed while healthy (operator-processed plus
+    /// guard-healed/skipped) so far.
     pub records_in: u64,
     /// Records evicted by the `drop-oldest` backpressure policy.
     pub drops: u64,
+    /// Records drained and discarded after the stream was quarantined.
+    pub quarantined_after: u64,
+    /// Records accepted into the ring so far.
+    pub pushed: u64,
+    /// Non-finite values the input guard replaced so far.
+    pub healed: u64,
+    /// Records the input guard dropped before the operator so far.
+    pub skipped: u64,
+    /// Ingest backoff retries performed against the stream's ring.
+    pub retries: u64,
     /// Records currently queued in the stream's ring buffer.
     pub queue_depth: usize,
     /// Whether the stream has been closed, drained, and flushed.
     pub done: bool,
+    /// Lifecycle state; quarantine survives completion (a retired
+    /// faulted stream reports `Quarantined`, not `Done`).
+    pub state: StreamState,
     /// Median per-record operator latency.
     pub p50: Duration,
     /// Tail (99th percentile) per-record operator latency.
@@ -148,6 +163,8 @@ pub struct ShardStats {
     pub streams: usize,
     /// Streams still being served.
     pub active: usize,
+    /// Streams quarantined on this shard.
+    pub quarantined: usize,
     /// Records processed across the shard's streams.
     pub records_in: u64,
     /// Drops across the shard's streams.
@@ -189,6 +206,20 @@ impl ServingStats {
     /// Streams not yet finished.
     pub fn active_streams(&self) -> usize {
         self.streams.iter().filter(|s| !s.done).count()
+    }
+
+    /// Number of quarantined streams.
+    pub fn quarantined(&self) -> usize {
+        self.streams
+            .iter()
+            .filter(|s| s.state.is_quarantined())
+            .count()
+    }
+
+    /// The quarantined streams' stats (cause and fault position live in
+    /// each entry's [`StreamStats::state`]).
+    pub fn quarantined_streams(&self) -> impl Iterator<Item = &StreamStats> {
+        self.streams.iter().filter(|s| s.state.is_quarantined())
     }
 }
 
@@ -257,8 +288,18 @@ mod tests {
             shard: stream % 2,
             records_in,
             drops,
+            quarantined_after: 0,
+            pushed: records_in + drops,
+            healed: 0,
+            skipped: 0,
+            retries: 0,
             queue_depth: depth,
             done,
+            state: if done {
+                StreamState::Done
+            } else {
+                StreamState::Active
+            },
             p50: Duration::ZERO,
             p99: Duration::ZERO,
             mean: Duration::ZERO,

@@ -33,6 +33,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod guard;
 pub mod latency;
 pub mod operator;
 pub mod parallel;
@@ -41,8 +44,15 @@ pub mod ring;
 pub mod source;
 
 pub use engine::{
-    feed_all, serve, EngineConfig, ServingEngine, StreamHandle, StreamOptions, StreamResult, Timing,
+    feed_all, serve, EngineConfig, FeedReport, IngestError, QuarantineCause, RetryPolicy,
+    ServingEngine, StreamHandle, StreamOptions, StreamResult, StreamState, Timing,
 };
+#[cfg(feature = "fault-inject")]
+pub use fault::{
+    drive, silence_injected_panics, DriveOutcome, FaultKind, FaultPlan, FaultingOperator,
+    StreamFault, INJECTED_PANIC_PREFIX,
+};
+pub use guard::{GuardAction, GuardConfig, GuardTrip, GuardVerdict, InputGuard};
 pub use latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
 pub use operator::{
     FilterOperator, MapOperator, MultivariateSegmenterOperator, Operator, SegmenterOperator,

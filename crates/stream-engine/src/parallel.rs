@@ -81,7 +81,8 @@ where
             })
             .collect();
         let slices: Vec<&[f64]> = streams.iter().map(|s| s.as_slice()).collect();
-        feed_all(handles, &slices);
+        feed_all(handles, &slices)
+            .expect("block-policy rings with live shards accept every record");
     });
     results
         .into_iter()

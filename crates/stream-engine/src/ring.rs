@@ -23,7 +23,17 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a ring mutex, recovering from poisoning. The inner state is a
+/// plain `VecDeque` plus two flags and is never left mid-mutation by a
+/// panic inside the critical sections below (no user code runs under the
+/// lock), so a poisoned lock only means *some* thread panicked while
+/// holding it — the data itself is always consistent and draining must
+/// keep working so surviving streams are unaffected.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What a full ring does to an incoming record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,6 +120,12 @@ pub(crate) struct RingCounters {
     pub(crate) depth: AtomicUsize,
     /// Records evicted under [`Backpressure::DropOldest`].
     pub(crate) drops: AtomicU64,
+    /// Records ever accepted into the ring (rejected pushes excluded).
+    /// The fault-accounting ledger balances against this:
+    /// `processed + dropped + quarantined_after == pushed`.
+    pub(crate) pushed: AtomicU64,
+    /// Backoff retries the producer performed against this ring.
+    pub(crate) retries: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -164,7 +180,7 @@ impl<T> Producer<T> {
     /// returns [`PushError::Overflow`] without enqueueing.
     pub fn push(&mut self, item: T) -> Result<(), PushError> {
         let sh = &*self.shared;
-        let mut inner = sh.inner.lock().expect("ring lock");
+        let mut inner = lock_recover(&sh.inner);
         loop {
             if inner.rx_closed {
                 return Err(PushError::Disconnected);
@@ -172,11 +188,15 @@ impl<T> Producer<T> {
             if inner.buf.len() < sh.capacity {
                 inner.buf.push_back(item);
                 sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
+                sh.counters.pushed.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
             match sh.policy {
                 Backpressure::Block => {
-                    inner = sh.not_full.wait(inner).expect("ring lock");
+                    inner = sh
+                        .not_full
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 Backpressure::DropOldest => {
                     inner.buf.pop_front();
@@ -205,7 +225,7 @@ impl<T> Producer<T> {
             return Ok(0);
         }
         let sh = &*self.shared;
-        let mut inner = sh.inner.lock().expect("ring lock");
+        let mut inner = lock_recover(&sh.inner);
         if inner.rx_closed {
             return Err(PushError::Disconnected);
         }
@@ -232,6 +252,9 @@ impl<T> Producer<T> {
             }
         };
         sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
+        sh.counters
+            .pushed
+            .fetch_add(accepted as u64, Ordering::Relaxed);
         Ok(accepted)
     }
 
@@ -250,6 +273,16 @@ impl<T> Producer<T> {
         self.shared.counters.drops.load(Ordering::Relaxed)
     }
 
+    /// Records ever accepted into the ring (rejected pushes excluded).
+    pub fn pushed(&self) -> u64 {
+        self.shared.counters.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Counts `n` producer backoff retries against this ring.
+    pub(crate) fn note_retries(&self, n: u64) {
+        self.shared.counters.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Shared counters handle for external stats snapshots.
     pub(crate) fn counters(&self) -> Arc<RingCounters> {
         Arc::clone(&self.shared.counters)
@@ -258,7 +291,7 @@ impl<T> Producer<T> {
 
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().expect("ring lock");
+        let mut inner = lock_recover(&self.shared.inner);
         inner.tx_closed = true;
     }
 }
@@ -274,7 +307,7 @@ impl<T> Consumer<T> {
     /// acquisition, wakes any blocked producer, and returns the count.
     pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
         let sh = &*self.shared;
-        let mut inner = sh.inner.lock().expect("ring lock");
+        let mut inner = lock_recover(&sh.inner);
         let n = inner.buf.len().min(max);
         out.extend(inner.buf.drain(..n));
         sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
@@ -287,14 +320,14 @@ impl<T> Consumer<T> {
 
     /// End-of-stream: the producer is gone and the ring is drained.
     pub fn is_finished(&self) -> bool {
-        let inner = self.shared.inner.lock().expect("ring lock");
+        let inner = lock_recover(&self.shared.inner);
         inner.tx_closed && inner.buf.is_empty()
     }
 }
 
 impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
-        let mut inner = self.shared.inner.lock().expect("ring lock");
+        let mut inner = lock_recover(&self.shared.inner);
         inner.rx_closed = true;
         drop(inner);
         // A producer blocked on a full ring must observe the disconnect.

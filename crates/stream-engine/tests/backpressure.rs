@@ -66,7 +66,7 @@ fn block_preserves_every_record_and_scores_equal_the_single_stream_path() {
     let (results, ()) = serve(config, |engine| {
         let xs = &xs;
         let handle = engine.register(|| SegmenterOperator::new(ClassSegmenter::new(class_cfg())));
-        feed_all(vec![handle], &[xs.as_slice()]);
+        feed_all(vec![handle], &[xs.as_slice()]).expect("feed completes");
     });
     let r = &results[0];
 
@@ -201,7 +201,7 @@ proptest! {
                 .map(|_| engine.register(move || TumblingWindowMean::new(width)))
                 .collect();
             let slices: Vec<&[f64]> = streams.iter().map(|s| s.as_slice()).collect();
-            feed_all(handles, &slices);
+            feed_all(handles, &slices).expect("feed completes");
         });
         prop_assert_eq!(results.len(), streams.len());
         for (k, r) in results.iter().enumerate() {

@@ -76,7 +76,7 @@ fn serve_per_channel(channels: &[Vec<f64>], cfg: &MultivariateConfig) -> Vec<Vec
             })
             .collect();
         let slices: Vec<&[f64]> = channels.iter().map(|c| c.as_slice()).collect();
-        stream_engine::feed_all(handles, &slices);
+        stream_engine::feed_all(handles, &slices).expect("feed completes");
     });
     results.into_iter().map(|r| r.output).collect()
 }

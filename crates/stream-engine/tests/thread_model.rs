@@ -49,7 +49,7 @@ fn engine_total_thread_count_is_shards_plus_one() {
             .map(|k| (0..500).map(|i| (i * (k + 1)) as f64).collect())
             .collect();
         let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
-        feed_all(handles, &slices);
+        feed_all(handles, &slices).expect("feed completes");
         during
     });
     assert_eq!(

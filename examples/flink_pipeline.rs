@@ -87,7 +87,7 @@ fn main() {
             .collect();
         let snapshot = engine.stats(); // all streams live, none finished
         let slices: Vec<&[f64]> = streams.iter().map(|s| s.as_slice()).collect();
-        feed_all(handles, &slices);
+        feed_all(handles, &slices).expect("feed completes: rings block, never error");
         snapshot
     });
     println!(

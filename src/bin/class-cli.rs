@@ -79,6 +79,7 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         bundled golden fixtures, and the synthetic Table 1 stand-ins.
     datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
                          [--jump N] [--channels K] [--fusion quorum|any|N]
+                         [--guard-nan-burst N] [--guard-flatline N]
                          [--format text|tsv]
         Load annotated archive files — univariate TSSB/FLOSS-style .txt /
         UTSA-style .csv, or multi-channel WFDB .hea (with .dat/.atr
@@ -89,6 +90,18 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         multivariate segmenter: --fusion picks the vote fusion (quorum =
         majority, any = union, N = quorum of N channels) and --channels K
         keeps only the K highest-variance channels after a probe phase.
+
+        Degraded-input policy: --guard-nan-burst N quarantines a stream
+        after N consecutive non-finite values (isolated ones are healed
+        with the last finite value); --guard-flatline N quarantines after
+        N identical consecutive values. On a multi-channel file the guard
+        applies per channel: a tripped channel is retired and the vote
+        quorum re-derived over the survivors, so the fused stream
+        degrades instead of dying.
+
+        Exit status: 0 ok, 1 load/engine error, 2 usage error, 3 at
+        least one stream was quarantined (a report with the cause and
+        record index is printed to stderr).
 ";
 
 fn parse_args() -> CliArgs {
@@ -167,7 +180,37 @@ struct DatasetsRunArgs {
     channels: Option<usize>,
     fusion: FusionChoice,
     jump: Option<usize>,
+    guard_nan_burst: Option<usize>,
+    guard_flatline: Option<usize>,
 }
+
+impl DatasetsRunArgs {
+    /// The serving engine's per-stream guard from the `--guard-*` flags
+    /// (`None` when neither flag is given: values pass verbatim).
+    fn stream_guard(&self) -> Option<stream_engine::GuardConfig> {
+        if self.guard_nan_burst.is_none() && self.guard_flatline.is_none() {
+            return None;
+        }
+        Some(stream_engine::GuardConfig::new(
+            self.guard_nan_burst.unwrap_or(0),
+            self.guard_flatline.unwrap_or(0),
+        ))
+    }
+
+    /// The per-channel guard multivariate files run with.
+    fn channel_guard(&self) -> Option<class_core::ChannelGuardConfig> {
+        if self.guard_nan_burst.is_none() && self.guard_flatline.is_none() {
+            return None;
+        }
+        Some(class_core::ChannelGuardConfig::new(
+            self.guard_nan_burst.unwrap_or(0),
+            self.guard_flatline.unwrap_or(0),
+        ))
+    }
+}
+
+/// Exit code for a run in which at least one stream was quarantined.
+const EXIT_QUARANTINED: i32 = 3;
 
 fn datasets_main(args: Vec<String>) -> ! {
     let code = match args.first().map(String::as_str) {
@@ -267,6 +310,8 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         channels: None,
         fusion: FusionChoice::Quorum,
         jump: None,
+        guard_nan_burst: None,
+        guard_flatline: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -304,6 +349,24 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
                     return Err("--channels must keep at least one channel".into());
                 }
                 out.channels = Some(k);
+            }
+            "--guard-nan-burst" => {
+                let n: usize = grab("--guard-nan-burst")?
+                    .parse()
+                    .map_err(|_| "numeric --guard-nan-burst")?;
+                if n == 0 {
+                    return Err("--guard-nan-burst must be at least 1".into());
+                }
+                out.guard_nan_burst = Some(n);
+            }
+            "--guard-flatline" => {
+                let n: usize = grab("--guard-flatline")?
+                    .parse()
+                    .map_err(|_| "numeric --guard-flatline")?;
+                if n == 0 {
+                    return Err("--guard-flatline must be at least 1".into());
+                }
+                out.guard_flatline = Some(n);
             }
             "--fusion" => {
                 let v = grab("--fusion")?;
@@ -443,15 +506,27 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
         source = source.with_rate(rate);
     }
     let started = std::time::Instant::now();
-    let (mut results, ()) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
-        let mut handle = engine
-            .register(move || stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg)));
+    let retry = stream_engine::RetryPolicy::default();
+    let guard = args.stream_guard();
+    let (mut results, fed) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
+        let mut handle = engine.register_with(
+            stream_engine::StreamOptions {
+                guard,
+                ..stream_engine::StreamOptions::default()
+            },
+            move || stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg)),
+        );
         for v in source {
-            handle.push(v).expect("serving engine alive");
+            handle.push_with_retry(v, &retry)?;
         }
+        Ok::<(), stream_engine::IngestError>(())
     });
     let elapsed = started.elapsed();
     let result = results.remove(0);
+    if let Err(e) = fed {
+        eprintln!("error: {}: ingest failed: {e}", series.name);
+        return 1;
+    }
     let (found, cov, stats) = score_records(
         &result.output,
         &series.change_points,
@@ -470,6 +545,14 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
         elapsed,
     }
     .print(args.tsv, &stats, cov);
+    if let Some((cause, at_record)) = result.quarantine() {
+        eprintln!(
+            "quarantined: {} at record {at_record}: {cause} \
+             ({} records processed, {} drained after the fault)",
+            series.name, result.records_in, result.quarantined_after
+        );
+        return EXIT_QUARANTINED;
+    }
     0
 }
 
@@ -549,12 +632,18 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
         }
     }
 
+    // Per-channel degraded-input policy: a tripped channel is retired
+    // inside the fused segmenter (votes re-quorumed) instead of taking
+    // the whole stream down.
+    cfg.channel_guard = args.channel_guard();
+
     let mut source = stream_engine::MultiChannelReplaySource::new(series.channels.clone());
     if let Some(rate) = args.rate {
         source = source.with_rate(rate);
     }
     let started = std::time::Instant::now();
-    let (mut results, ()) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
+    let retry = stream_engine::RetryPolicy::default();
+    let (mut results, fed) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
         let mut handle = engine.register(move || {
             stream_engine::MultivariateSegmenterOperator::new(MultivariateClass::new(
                 cfg, n_channels,
@@ -562,12 +651,17 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
         });
         for row in source {
             for v in row {
-                handle.push(v).expect("serving engine alive");
+                handle.push_with_retry(v, &retry)?;
             }
         }
+        Ok::<(), stream_engine::IngestError>(())
     });
     let elapsed = started.elapsed();
     let result = results.remove(0);
+    if let Err(e) = fed {
+        eprintln!("error: {}: ingest failed: {e}", series.name);
+        return 1;
+    }
     let (found, cov, stats) = score_records(&result.output, &series.change_points, n, series.width);
     FileScore {
         name: series.name.clone(),
@@ -583,6 +677,14 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
         elapsed,
     }
     .print(args.tsv, &stats, cov);
+    if let Some((cause, at_record)) = result.quarantine() {
+        eprintln!(
+            "quarantined: {} at frame {}: {cause}",
+            series.name,
+            at_record / n_channels as u64
+        );
+        return EXIT_QUARANTINED;
+    }
     0
 }
 

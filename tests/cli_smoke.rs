@@ -401,3 +401,56 @@ fn datasets_subcommand_usage_errors_exit_2() {
         assert!(!stderr.contains("panicked"), "--rate {rate}: {stderr}");
     }
 }
+
+#[test]
+fn datasets_run_quarantines_a_flatlined_stream_with_exit_code_3() {
+    // A sensor that sticks mid-stream: with --guard-flatline the stream
+    // is quarantined (cause + record index on stderr, exit code 3);
+    // without the guard the same file runs clean to exit 0.
+    let dir = std::env::temp_dir().join("class-cli-smoke-flatline");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("DeadSensor_25_300.txt");
+    let mut body = String::new();
+    for i in 0..600 {
+        let v = if i < 300 { (i as f64 * 0.3).sin() } else { 0.5 };
+        body.push_str(&format!("{v}\n"));
+    }
+    std::fs::write(&path, body).unwrap();
+    let file = path.display().to_string();
+
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--window",
+            "100",
+            "--guard-flatline",
+            "50",
+            &file,
+        ],
+        "",
+    );
+    assert_eq!(code, 3, "stdout: {stdout}\nstderr: {stderr}");
+    // The 50th consecutive stuck value is record 349 (the run starts at
+    // record 300); the report names the stream, position, and cause.
+    assert!(stderr.contains("quarantined: "), "{stderr}");
+    assert!(stderr.contains("DeadSensor at record 349"), "{stderr}");
+    assert!(
+        stderr.contains("flatline: 50 consecutive values stuck at"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    let (_, stderr, code) = run_cli(&["datasets", "run", "--window", "100", &file], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn datasets_run_guard_flags_validate_their_values() {
+    for flag in ["--guard-nan-burst", "--guard-flatline"] {
+        let (_, stderr, code) = run_cli(&["datasets", "run", flag, "0", "ignored.txt"], "");
+        assert_eq!(code, 2, "{flag}: {stderr}");
+        assert!(stderr.contains("at least 1"), "{flag}: {stderr}");
+    }
+}
