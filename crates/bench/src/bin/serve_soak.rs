@@ -15,23 +15,50 @@
 //!   feeder-side ledger `offered == accepted + rejected` matches;
 //! * **survivability floor** — only streams the plan targets may end
 //!   quarantined; every untargeted stream processes its full feed;
-//! * **bounded memory** — peak RSS (`VmHWM`) stays under a fixed cap.
+//! * **bounded memory** — peak RSS (`VmHWM`) stays under a fixed cap,
+//!   and in timed mode the post-warmup *growth* is bounded too (the
+//!   leak detector: dozens of rounds may not raise the high-water mark
+//!   by more than an allocator-noise allowance).
+//!
+//! Two modes:
+//!
+//! * **single-shot** (default): one seeded fleet, as in PR 7.
+//! * **timed** (`--minutes F`): repeat seeded fleets (round `r` runs
+//!   under `seed ^ mix(r)`) until the deadline — the hours-scale soak;
+//!   CI runs a short preset of the same loop. `--mv-channels C` makes
+//!   every stream a fused multivariate stream (C channels interleaved
+//!   through one ring, per-channel guards retiring bad channels, the
+//!   `VoteFuser` re-quorumming over survivors).
+//!
+//! Observability rides along: `--metrics-addr HOST:PORT` serves live
+//! Prometheus text at `/metrics` (and `/stats.json`) across all rounds,
+//! `--stats-json PATH` writes periodic JSON snapshots for headless
+//! runs, and `--bundle-out PATH` emits a provenance-stamped
+//! `class-run-bundle/v1` for `compare_bundles`.
 //!
 //! ```sh
 //! cargo run --release -p bench --features fault-inject --bin serve_soak -- \
-//!     --preset quick --seed 20260809 --out BENCH_soak.json
+//!     --preset quick --seed 20260809 --minutes 1.5 --mv-channels 3 \
+//!     --metrics-addr 127.0.0.1:9599 --bundle-out BUNDLE_soak.json
 //! ```
 //!
 //! The seed rotates per CI run (printed in the log); any failure is
 //! replayable locally by passing the same `--seed`. The JSON report is
 //! an uploaded artifact, not a committed baseline — a rotating seed
-//! makes run-to-run numbers incomparable by design.
+//! makes run-to-run numbers incomparable by design (the *bundle* of a
+//! fixed-seed run is what `compare_bundles` diffs).
 
-use class_core::{ClassConfig, ClassSegmenter, WidthSelection};
+use class_core::{
+    ChannelGuardConfig, ClassConfig, ClassSegmenter, MultivariateClass, MultivariateConfig,
+    WidthSelection,
+};
 use datasets::{build_series, NoiseSpec, Regime};
+use eval::bundle::RunBundle;
 use stream_engine::{
-    drive, serve, silence_injected_panics, Backpressure, EngineConfig, FaultKind, FaultPlan,
-    FaultingOperator, GuardConfig, RetryPolicy, RingConfig, SegmenterOperator, StreamOptions,
+    drive, interleave_channels, serve, silence_injected_panics, vm_hwm_kb, Backpressure,
+    DriveOutcome, EngineConfig, FaultKind, FaultPlan, FaultingOperator, GuardConfig, MetricsServer,
+    MultivariateSegmenterOperator, RetryPolicy, RingConfig, SegmenterOperator, SnapshotWriter,
+    StreamOptions, StreamResult,
 };
 
 struct Preset {
@@ -58,10 +85,12 @@ const FULL: Preset = Preset {
     width: 40,
 };
 
-/// Guard installed on every stream: heal isolated NaNs, quarantine on 8
-/// consecutive NaNs or 16 identical values. The synthetic feeds are
-/// noisy sines — no clean stream can trip either detector, so any guard
-/// quarantine is attributable to the plan.
+/// Guard installed on every univariate stream: heal isolated NaNs,
+/// quarantine on 8 consecutive NaNs or 16 identical values. The
+/// synthetic feeds are noisy sines — no clean stream can trip either
+/// detector, so any guard quarantine is attributable to the plan.
+/// (Multivariate streams use per-channel guards instead: a data fault
+/// retires the hit channel, it does not take down the fused stream.)
 const GUARD: GuardConfig = GuardConfig {
     non_finite: stream_engine::GuardAction::Heal,
     nan_burst: 8,
@@ -73,39 +102,37 @@ const GUARD: GuardConfig = GuardConfig {
 /// way past this.
 const VM_HWM_CAP_KB: u64 = 1_536 * 1024;
 
-fn stream_values(preset: &Preset, k: usize, seed: u64) -> Vec<f64> {
+/// Timed-mode leak bound: after the first round has warmed allocator
+/// pools and per-stream state, dozens more identical rounds may not
+/// raise the peak RSS by more than this allowance.
+const SOAK_HWM_DELTA_KB: u64 = 128 * 1024;
+
+fn stream_values(preset: &Preset, k: usize, channel: usize, seed: u64) -> Vec<f64> {
     let half = preset.points / 2;
     build_series(
-        format!("soak/{k}"),
+        format!("soak/{k}.{channel}"),
         "soak",
         &[
             (
                 Regime::Sine {
-                    period: 25.0 + (k % 7) as f64,
+                    period: 25.0 + ((k + channel) % 7) as f64,
                     amp: 1.0,
-                    phase: 0.0,
+                    phase: 0.3 * channel as f64,
                 },
                 half,
             ),
             (
                 Regime::Sawtooth {
-                    period: 40.0 + (k % 5) as f64,
+                    period: 40.0 + ((k + channel) % 5) as f64,
                     amp: 1.2,
                 },
                 preset.points - half,
             ),
         ],
         NoiseSpec::benchmark(),
-        seed ^ k as u64,
+        seed ^ (k as u64).wrapping_mul(1 + channel as u64),
     )
     .values
-}
-
-/// Peak resident set size in kB from `/proc/self/status`, if available.
-fn vm_hwm_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn kind_name(kind: &FaultKind) -> &'static str {
@@ -119,114 +146,28 @@ fn kind_name(kind: &FaultKind) -> &'static str {
     }
 }
 
-fn main() {
-    let mut preset = &QUICK;
-    let mut seed: u64 = 0x50A6_C0DE;
-    let mut density = 0.25f64;
-    let mut shards = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let mut streams_override: Option<usize> = None;
-    let mut out_path = "BENCH_soak.json".to_string();
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut grab = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("{name} requires a value"))
-        };
-        match arg.as_str() {
-            "--preset" => {
-                preset = match grab("--preset").as_str() {
-                    "quick" => &QUICK,
-                    "full" => &FULL,
-                    other => panic!("unknown preset {other} (quick|full)"),
-                };
-            }
-            "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
-            "--density" => density = grab("--density").parse().expect("numeric --density"),
-            "--shards" => shards = grab("--shards").parse().expect("numeric --shards"),
-            "--streams" => {
-                streams_override = Some(grab("--streams").parse().expect("numeric --streams"))
-            }
-            "--out" => out_path = grab("--out"),
-            "--help" | "-h" => {
-                eprintln!(
-                    "options: --preset quick|full --seed N --density F --shards N \
-                     --streams N --out PATH"
-                );
-                return;
-            }
-            other => panic!("unknown argument: {other}"),
-        }
-    }
-    silence_injected_panics();
+/// One round's audited outcome.
+struct RoundOutcome {
+    records: u64,
+    quarantined: usize,
+    rejected: u64,
+    faults: usize,
+    faults_by_kind: Vec<(&'static str, usize)>,
+    quarantines: Vec<(usize, u64, String)>,
+}
 
-    let n_streams = streams_override.unwrap_or(preset.streams);
-    let points = preset.points;
-    let plan = FaultPlan::seeded(seed, n_streams, points, density);
-    eprintln!(
-        "serve_soak: preset={} streams={n_streams} points/stream={points} shards={shards} \
-         seed={seed} density={density} faults={}",
-        preset.name,
-        plan.faults.len()
-    );
-    for f in &plan.faults {
-        eprintln!("  fault: stream {} {:?}", f.stream, f.kind);
-    }
-
-    // Build the feeds, then let the plan corrupt the data-fault targets.
-    let mut data: Vec<Vec<f64>> = (0..n_streams)
-        .map(|k| stream_values(preset, k, seed))
-        .collect();
-    for (k, xs) in data.iter_mut().enumerate() {
-        plan.corrupt(k, xs);
-    }
-
-    let window = preset.window;
-    let width = preset.width;
-    let base_cfg = move || {
-        let mut cfg = ClassConfig::with_window_size(window);
-        cfg.width = WidthSelection::Fixed(width);
-        cfg.warmup = Some(window);
-        cfg.log10_alpha = -15.0;
-        cfg
-    };
-
-    let started = std::time::Instant::now();
-    let (results, outcome) = serve(EngineConfig::new(shards), |engine| {
-        let handles: Vec<_> = (0..n_streams)
-            .map(|k| {
-                let kind = plan.fault_for(k);
-                // Overflow storms only reject under the `error` policy;
-                // everything else rides the lossless default.
-                let ring = if matches!(kind, Some(FaultKind::OverflowStorm { .. })) {
-                    RingConfig::new(256, Backpressure::Error)
-                } else {
-                    RingConfig::new(256, Backpressure::Block)
-                };
-                engine.register_with(
-                    StreamOptions {
-                        ring,
-                        guard: Some(GUARD),
-                        ..StreamOptions::default()
-                    },
-                    move || {
-                        FaultingOperator::new(
-                            SegmenterOperator::new(ClassSegmenter::new(base_cfg())),
-                            kind,
-                        )
-                    },
-                )
-            })
-            .collect();
-        drive(handles, &data, &plan, &RetryPolicy::default())
-    });
-    let elapsed = started.elapsed().as_secs_f64();
-    let outcome = outcome.expect("no deadlock: the feeder must complete under faults");
-
-    // Exact accounting, stream by stream.
+/// Checks the fault-tolerance contract over one finished round: exact
+/// per-stream ledgers, feeder-side accounting, and the survivability
+/// floor (clean streams complete their full feed of `expected` records).
+fn audit<Out>(
+    results: &[StreamResult<Out>],
+    outcome: &DriveOutcome,
+    plan: &FaultPlan,
+    expected: u64,
+) -> RoundOutcome {
     let mut quarantined = 0usize;
     let mut records: u64 = 0;
+    let mut quarantines = Vec::new();
     for (k, r) in results.iter().enumerate() {
         records += r.records_in;
         assert_eq!(
@@ -249,6 +190,8 @@ fn main() {
         );
         if r.is_quarantined() {
             quarantined += 1;
+            let (cause, at_record) = r.quarantine().expect("checked is_quarantined");
+            quarantines.push((r.stream, at_record, cause.to_string()));
             assert!(
                 plan.fault_for(k).is_some(),
                 "stream {k} quarantined but the plan never targeted it: {:?}",
@@ -256,19 +199,10 @@ fn main() {
             );
         } else if plan.is_clean(k) {
             // Survivability floor: untargeted streams complete in full.
-            assert_eq!(r.records_in, points as u64, "clean stream {k} lost records");
+            assert_eq!(r.records_in, expected, "clean stream {k} lost records");
             assert_eq!(r.drops, 0, "clean stream {k} dropped records");
         }
     }
-    let rejected: u64 = outcome.rejected.iter().sum();
-    let hwm = vm_hwm_kb();
-    if let Some(kb) = hwm {
-        assert!(
-            kb < VM_HWM_CAP_KB,
-            "peak RSS {kb} kB exceeds the {VM_HWM_CAP_KB} kB soak cap"
-        );
-    }
-
     let mut by_kind: Vec<(&'static str, usize)> = Vec::new();
     for f in &plan.faults {
         let name = kind_name(&f.kind);
@@ -277,7 +211,318 @@ fn main() {
             None => by_kind.push((name, 1)),
         }
     }
+    RoundOutcome {
+        records,
+        quarantined,
+        rejected: outcome.rejected.iter().sum(),
+        faults: plan.faults.len(),
+        faults_by_kind: by_kind,
+        quarantines,
+    }
+}
 
+/// The ring for stream `k`: overflow storms only reject under the
+/// `error` policy; everything else rides the lossless default.
+fn ring_for(plan: &FaultPlan, k: usize) -> RingConfig {
+    if matches!(plan.fault_for(k), Some(FaultKind::OverflowStorm { .. })) {
+        RingConfig::new(256, Backpressure::Error)
+    } else {
+        RingConfig::new(256, Backpressure::Block)
+    }
+}
+
+struct RoundSpec<'a> {
+    preset: &'a Preset,
+    n_streams: usize,
+    shards: usize,
+    mv_channels: usize,
+    seed: u64,
+    density: f64,
+}
+
+/// Serves one seeded fleet to completion and audits it. Univariate
+/// streams run `FaultingOperator<SegmenterOperator>` with the stream
+/// guard; `mv_channels > 1` fuses that many channels per stream through
+/// one ring with per-channel guards. If `stats_json` is set, a
+/// [`SnapshotWriter`] follows this round's engine; its final write on
+/// drop leaves the terminal snapshot for
+/// `class-cli serve-status --snapshot`.
+fn run_round(
+    spec: &RoundSpec<'_>,
+    metrics: Option<&MetricsServer>,
+    stats_json: Option<&str>,
+) -> RoundOutcome {
+    let points = spec.preset.points;
+    let records_per_stream = points * spec.mv_channels;
+    let plan = FaultPlan::seeded(spec.seed, spec.n_streams, records_per_stream, spec.density);
+    let mut data: Vec<Vec<f64>> = (0..spec.n_streams)
+        .map(|k| {
+            if spec.mv_channels > 1 {
+                let channels: Vec<Vec<f64>> = (0..spec.mv_channels)
+                    .map(|c| stream_values(spec.preset, k, c, spec.seed))
+                    .collect();
+                interleave_channels(&channels)
+            } else {
+                stream_values(spec.preset, k, 0, spec.seed)
+            }
+        })
+        .collect();
+    for (k, xs) in data.iter_mut().enumerate() {
+        plan.corrupt(k, xs);
+    }
+
+    let window = spec.preset.window;
+    let width = spec.preset.width;
+    let base_cfg = move || {
+        let mut cfg = ClassConfig::with_window_size(window);
+        cfg.width = WidthSelection::Fixed(width);
+        cfg.warmup = Some(window);
+        cfg.log10_alpha = -15.0;
+        cfg
+    };
+
+    let engine_cfg = EngineConfig::new(spec.shards);
+    let retry = RetryPolicy::default();
+    if spec.mv_channels > 1 {
+        let channels = spec.mv_channels;
+        let (results, outcome) = serve(engine_cfg, |engine| {
+            if let Some(m) = metrics {
+                m.attach(engine.stats_handle());
+            }
+            let _writer = stats_json.map(|path| {
+                SnapshotWriter::start(
+                    engine.stats_handle(),
+                    path,
+                    std::time::Duration::from_millis(500),
+                )
+            });
+            let handles: Vec<_> = (0..spec.n_streams)
+                .map(|k| {
+                    let kind = plan.fault_for(k);
+                    engine.register_with(
+                        StreamOptions {
+                            ring: ring_for(&plan, k),
+                            name: Some(format!("soak-mv/{k}")),
+                            ..StreamOptions::default()
+                        },
+                        move || {
+                            let mut mcfg = MultivariateConfig::new(base_cfg(), channels);
+                            mcfg.channel_guard = Some(ChannelGuardConfig::new(4, 16));
+                            FaultingOperator::new(
+                                MultivariateSegmenterOperator::new(MultivariateClass::new(
+                                    mcfg, channels,
+                                )),
+                                kind,
+                            )
+                        },
+                    )
+                })
+                .collect();
+            drive(handles, &data, &plan, &retry)
+        });
+        let outcome = outcome.expect("no deadlock: the feeder must complete under faults");
+        audit(&results, &outcome, &plan, records_per_stream as u64)
+    } else {
+        let (results, outcome) = serve(engine_cfg, |engine| {
+            if let Some(m) = metrics {
+                m.attach(engine.stats_handle());
+            }
+            let _writer = stats_json.map(|path| {
+                SnapshotWriter::start(
+                    engine.stats_handle(),
+                    path,
+                    std::time::Duration::from_millis(500),
+                )
+            });
+            let handles: Vec<_> = (0..spec.n_streams)
+                .map(|k| {
+                    let kind = plan.fault_for(k);
+                    engine.register_with(
+                        StreamOptions {
+                            ring: ring_for(&plan, k),
+                            guard: Some(GUARD),
+                            name: Some(format!("soak/{k}")),
+                            ..StreamOptions::default()
+                        },
+                        move || {
+                            FaultingOperator::new(
+                                SegmenterOperator::new(ClassSegmenter::new(base_cfg())),
+                                kind,
+                            )
+                        },
+                    )
+                })
+                .collect();
+            drive(handles, &data, &plan, &retry)
+        });
+        let outcome = outcome.expect("no deadlock: the feeder must complete under faults");
+        audit(&results, &outcome, &plan, records_per_stream as u64)
+    }
+}
+
+/// Mixes a round index into the base seed (SplitMix64 finalizer), so
+/// every timed-mode round runs a distinct but replayable fault plan.
+fn round_seed(seed: u64, round: u64) -> u64 {
+    let mut x = seed.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn main() {
+    let mut preset = &QUICK;
+    let mut seed: u64 = 0x50A6_C0DE;
+    let mut density = 0.25f64;
+    let mut shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut streams_override: Option<usize> = None;
+    let mut out_path = "BENCH_soak.json".to_string();
+    let mut minutes: Option<f64> = None;
+    let mut mv_channels: usize = 1;
+    let mut metrics_addr: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut bundle_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--preset" => {
+                preset = match grab("--preset").as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => panic!("unknown preset {other} (quick|full)"),
+                };
+            }
+            "--seed" => seed = grab("--seed").parse().expect("numeric --seed"),
+            "--density" => density = grab("--density").parse().expect("numeric --density"),
+            "--shards" => shards = grab("--shards").parse().expect("numeric --shards"),
+            "--streams" => {
+                streams_override = Some(grab("--streams").parse().expect("numeric --streams"))
+            }
+            "--minutes" => minutes = Some(grab("--minutes").parse().expect("numeric --minutes")),
+            "--mv-channels" => {
+                mv_channels = grab("--mv-channels")
+                    .parse()
+                    .expect("numeric --mv-channels");
+                assert!(mv_channels >= 1, "--mv-channels must be >= 1");
+            }
+            "--metrics-addr" => metrics_addr = Some(grab("--metrics-addr")),
+            "--stats-json" => stats_json = Some(grab("--stats-json")),
+            "--bundle-out" => bundle_out = Some(grab("--bundle-out")),
+            "--out" => out_path = grab("--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --preset quick|full --seed N --density F --shards N \
+                     --streams N --minutes F --mv-channels C --metrics-addr HOST:PORT \
+                     --stats-json PATH --bundle-out PATH --out PATH"
+                );
+                return;
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    silence_injected_panics();
+
+    let n_streams = streams_override.unwrap_or(preset.streams);
+    let points = preset.points;
+    let metrics = metrics_addr.map(|addr| {
+        let server = MetricsServer::bind(&addr)
+            .unwrap_or_else(|e| panic!("binding metrics endpoint {addr}: {e}"));
+        eprintln!("serve_soak: metrics at http://{}/metrics", server.addr());
+        server
+    });
+    eprintln!(
+        "serve_soak: preset={} streams={n_streams} points/stream={points} mv_channels={mv_channels} \
+         shards={shards} seed={seed} density={density} mode={}",
+        preset.name,
+        match minutes {
+            Some(m) => format!("timed({m} min)"),
+            None => "single-shot".to_string(),
+        }
+    );
+
+    let started = std::time::Instant::now();
+    let mut rounds = 0u64;
+    let mut total = RoundOutcome {
+        records: 0,
+        quarantined: 0,
+        rejected: 0,
+        faults: 0,
+        faults_by_kind: Vec::new(),
+        quarantines: Vec::new(),
+    };
+    let mut hwm_after_first: Option<u64> = None;
+    let deadline =
+        minutes.map(|m| started + std::time::Duration::from_secs_f64((m * 60.0).max(1.0)));
+    loop {
+        let spec = RoundSpec {
+            preset,
+            n_streams,
+            shards,
+            mv_channels,
+            seed: if minutes.is_some() {
+                round_seed(seed, rounds)
+            } else {
+                seed
+            },
+            density,
+        };
+        let o = run_round(&spec, metrics.as_ref(), stats_json.as_deref());
+        rounds += 1;
+        total.records += o.records;
+        total.quarantined += o.quarantined;
+        total.rejected += o.rejected;
+        total.faults += o.faults;
+        for (name, count) in o.faults_by_kind {
+            match total.faults_by_kind.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += count,
+                None => total.faults_by_kind.push((name, count)),
+            }
+        }
+        total.quarantines = o.quarantines; // keep the latest round's detail
+        if hwm_after_first.is_none() {
+            hwm_after_first = vm_hwm_kb();
+        }
+        match deadline {
+            Some(d) if std::time::Instant::now() < d => {
+                eprintln!(
+                    "serve_soak: round {rounds} done — {} records, {} quarantined, \
+                     {:.0}s to deadline",
+                    o.records,
+                    o.quarantined,
+                    (d - std::time::Instant::now()).as_secs_f64()
+                );
+            }
+            _ => break,
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let hwm = vm_hwm_kb();
+    if let Some(kb) = hwm {
+        assert!(
+            kb < VM_HWM_CAP_KB,
+            "peak RSS {kb} kB exceeds the {VM_HWM_CAP_KB} kB soak cap"
+        );
+    }
+    let hwm_delta = match (hwm_after_first, hwm) {
+        (Some(first), Some(last)) if rounds > 1 => {
+            let delta = last.saturating_sub(first);
+            assert!(
+                delta <= SOAK_HWM_DELTA_KB,
+                "peak RSS grew {delta} kB over {rounds} rounds \
+                 (> {SOAK_HWM_DELTA_KB} kB leak bound)"
+            );
+            Some(delta)
+        }
+        _ => None,
+    };
+
+    let records_per_sec = total.records as f64 / elapsed.max(1e-9);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"class-serve-soak/v1\",\n");
@@ -287,36 +532,40 @@ fn main() {
     json.push_str(&format!("  \"shards\": {shards},\n"));
     json.push_str(&format!("  \"streams\": {n_streams},\n"));
     json.push_str(&format!("  \"points_per_stream\": {points},\n"));
-    json.push_str(&format!("  \"faults\": {},\n", plan.faults.len()));
+    json.push_str(&format!("  \"mv_channels\": {mv_channels},\n"));
+    json.push_str(&format!("  \"rounds\": {rounds},\n"));
+    json.push_str(&format!("  \"faults\": {},\n", total.faults));
     json.push_str("  \"faults_by_kind\": {");
-    for (i, (name, count)) in by_kind.iter().enumerate() {
+    for (i, (name, count)) in total.faults_by_kind.iter().enumerate() {
         json.push_str(&format!(
             "\"{name}\": {count}{}",
-            if i + 1 < by_kind.len() { ", " } else { "" }
+            if i + 1 < total.faults_by_kind.len() {
+                ", "
+            } else {
+                ""
+            }
         ));
     }
     json.push_str("},\n");
-    json.push_str(&format!("  \"quarantined\": {quarantined},\n"));
-    json.push_str(&format!("  \"survived\": {},\n", n_streams - quarantined));
-    json.push_str(&format!("  \"records\": {records},\n"));
-    json.push_str(&format!("  \"rejected_at_edge\": {rejected},\n"));
+    json.push_str(&format!("  \"quarantined\": {},\n", total.quarantined));
+    json.push_str(&format!("  \"records\": {},\n", total.records));
+    json.push_str(&format!("  \"rejected_at_edge\": {},\n", total.rejected));
     json.push_str(&format!("  \"elapsed_s\": {elapsed:.3},\n"));
-    json.push_str(&format!(
-        "  \"records_per_sec\": {:.1},\n",
-        records as f64 / elapsed.max(1e-9)
-    ));
+    json.push_str(&format!("  \"records_per_sec\": {records_per_sec:.1},\n"));
     match hwm {
         Some(kb) => json.push_str(&format!("  \"vm_hwm_kb\": {kb},\n")),
         None => json.push_str("  \"vm_hwm_kb\": null,\n"),
     }
-    json.push_str("  \"quarantines\": [\n");
-    let quarantined_results: Vec<_> = results.iter().filter(|r| r.is_quarantined()).collect();
-    for (i, r) in quarantined_results.iter().enumerate() {
-        let (cause, at_record) = r.quarantine().expect("filtered on is_quarantined");
+    match hwm_delta {
+        Some(kb) => json.push_str(&format!("  \"vm_hwm_delta_kb\": {kb},\n")),
+        None => json.push_str("  \"vm_hwm_delta_kb\": null,\n"),
+    }
+    json.push_str("  \"last_round_quarantines\": [\n");
+    for (i, (stream, at_record, cause)) in total.quarantines.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"stream\": {}, \"at_record\": {at_record}, \"cause\": \"{cause}\"}}{}\n",
-            r.stream,
-            if i + 1 < quarantined_results.len() {
+            "    {{\"stream\": {stream}, \"at_record\": {at_record}, \"cause\": \"{}\"}}{}\n",
+            cause.replace('\\', "\\\\").replace('"', "\\\""),
+            if i + 1 < total.quarantines.len() {
                 ","
             } else {
                 ""
@@ -324,11 +573,57 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    if let Some(path) = bundle_out {
+        let mut bundle = RunBundle::new("serve-soak").with_seed(seed);
+        bundle.config("preset", preset.name);
+        bundle.config("density", density);
+        bundle.config("shards", shards);
+        bundle.config("streams", n_streams);
+        bundle.config("points_per_stream", points);
+        bundle.config("mv_channels", mv_channels);
+        bundle.config(
+            "mode",
+            match minutes {
+                Some(m) => format!("timed:{m}"),
+                None => "single-shot".to_string(),
+            },
+        );
+        bundle.metric("rounds", rounds as f64);
+        bundle.metric("records", total.records as f64);
+        bundle.metric("quarantined", total.quarantined as f64);
+        bundle.metric(
+            "survived_last_round",
+            (n_streams - total.quarantines.len()) as f64,
+        );
+        bundle.metric("faults", total.faults as f64);
+        bundle.metric("elapsed_s", elapsed);
+        bundle.metric("records_per_sec", records_per_sec);
+        if let Some(kb) = hwm {
+            bundle.metric("vm_hwm_kb", kb as f64);
+        }
+        bundle
+            .write(&path)
+            .unwrap_or_else(|e| panic!("writing bundle {path}: {e}"));
+        eprintln!("serve_soak: bundle at {path}");
+    }
+
+    if let Some(m) = &metrics {
+        eprintln!(
+            "serve_soak: metrics endpoint answered {} scrapes",
+            m.scrapes()
+        );
+    }
     eprintln!(
-        "serve_soak: OK — {quarantined}/{n_streams} quarantined (all plan targets), \
-         {records} records in {elapsed:.2}s, {rejected} rejected at the edge, report at {out_path}"
+        "serve_soak: OK — {} rounds, {}/{} streams quarantined in the last round \
+         (all plan targets), {} records in {elapsed:.2}s, {} rejected at the edge, \
+         report at {out_path}",
+        rounds,
+        total.quarantines.len(),
+        n_streams,
+        total.records,
+        total.rejected
     );
     println!("{json}");
 }

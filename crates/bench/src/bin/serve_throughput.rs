@@ -33,12 +33,17 @@
 //! `MultivariateClass` per frame. The mode is recorded in the JSON and
 //! never gated against a univariate baseline — records/sec measures a
 //! different operator.
+//!
+//! `--bundle-out PATH` additionally emits a provenance-stamped
+//! `class-run-bundle/v1` (seed, SIMD backend, git describe, config,
+//! headline metrics) for cross-run diffing with `compare_bundles`.
 
 use bench::perf::{json_number, json_string, regressions};
 use class_core::{
     ClassConfig, ClassSegmenter, MultivariateClass, MultivariateConfig, WidthSelection,
 };
 use datasets::{build_series, NoiseSpec, Regime};
+use eval::bundle::RunBundle;
 use stream_engine::{
     feed_all, serve, Backpressure, EngineConfig, LatencyHistogram, MultiChannelReplaySource,
     MultivariateSegmenterOperator, RingConfig, SegmenterOperator, StreamResult,
@@ -176,6 +181,7 @@ fn main() {
     let mut seed = 0xC1A55u64;
     let mut mv_channels = 0usize;
     let mut jump: Option<usize> = None;
+    let mut bundle_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut grab = |name: &str| {
@@ -210,13 +216,14 @@ fn main() {
                     .expect("numeric --mv-channels")
             }
             "--out" => out_path = grab("--out"),
+            "--bundle-out" => bundle_out = Some(grab("--bundle-out")),
             "--check" => check_path = Some(grab("--check")),
             "--tolerance" => tolerance = grab("--tolerance").parse().expect("numeric --tolerance"),
             "--help" | "-h" => {
                 eprintln!(
                     "options: --preset quick|full --shards N --streams N --ring N \
                      --policy block|drop-oldest --mv-channels C --jump N --seed N \
-                     --out PATH --check BASELINE.json --tolerance F"
+                     --out PATH --bundle-out PATH --check BASELINE.json --tolerance F"
                 );
                 return;
             }
@@ -343,6 +350,29 @@ fn main() {
         &latency,
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+
+    if let Some(path) = &bundle_out {
+        let mut bundle = RunBundle::new("serve-throughput").with_seed(seed);
+        bundle.config("preset", preset.name);
+        bundle.config("shards", shards);
+        bundle.config("streams", n_streams);
+        bundle.config("points_per_stream", preset.points);
+        bundle.config("ring", ring);
+        bundle.config("policy", policy_name);
+        bundle.config("mv_channels", mv_channels);
+        bundle.config("jump", jump_eff);
+        bundle.metric("records", records as f64);
+        bundle.metric("drops", drops as f64);
+        bundle.metric("change_points", cps as f64);
+        bundle.metric("elapsed_s", elapsed);
+        bundle.metric("records_per_sec", rps);
+        bundle.metric("latency_p50_ns", latency.quantile(0.5).as_nanos() as f64);
+        bundle.metric("latency_p99_ns", latency.quantile(0.99).as_nanos() as f64);
+        bundle
+            .write(path)
+            .unwrap_or_else(|e| panic!("writing bundle {path}: {e}"));
+        eprintln!("serve_throughput: bundle at {path}");
+    }
 
     println!("# serving engine throughput ({} preset)", preset.name);
     println!("concurrent streams:  {live} (on {shards} shard workers)");

@@ -1,0 +1,128 @@
+//! Differential tests for the `compare_bundles` binary: identical
+//! bundles compare clean (exit 0), a perturbed metric beyond tolerance
+//! exits 1 naming the metric, and schema-version mismatches error
+//! loudly (exit 2) instead of comparing garbage.
+
+use eval::bundle::RunBundle;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sample_bundle() -> RunBundle {
+    let mut b = RunBundle::new("serve-soak").with_seed(20260809);
+    b.config("preset", "quick");
+    b.config("shards", 4);
+    b.metric("records", 144_000.0);
+    b.metric("quarantined", 7.0);
+    b.metric("records_per_sec", 250_000.0);
+    b
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("compare_bundles_{}_{name}", std::process::id()))
+}
+
+fn run(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_compare_bundles"))
+        .args(args)
+        .output()
+        .expect("spawning compare_bundles");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn identical_bundles_compare_clean() {
+    let a = temp_file("clean_a.json");
+    let b = temp_file("clean_b.json");
+    sample_bundle().write(&a).unwrap();
+    sample_bundle().write(&b).unwrap();
+    let (stdout, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("OK"), "{stdout}");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn perturbed_metric_beyond_tolerance_exits_one_naming_it() {
+    let a = temp_file("perturb_a.json");
+    let b = temp_file("perturb_b.json");
+    sample_bundle().write(&a).unwrap();
+    let mut perturbed = sample_bundle();
+    perturbed.metrics[0].1 *= 1.10; // records +10% > 5% default tolerance
+    perturbed.write(&b).unwrap();
+    let (stdout, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(
+        stderr.contains("records"),
+        "violation names the metric: {stderr}"
+    );
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+
+    // The same pair passes once the tolerance is widened for that metric.
+    let (_, _, code) = run(&[
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--tolerance",
+        "records=0.2",
+    ]);
+    assert_eq!(code, 0);
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn within_tolerance_perturbation_is_clean() {
+    let a = temp_file("small_a.json");
+    let b = temp_file("small_b.json");
+    sample_bundle().write(&a).unwrap();
+    let mut nudged = sample_bundle();
+    nudged.metrics[0].1 *= 1.01; // +1% < 5%
+    nudged.metrics[2].1 *= 1.40; // rate metric, loose 75% tolerance
+    nudged.write(&b).unwrap();
+    let (stdout, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn schema_version_mismatch_errors_loudly() {
+    let a = temp_file("schema_a.json");
+    let b = temp_file("schema_b.json");
+    sample_bundle().write(&a).unwrap();
+    let doc = sample_bundle()
+        .render_json()
+        .replace("class-run-bundle/v1", "class-run-bundle/v2");
+    std::fs::write(&b, doc).unwrap();
+    let (stdout, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 2, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("schema"), "{stderr}");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn non_bundle_document_errors_loudly() {
+    let a = temp_file("garbage_a.json");
+    std::fs::write(&a, "{\"schema\": \"class-serve-soak/v1\", \"records\": 1}").unwrap();
+    let b = temp_file("garbage_b.json");
+    sample_bundle().write(&b).unwrap();
+    let (_, stderr, code) = run(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("not a run bundle"), "{stderr}");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn usage_and_missing_file_exit_two() {
+    let (_, _, code) = run(&["only-one.json"]);
+    assert_eq!(code, 2);
+    let (_, stderr, code) = run(&["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("a.json"), "{stderr}");
+}

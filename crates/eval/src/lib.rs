@@ -7,12 +7,17 @@
 
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod covering;
 pub mod delay;
 pub mod ranks;
 pub mod report;
 pub mod runner;
 
+pub use bundle::{
+    compare, default_tolerance, git_describe, parse_json, CompareReport, Json, MetricDiff,
+    RunBundle, BUNDLE_SCHEMA,
+};
 pub use covering::{covering, segments_from_cps, Segment};
 pub use delay::{delay_stats, run_timed, DelayStats, TimedReport};
 pub use ranks::{

@@ -20,7 +20,12 @@
 //!   (block / drop-oldest / error).
 //! * [`ServingEngine::stats`] takes a live [`ServingStats`] snapshot —
 //!   per-stream and per-shard p50/p99 latency, queue depth, and drop
-//!   counts — while the engine runs.
+//!   counts — while the engine runs. [`ServingEngine::stats_handle`]
+//!   hands out a cloneable, `'static` [`StatsHandle`] to the same
+//!   snapshots, so an exporter thread (see [`crate::metrics`]) can keep
+//!   observing the engine from outside the serving scope, and
+//!   [`ServingEngine::serve_metrics`] binds a Prometheus/JSON HTTP
+//!   endpoint over it in one call.
 //!
 //! ## Fault tolerance
 //!
@@ -137,7 +142,7 @@ pub enum Timing {
 }
 
 /// Per-stream registration options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StreamOptions {
     /// Ring capacity and backpressure policy.
     pub ring: RingConfig,
@@ -150,6 +155,10 @@ pub struct StreamOptions {
     /// Degraded-input policy, consulted per record before the operator.
     /// `None` (the default) delivers values verbatim with zero overhead.
     pub guard: Option<GuardConfig>,
+    /// Human-readable stream name, carried into [`StreamStats`] and the
+    /// metrics exposition's `name` label (e.g. an archive file name).
+    /// Defaults to `stream-<id>` so label sets stay stable without it.
+    pub name: Option<String>,
 }
 
 /// Why a stream was taken out of service.
@@ -325,9 +334,19 @@ impl std::error::Error for IngestError {}
 
 /// Shared live-accounting cell, written by the shard and read by
 /// [`ServingEngine::stats`].
+///
+/// Ledger counters cross threads with release/acquire ordering: the
+/// shard publishes `records_in` / `quarantined_after` (and the ring its
+/// `drops`) with `Release` stores, and [`StatsRegistry::snapshot`] reads
+/// them with `Acquire` loads *before* reading `pushed` — so a live
+/// snapshot always satisfies
+/// `records_in + drops + quarantined_after <= pushed` even mid-batch
+/// (every consumed or evicted record's push happens-before the counter
+/// value the snapshot observed).
 #[derive(Debug)]
 struct StreamMonitor {
     shard: usize,
+    name: String,
     records_in: AtomicU64,
     quarantined_after: AtomicU64,
     healed: AtomicU64,
@@ -348,6 +367,117 @@ impl StreamMonitor {
         } else {
             StreamState::Active
         }
+    }
+}
+
+/// The engine's shared monitor table plus serving clock. Lives behind an
+/// `Arc` with no borrowed data, so [`StatsHandle`]s cloned from it are
+/// `'static`: a metrics exporter keeps snapshotting (final, frozen
+/// stats) even after [`serve`] has returned and the workers are gone.
+#[derive(Debug)]
+struct StatsRegistry {
+    shards: usize,
+    started: Instant,
+    monitors: Mutex<Vec<Arc<StreamMonitor>>>,
+}
+
+impl StatsRegistry {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            started: Instant::now(),
+            monitors: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a consistent-enough live snapshot (see [`StreamMonitor`]
+    /// for the ordering contract that keeps the ledger inequality true).
+    fn snapshot(&self) -> ServingStats {
+        let shards = self.shards;
+        let monitors: Vec<Arc<StreamMonitor>> = lock_recover(&self.monitors).clone();
+        let uptime = self.started.elapsed();
+        let mut streams = Vec::with_capacity(monitors.len());
+        let mut shard_hists = vec![LatencyHistogram::new(); shards];
+        let mut shard_stats: Vec<ShardStats> = (0..shards)
+            .map(|shard| ShardStats {
+                shard,
+                streams: 0,
+                active: 0,
+                quarantined: 0,
+                records_in: 0,
+                drops: 0,
+                queue_depth: 0,
+                p50: Duration::ZERO,
+                p99: Duration::ZERO,
+            })
+            .collect();
+        for (id, m) in monitors.iter().enumerate() {
+            let hist = lock_recover(&m.latency).clone();
+            // Ledger left-hand side first (Acquire), `pushed` last: any
+            // record counted below was pushed before these loads, so the
+            // later `pushed` read can only be >= the sum.
+            let records_in = m.records_in.load(Ordering::Acquire);
+            let drops = m.counters.drops.load(Ordering::Acquire);
+            let quarantined_after = m.quarantined_after.load(Ordering::Acquire);
+            let pushed = m.counters.pushed.load(Ordering::Acquire);
+            let queue_depth = m.counters.depth.load(Ordering::Relaxed);
+            let done = m.done.load(Ordering::Relaxed);
+            let state = m.state();
+            let agg = &mut shard_stats[m.shard];
+            agg.streams += 1;
+            agg.active += usize::from(!done);
+            agg.quarantined += usize::from(state.is_quarantined());
+            agg.records_in += records_in;
+            agg.drops += drops;
+            agg.queue_depth += queue_depth;
+            shard_hists[m.shard].merge(&hist);
+            streams.push(StreamStats {
+                stream: id,
+                name: m.name.clone(),
+                shard: m.shard,
+                records_in,
+                drops,
+                quarantined_after,
+                pushed,
+                healed: m.healed.load(Ordering::Relaxed),
+                skipped: m.skipped.load(Ordering::Relaxed),
+                retries: m.counters.retries.load(Ordering::Relaxed),
+                queue_depth,
+                done,
+                state,
+                p50: hist.quantile(0.5),
+                p99: hist.quantile(0.99),
+                mean: hist.mean(),
+            });
+        }
+        for (agg, hist) in shard_stats.iter_mut().zip(&shard_hists) {
+            agg.p50 = hist.quantile(0.5);
+            agg.p99 = hist.quantile(0.99);
+        }
+        ServingStats {
+            streams,
+            shards: shard_stats,
+            uptime,
+        }
+    }
+}
+
+/// A cloneable, `'static` window onto a serving engine's live stats.
+///
+/// Obtained from [`ServingEngine::stats_handle`]; every call to
+/// [`StatsHandle::stats`] takes a fresh [`ServingStats`] snapshot. The
+/// handle stays valid after [`serve`] returns — it then reports the
+/// final, frozen accounting — which is what lets a metrics endpoint or
+/// snapshot writer run on a plain `std::thread::spawn` thread.
+#[derive(Debug, Clone)]
+pub struct StatsHandle {
+    registry: Arc<StatsRegistry>,
+}
+
+impl StatsHandle {
+    /// Takes a live snapshot (identical to [`ServingEngine::stats`]).
+    pub fn stats(&self) -> ServingStats {
+        self.registry.snapshot()
     }
 }
 
@@ -544,7 +674,8 @@ where
     config: EngineConfig,
     inboxes: Vec<mpsc::Sender<NewStream<'env, Op>>>,
     workers: Vec<std::thread::ScopedJoinHandle<'scope, Vec<StreamResult<Op::Out>>>>,
-    monitors: Vec<Arc<StreamMonitor>>,
+    registry: Arc<StatsRegistry>,
+    registered: usize,
 }
 
 impl<'scope, 'env, Op> ServingEngine<'scope, 'env, Op>
@@ -568,7 +699,8 @@ where
             config: EngineConfig { shards, ..config },
             inboxes,
             workers,
-            monitors: Vec::new(),
+            registry: Arc::new(StatsRegistry::new(shards)),
+            registered: 0,
         }
     }
 
@@ -600,7 +732,8 @@ where
         opts: StreamOptions,
         factory: impl FnOnce() -> Op + Send + 'env,
     ) -> StreamHandle {
-        let id = self.monitors.len();
+        let id = self.registered;
+        self.registered += 1;
         let shards = self.workers.len();
         let shard = match opts.shard {
             Some(s) => s % shards,
@@ -609,6 +742,7 @@ where
         let (producer, consumer) = ring::ring(opts.ring);
         let monitor = Arc::new(StreamMonitor {
             shard,
+            name: opts.name.unwrap_or_else(|| format!("stream-{id}")),
             records_in: AtomicU64::new(0),
             quarantined_after: AtomicU64::new(0),
             healed: AtomicU64::new(0),
@@ -618,7 +752,7 @@ where
             latency: Mutex::new(LatencyHistogram::new()),
             counters: producer.counters(),
         });
-        self.monitors.push(Arc::clone(&monitor));
+        lock_recover(&self.registry.monitors).push(Arc::clone(&monitor));
         self.inboxes[shard]
             .send(NewStream {
                 id,
@@ -639,70 +773,34 @@ where
 
     /// Takes a live snapshot of per-stream and per-shard accounting.
     pub fn stats(&self) -> ServingStats {
-        let shards = self.workers.len();
-        let mut streams = Vec::with_capacity(self.monitors.len());
-        let mut shard_hists = vec![LatencyHistogram::new(); shards];
-        let mut shard_stats: Vec<ShardStats> = (0..shards)
-            .map(|shard| ShardStats {
-                shard,
-                streams: 0,
-                active: 0,
-                quarantined: 0,
-                records_in: 0,
-                drops: 0,
-                queue_depth: 0,
-                p50: Duration::ZERO,
-                p99: Duration::ZERO,
-            })
-            .collect();
-        for (id, m) in self.monitors.iter().enumerate() {
-            let hist = lock_recover(&m.latency).clone();
-            let records_in = m.records_in.load(Ordering::Relaxed);
-            let drops = m.counters.drops.load(Ordering::Relaxed);
-            let queue_depth = m.counters.depth.load(Ordering::Relaxed);
-            let done = m.done.load(Ordering::Relaxed);
-            let state = m.state();
-            let agg = &mut shard_stats[m.shard];
-            agg.streams += 1;
-            agg.active += usize::from(!done);
-            agg.quarantined += usize::from(state.is_quarantined());
-            agg.records_in += records_in;
-            agg.drops += drops;
-            agg.queue_depth += queue_depth;
-            shard_hists[m.shard].merge(&hist);
-            streams.push(StreamStats {
-                stream: id,
-                shard: m.shard,
-                records_in,
-                drops,
-                quarantined_after: m.quarantined_after.load(Ordering::Relaxed),
-                pushed: m.counters.pushed.load(Ordering::Relaxed),
-                healed: m.healed.load(Ordering::Relaxed),
-                skipped: m.skipped.load(Ordering::Relaxed),
-                retries: m.counters.retries.load(Ordering::Relaxed),
-                queue_depth,
-                done,
-                state,
-                p50: hist.quantile(0.5),
-                p99: hist.quantile(0.99),
-                mean: hist.mean(),
-            });
+        self.registry.snapshot()
+    }
+
+    /// A cloneable, `'static` [`StatsHandle`] over the same snapshots as
+    /// [`ServingEngine::stats`] — hand it to exporter threads (it stays
+    /// valid, frozen, after [`serve`] returns).
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            registry: Arc::clone(&self.registry),
         }
-        for (agg, hist) in shard_stats.iter_mut().zip(&shard_hists) {
-            agg.p50 = hist.quantile(0.5);
-            agg.p99 = hist.quantile(0.99);
-        }
-        ServingStats {
-            streams,
-            shards: shard_stats,
-        }
+    }
+
+    /// Binds a [`crate::metrics::MetricsServer`] on `addr` (e.g.
+    /// `"127.0.0.1:9599"`, port `0` for ephemeral) and attaches this
+    /// engine's stats to it: `GET /metrics` serves Prometheus text
+    /// exposition, `GET /stats.json` the JSON snapshot. The returned
+    /// server keeps serving (final stats) until dropped.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<crate::metrics::MetricsServer> {
+        let server = crate::metrics::MetricsServer::bind(addr)?;
+        server.attach(self.stats_handle());
+        Ok(server)
     }
 
     fn join(self) -> Vec<StreamResult<Op::Out>> {
         // Closing the inboxes tells workers no more registrations come;
         // they exit once every assigned stream is closed and drained.
         drop(self.inboxes);
-        let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(self.monitors.len());
+        let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(self.registered);
         for w in self.workers {
             results.extend(
                 w.join().expect(
@@ -938,9 +1036,12 @@ where
     }
     st.busy += busy;
     st.records_in += done.get();
+    // Release pairs with the Acquire loads in `StatsRegistry::snapshot`:
+    // the consumed records' pushes happen-before this store, so any
+    // snapshot that sees it also sees at least that many pushes.
     st.monitor
         .records_in
-        .store(st.records_in, Ordering::Relaxed);
+        .store(st.records_in, Ordering::Release);
     lock_recover(&st.monitor.latency).merge(&local);
     if let Some(g) = st.guard.as_ref() {
         st.monitor.healed.store(g.healed(), Ordering::Relaxed);
@@ -958,7 +1059,7 @@ where
         st.quarantined_after += n as u64 - done.get();
         st.monitor
             .quarantined_after
-            .store(st.quarantined_after, Ordering::Relaxed);
+            .store(st.quarantined_after, Ordering::Release);
         st.enter_quarantine(cause);
     }
 }
@@ -1013,7 +1114,7 @@ where
                     st.quarantined_after += n as u64;
                     st.monitor
                         .quarantined_after
-                        .store(st.quarantined_after, Ordering::Relaxed);
+                        .store(st.quarantined_after, Ordering::Release);
                 } else {
                     step_batch(st, &mut batch, n);
                 }

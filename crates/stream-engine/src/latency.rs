@@ -122,6 +122,10 @@ impl LatencyHistogram {
 pub struct StreamStats {
     /// Stream id (registration order).
     pub stream: usize,
+    /// Human-readable stream name ([`crate::StreamOptions::name`], or
+    /// `stream-<id>` when none was given). Exported as the `name` label
+    /// on every Prometheus series for this stream.
+    pub name: String,
     /// Shard the stream is pinned to.
     pub shard: usize,
     /// Records consumed while healthy (operator-processed plus
@@ -185,12 +189,19 @@ pub struct ServingStats {
     pub streams: Vec<StreamStats>,
     /// Per-shard aggregates, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Time since the engine started serving, as of this snapshot.
+    pub uptime: Duration,
 }
 
 impl ServingStats {
     /// Total records processed across all streams.
     pub fn records_in(&self) -> u64 {
         self.streams.iter().map(|s| s.records_in).sum()
+    }
+
+    /// Lifetime average processing rate: total records over uptime.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records_in() as f64 / self.uptime.as_secs_f64().max(1e-9)
     }
 
     /// Total backpressure drops across all streams.
@@ -283,8 +294,9 @@ mod tests {
 
     #[test]
     fn serving_stats_totals_aggregate_streams() {
-        let mk = |stream, records_in, drops, depth, done| StreamStats {
+        let mk = |stream: usize, records_in, drops, depth, done| StreamStats {
             stream,
+            name: format!("stream-{stream}"),
             shard: stream % 2,
             records_in,
             drops,
@@ -307,11 +319,13 @@ mod tests {
         let stats = ServingStats {
             streams: vec![mk(0, 100, 3, 7, false), mk(1, 50, 0, 0, true)],
             shards: Vec::new(),
+            uptime: Duration::from_secs(10),
         };
         assert_eq!(stats.records_in(), 150);
         assert_eq!(stats.drops(), 3);
         assert_eq!(stats.queue_depth(), 7);
         assert_eq!(stats.active_streams(), 1);
+        assert!((stats.records_per_sec() - 15.0).abs() < 1e-9);
     }
 
     #[test]

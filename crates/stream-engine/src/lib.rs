@@ -17,6 +17,9 @@
 //!   task slots and bounded network buffers, with no thread per stream,
 //! * [`ServingStats`] snapshots per-stream and per-shard accounting
 //!   (p50/p99 operator latency, queue depth, backpressure drops) live,
+//!   and [`metrics`] exports those snapshots as Prometheus text
+//!   exposition / JSON over a std-only HTTP listener
+//!   ([`ServingEngine::serve_metrics`]) or periodic file snapshots,
 //! * [`parallel::run_streams`] runs a batch of in-memory streams to
 //!   completion on the engine (the §4.4 experiment shape),
 //! * a single-threaded [`Pipeline`] composes operator chains for
@@ -37,6 +40,7 @@ pub mod engine;
 pub mod fault;
 pub mod guard;
 pub mod latency;
+pub mod metrics;
 pub mod operator;
 pub mod parallel;
 pub mod pipeline;
@@ -45,7 +49,7 @@ pub mod source;
 
 pub use engine::{
     feed_all, serve, EngineConfig, FeedReport, IngestError, QuarantineCause, RetryPolicy,
-    ServingEngine, StreamHandle, StreamOptions, StreamResult, StreamState, Timing,
+    ServingEngine, StatsHandle, StreamHandle, StreamOptions, StreamResult, StreamState, Timing,
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{
@@ -54,6 +58,7 @@ pub use fault::{
 };
 pub use guard::{GuardAction, GuardConfig, GuardTrip, GuardVerdict, InputGuard};
 pub use latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
+pub use metrics::{render_prometheus, render_stats_json, vm_hwm_kb, MetricsServer, SnapshotWriter};
 pub use operator::{
     FilterOperator, MapOperator, MultivariateSegmenterOperator, Operator, SegmenterOperator,
     TumblingWindowMean,

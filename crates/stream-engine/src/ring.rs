@@ -200,7 +200,11 @@ impl<T> Producer<T> {
                 }
                 Backpressure::DropOldest => {
                     inner.buf.pop_front();
-                    sh.counters.drops.fetch_add(1, Ordering::Relaxed);
+                    // Release pairs with the stats snapshot's Acquire
+                    // load: the evicted record's push is sequenced
+                    // before this increment, keeping the live ledger
+                    // inequality (`lhs <= pushed`) observable.
+                    sh.counters.drops.fetch_add(1, Ordering::Release);
                 }
                 Backpressure::Error => {
                     return Err(PushError::Overflow(OverflowError {
@@ -245,16 +249,25 @@ impl<T> Producer<T> {
                     }
                     inner.buf.push_back(it);
                 }
+                // `pushed` before `drops`: a record accepted by this
+                // very call may also be the one evicted by it, and a
+                // lock-free stats reader must never observe the
+                // eviction without its push.
+                sh.counters
+                    .pushed
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
                 if drops > 0 {
-                    sh.counters.drops.fetch_add(drops, Ordering::Relaxed);
+                    sh.counters.drops.fetch_add(drops, Ordering::Release);
                 }
                 items.len()
             }
         };
         sh.counters.depth.store(inner.buf.len(), Ordering::Relaxed);
-        sh.counters
-            .pushed
-            .fetch_add(accepted as u64, Ordering::Relaxed);
+        if !matches!(sh.policy, Backpressure::DropOldest) {
+            sh.counters
+                .pushed
+                .fetch_add(accepted as u64, Ordering::Relaxed);
+        }
         Ok(accepted)
     }
 

@@ -17,6 +17,15 @@
 //! class-cli datasets list
 //! class-cli datasets run crates/datasets/fixtures/TSSB/SineFreqDouble_50_900.txt
 //! ```
+//!
+//! `serve-status` inspects a running (or finished) serving engine via
+//! either observability source — the live metrics endpoint's
+//! `/stats.json` route or the periodic JSON snapshot file:
+//!
+//! ```text
+//! class-cli serve-status --addr 127.0.0.1:9599
+//! class-cli serve-status --snapshot /var/run/class/stats.json --format tsv
+//! ```
 
 use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection, WssMethod};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -58,6 +67,7 @@ USAGE:
     class-cli [OPTIONS]                 segment a stdin/--input feed
     class-cli datasets list             list available archives
     class-cli datasets run FILE...      segment annotated archive files
+    class-cli serve-status ...          inspect a serving engine's stats
 
 OPTIONS:
     --input FILE       read from FILE instead of stdin
@@ -80,6 +90,7 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
     datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
                          [--jump N] [--channels K] [--fusion quorum|any|N]
                          [--guard-nan-burst N] [--guard-flatline N]
+                         [--metrics-addr HOST:PORT] [--bundle-out PATH]
                          [--format text|tsv]
         Load annotated archive files — univariate TSSB/FLOSS-style .txt /
         UTSA-style .csv, or multi-channel WFDB .hea (with .dat/.atr
@@ -102,6 +113,23 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         Exit status: 0 ok, 1 load/engine error, 2 usage error, 3 at
         least one stream was quarantined (a report with the cause and
         record index is printed to stderr).
+
+        Observability: --metrics-addr HOST:PORT serves live Prometheus
+        text at /metrics (and JSON at /stats.json) while files replay;
+        --bundle-out PATH writes a provenance-stamped run bundle
+        (class-run-bundle/v1) for diffing with compare_bundles.
+
+SERVE-STATUS (read a serving engine's stats from either source):
+    serve-status (--addr HOST:PORT | --snapshot PATH) [--format text|tsv]
+        --addr fetches /stats.json from a live metrics endpoint
+        (serve_soak --metrics-addr, datasets run --metrics-addr, or any
+        ServingEngine::serve_metrics listener); --snapshot reads the
+        periodic JSON snapshot file a headless run maintains. Prints
+        connected streams, records/sec, ingest lag (queue depth), drops
+        and quarantines; --format tsv emits one row per stream.
+
+        Exit status: 0 healthy, 1 fetch/read/parse error, 2 usage
+        error, 3 the engine reports quarantined streams.
 ";
 
 fn parse_args() -> CliArgs {
@@ -182,6 +210,8 @@ struct DatasetsRunArgs {
     jump: Option<usize>,
     guard_nan_burst: Option<usize>,
     guard_flatline: Option<usize>,
+    metrics_addr: Option<String>,
+    bundle_out: Option<String>,
 }
 
 impl DatasetsRunArgs {
@@ -312,6 +342,8 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         jump: None,
         guard_nan_burst: None,
         guard_flatline: None,
+        metrics_addr: None,
+        bundle_out: None,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -368,6 +400,8 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
                 }
                 out.guard_flatline = Some(n);
             }
+            "--metrics-addr" => out.metrics_addr = Some(grab("--metrics-addr")?),
+            "--bundle-out" => out.bundle_out = Some(grab("--bundle-out")?),
             "--fusion" => {
                 let v = grab("--fusion")?;
                 out.fusion = match v.as_str() {
@@ -479,9 +513,26 @@ fn score_records(
     (found, cov, stats)
 }
 
+/// What `datasets run` accumulates across files for the `--bundle-out`
+/// provenance bundle.
+#[derive(Default)]
+struct RunTally {
+    files: usize,
+    records: u64,
+    change_points: usize,
+    covering_sum: f64,
+    quarantined: usize,
+}
+
 /// Replays one univariate archive file through a 1-shard serving engine
 /// and prints its scores.
-fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: &str) -> i32 {
+fn run_univariate_file(
+    args: &DatasetsRunArgs,
+    path: &std::path::Path,
+    archive: &str,
+    metrics: Option<&stream_engine::MetricsServer>,
+    tally: &mut RunTally,
+) -> i32 {
     let series = match datasets::load_series_file(path, archive) {
         Ok(s) => s,
         Err(e) => {
@@ -508,10 +559,15 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
     let started = std::time::Instant::now();
     let retry = stream_engine::RetryPolicy::default();
     let guard = args.stream_guard();
+    let stream_name = series.name.clone();
     let (mut results, fed) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
+        if let Some(m) = metrics {
+            m.attach(engine.stats_handle());
+        }
         let mut handle = engine.register_with(
             stream_engine::StreamOptions {
                 guard,
+                name: Some(stream_name),
                 ..stream_engine::StreamOptions::default()
             },
             move || stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg)),
@@ -533,6 +589,10 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
         series.len(),
         series.width,
     );
+    tally.files += 1;
+    tally.records += result.records_in;
+    tally.change_points += found.len();
+    tally.covering_sum += cov;
     FileScore {
         name: series.name.clone(),
         archive: series.archive,
@@ -551,6 +611,7 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
              ({} records processed, {} drained after the fault)",
             series.name, result.records_in, result.quarantined_after
         );
+        tally.quarantined += 1;
         return EXIT_QUARANTINED;
     }
     0
@@ -560,7 +621,13 @@ fn run_univariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: 
 /// single fused stream through a 1-shard serving engine — channels
 /// travel interleaved through one ring, the shard reassembles frames and
 /// steps the quorum-fusion segmenter — and prints its scores.
-fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive: &str) -> i32 {
+fn run_multivariate_file(
+    args: &DatasetsRunArgs,
+    path: &std::path::Path,
+    archive: &str,
+    metrics: Option<&stream_engine::MetricsServer>,
+    tally: &mut RunTally,
+) -> i32 {
     use class_core::{ChannelSelection, FusionStrategy, MultivariateClass, MultivariateConfig};
 
     let series = match datasets::load_multivariate_file(path, archive) {
@@ -643,12 +710,22 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
     }
     let started = std::time::Instant::now();
     let retry = stream_engine::RetryPolicy::default();
+    let stream_name = series.name.clone();
     let (mut results, fed) = stream_engine::serve(stream_engine::EngineConfig::new(1), |engine| {
-        let mut handle = engine.register(move || {
-            stream_engine::MultivariateSegmenterOperator::new(MultivariateClass::new(
-                cfg, n_channels,
-            ))
-        });
+        if let Some(m) = metrics {
+            m.attach(engine.stats_handle());
+        }
+        let mut handle = engine.register_with(
+            stream_engine::StreamOptions {
+                name: Some(stream_name),
+                ..stream_engine::StreamOptions::default()
+            },
+            move || {
+                stream_engine::MultivariateSegmenterOperator::new(MultivariateClass::new(
+                    cfg, n_channels,
+                ))
+            },
+        );
         for row in source {
             for v in row {
                 handle.push_with_retry(v, &retry)?;
@@ -663,6 +740,10 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
         return 1;
     }
     let (found, cov, stats) = score_records(&result.output, &series.change_points, n, series.width);
+    tally.files += 1;
+    tally.records += result.records_in / n_channels as u64;
+    tally.change_points += found.len();
+    tally.covering_sum += cov;
     FileScore {
         name: series.name.clone(),
         archive: series.archive,
@@ -683,6 +764,7 @@ fn run_multivariate_file(args: &DatasetsRunArgs, path: &std::path::Path, archive
             series.name,
             at_record / n_channels as u64
         );
+        tally.quarantined += 1;
         return EXIT_QUARANTINED;
     }
     0
@@ -701,6 +783,22 @@ fn datasets_run(rest: &[String]) -> i32 {
             "series\tpoints\twidth\ttrue_cps\tfound_cps\tcovering\tdetection_rate\tmean_delay\tchannels"
         );
     }
+    let metrics = match &args.metrics_addr {
+        Some(addr) => match stream_engine::MetricsServer::bind(addr) {
+            Ok(server) => {
+                eprintln!("metrics: http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: binding metrics endpoint {addr}: {e}");
+                return 1;
+            }
+        },
+        None => None,
+    };
+    let started = std::time::Instant::now();
+    let mut tally = RunTally::default();
+    let mut code = 0;
     for file in &args.files {
         let path = std::path::Path::new(file);
         let archive = path
@@ -715,22 +813,239 @@ fn datasets_run(rest: &[String]) -> i32 {
                     "error: {}: not a loadable series file (expected .txt, .csv or .hea)",
                     path.display()
                 );
-                return 1;
+                code = 1;
+                break;
             }
             Err(e) => {
                 eprintln!("error: {}: {e}", path.display());
-                return 1;
+                code = 1;
+                break;
             }
         };
-        let code = match kind {
-            datasets::SeriesKind::Univariate => run_univariate_file(&args, path, archive),
-            datasets::SeriesKind::Multivariate => run_multivariate_file(&args, path, archive),
+        code = match kind {
+            datasets::SeriesKind::Univariate => {
+                run_univariate_file(&args, path, archive, metrics.as_ref(), &mut tally)
+            }
+            datasets::SeriesKind::Multivariate => {
+                run_multivariate_file(&args, path, archive, metrics.as_ref(), &mut tally)
+            }
         };
         if code != 0 {
-            return code;
+            break;
         }
     }
-    0
+    // The bundle records whatever was processed, even on a quarantine
+    // or error exit — a partial run is still evidence worth diffing.
+    if let Some(path) = &args.bundle_out {
+        let elapsed = started.elapsed().as_secs_f64();
+        let mut bundle = eval::RunBundle::new("datasets-run");
+        bundle.config("alpha", args.alpha);
+        bundle.config(
+            "window",
+            args.window.map_or_else(|| "auto".into(), |w| w.to_string()),
+        );
+        bundle.config("files", args.files.join(","));
+        bundle.metric("files", tally.files as f64);
+        bundle.metric("records", tally.records as f64);
+        bundle.metric("change_points", tally.change_points as f64);
+        bundle.metric(
+            "covering_mean",
+            if tally.files > 0 {
+                tally.covering_sum / tally.files as f64
+            } else {
+                0.0
+            },
+        );
+        bundle.metric("quarantined", tally.quarantined as f64);
+        bundle.metric("elapsed_s", elapsed);
+        if let Err(e) = bundle.write(path) {
+            eprintln!("error: writing bundle {path}: {e}");
+            if code == 0 {
+                code = 1;
+            }
+        } else {
+            eprintln!("bundle: {path}");
+        }
+    }
+    code
+}
+
+// ---------------------------------------------------------------------------
+// `serve-status` — inspect a serving engine via its observability surface
+// ---------------------------------------------------------------------------
+
+/// Fetches `/stats.json` from a live metrics endpoint with a plain
+/// std-TCP HTTP/1.1 GET (2 s connect/read timeouts, `Connection:
+/// close` so EOF delimits the body).
+fn http_get_stats_json(addr: &str) -> Result<String, String> {
+    use std::net::{TcpStream, ToSocketAddrs};
+    let timeout = std::time::Duration::from_secs(2);
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no address resolved"))?;
+    let mut conn =
+        TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("{addr}: {e}"))?;
+    conn.set_read_timeout(Some(timeout)).ok();
+    conn.set_write_timeout(Some(timeout)).ok();
+    conn.write_all(
+        format!("GET /stats.json HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// `class-cli serve-status`: read a `class-serving-stats/v1` document
+/// from a live endpoint or a snapshot file and summarise engine health.
+fn serve_status(rest: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut tsv = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => addr = Some(a.clone()),
+                None => {
+                    eprintln!("error: --addr requires HOST:PORT");
+                    return 2;
+                }
+            },
+            "--snapshot" => match it.next() {
+                Some(p) => snapshot = Some(p.clone()),
+                None => {
+                    eprintln!("error: --snapshot requires a path");
+                    return 2;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("tsv") => tsv = true,
+                Some("text") => tsv = false,
+                other => {
+                    eprintln!("error: --format must be text or tsv, got {other:?}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other}\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let (source, doc) = match (&addr, &snapshot) {
+        (Some(a), None) => match http_get_stats_json(a) {
+            Ok(d) => (format!("http://{a}/stats.json"), d),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        },
+        (None, Some(p)) => match std::fs::read_to_string(p) {
+            Ok(d) => (p.clone(), d),
+            Err(e) => {
+                eprintln!("error: {p}: {e}");
+                return 1;
+            }
+        },
+        _ => {
+            eprintln!("error: serve-status needs exactly one of --addr or --snapshot\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let json = match eval::parse_json(&doc) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {source}: {e}");
+            return 1;
+        }
+    };
+    let schema = json.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+    if !schema.starts_with("class-serving-stats/") {
+        eprintln!("error: {source}: not a serving-stats document (schema {schema:?})");
+        return 1;
+    }
+    let num = |obj: &eval::Json, key: &str| obj.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let totals = match json.get("totals") {
+        Some(t) => t.clone(),
+        None => {
+            eprintln!("error: {source}: missing totals");
+            return 1;
+        }
+    };
+    let quarantined = num(&totals, "quarantined") as u64;
+    let streams = json
+        .get("streams")
+        .and_then(|s| s.as_arr())
+        .unwrap_or(&[])
+        .to_vec();
+
+    if tsv {
+        println!("stream\tname\tshard\tstate\trecords_in\tdrops\tqueue_depth\tp99_ns");
+        for s in &streams {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                num(s, "stream") as u64,
+                s.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+                num(s, "shard") as u64,
+                s.get("state").and_then(|v| v.as_str()).unwrap_or("?"),
+                num(s, "records_in") as u64,
+                num(s, "drops") as u64,
+                num(s, "queue_depth") as u64,
+                num(s, "p99_ns") as u64,
+            );
+        }
+    } else {
+        println!("serving stats from {source}");
+        println!("uptime:       {:.1} s", num(&json, "uptime_s"));
+        println!(
+            "streams:      {} connected, {} active, {quarantined} quarantined",
+            num(&totals, "streams") as u64,
+            num(&totals, "active") as u64,
+        );
+        println!(
+            "records in:   {} ({:.0} records/s)",
+            num(&totals, "records_in") as u64,
+            num(&totals, "records_per_sec"),
+        );
+        println!("drops:        {}", num(&totals, "drops") as u64);
+        println!(
+            "ingest lag:   {} records queued",
+            num(&totals, "queue_depth") as u64
+        );
+    }
+    // Quarantine detail goes to stderr in both formats, like
+    // `datasets run`, so scripts scraping stdout stay parseable.
+    for s in &streams {
+        if s.get("state").and_then(|v| v.as_str()) == Some("quarantined") {
+            let detail = s.get("quarantine").cloned().unwrap_or(eval::Json::Null);
+            eprintln!(
+                "quarantined: stream {} ({}) at record {}: {}",
+                num(s, "stream") as u64,
+                s.get("name").and_then(|v| v.as_str()).unwrap_or("?"),
+                num(&detail, "at_record") as u64,
+                detail
+                    .get("cause")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unknown cause"),
+            );
+        }
+    }
+    if quarantined > 0 {
+        EXIT_QUARANTINED
+    } else {
+        0
+    }
 }
 
 fn fmt_cps(cps: &[u64]) -> String {
@@ -745,6 +1060,9 @@ fn main() {
     if raw.first().map(String::as_str) == Some("datasets") {
         raw.remove(0);
         datasets_main(raw);
+    }
+    if raw.first().map(String::as_str) == Some("serve-status") {
+        std::process::exit(serve_status(&raw[1..]));
     }
     let args = parse_args();
     let mut cfg = ClassConfig::with_window_size(args.window);

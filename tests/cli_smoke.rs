@@ -454,3 +454,231 @@ fn datasets_run_guard_flags_validate_their_values() {
         assert!(stderr.contains("at least 1"), "{flag}: {stderr}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// serve-status + observability flags
+// ---------------------------------------------------------------------------
+
+#[test]
+fn serve_status_reads_a_live_metrics_endpoint() {
+    use stream_engine::{feed_all, EngineConfig, StreamOptions, TumblingWindowMean};
+    let n_streams = 4usize;
+    let data: Vec<Vec<f64>> = (0..n_streams)
+        .map(|k| {
+            (0..500)
+                .map(|t| (t as f64 * 0.2 + k as f64).sin())
+                .collect()
+        })
+        .collect();
+    // Run the CLI against the endpoint from inside the serve body: the
+    // engine is complete but its registry is still live, so the scrape
+    // sees the terminal ledger.
+    let (results, (text, tsv)) = stream_engine::serve(EngineConfig::new(2), |engine| {
+        let server = engine
+            .serve_metrics("127.0.0.1:0")
+            .expect("ephemeral metrics port");
+        let addr = server.addr().to_string();
+        let handles: Vec<_> = (0..n_streams)
+            .map(|k| {
+                engine.register_with(
+                    StreamOptions {
+                        name: Some(format!("smoke/{k}")),
+                        ..StreamOptions::default()
+                    },
+                    move || TumblingWindowMean::new(8),
+                )
+            })
+            .collect();
+        let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
+        feed_all(handles, &slices).expect("feed completes");
+        (
+            run_cli(&["serve-status", "--addr", &addr], ""),
+            run_cli(&["serve-status", "--addr", &addr, "--format", "tsv"], ""),
+        )
+    });
+    assert_eq!(results.len(), n_streams);
+
+    let (stdout, stderr, code) = text;
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("streams:      4 connected"), "{stdout}");
+    assert!(stdout.contains("records in:   2000"), "{stdout}");
+    assert!(stdout.contains("drops:        0"), "{stdout}");
+
+    let (stdout, stderr, code) = tsv;
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1 + n_streams, "{stdout}");
+    assert!(
+        lines[0].starts_with("stream\tname\tshard\tstate"),
+        "{stdout}"
+    );
+    assert!(lines[1].starts_with("0\tsmoke/0\t"), "{stdout}");
+    assert!(lines[1].contains("\tdone\t500\t0\t"), "{stdout}");
+}
+
+#[test]
+fn serve_status_falls_back_to_a_snapshot_file_and_flags_quarantines() {
+    use std::time::Duration;
+    use stream_engine::{
+        render_stats_json, QuarantineCause, ServingStats, StreamState, StreamStats,
+    };
+    let mk = |stream: usize, state: StreamState, done: bool| StreamStats {
+        stream,
+        name: format!("snap/{stream}"),
+        shard: 0,
+        records_in: 900,
+        drops: 0,
+        quarantined_after: if done { 0 } else { 100 },
+        pushed: 1000,
+        healed: 0,
+        skipped: 0,
+        retries: 0,
+        queue_depth: 0,
+        done,
+        state,
+        p50: Duration::from_nanos(1024),
+        p99: Duration::from_nanos(8192),
+        mean: Duration::from_nanos(2000),
+    };
+    let healthy = ServingStats {
+        streams: vec![mk(0, StreamState::Done, true)],
+        shards: Vec::new(),
+        uptime: Duration::from_secs(5),
+    };
+    let degraded = ServingStats {
+        streams: vec![
+            mk(0, StreamState::Done, true),
+            mk(
+                1,
+                StreamState::Quarantined {
+                    cause: QuarantineCause::OperatorPanic {
+                        message: "sensor died".into(),
+                    },
+                    at_record: 900,
+                },
+                false,
+            ),
+        ],
+        shards: Vec::new(),
+        uptime: Duration::from_secs(5),
+    };
+    let dir = std::env::temp_dir().join("class-cli-smoke-status");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let ok_path = dir.join("healthy.json");
+    std::fs::write(&ok_path, render_stats_json(&healthy)).unwrap();
+    let (stdout, stderr, code) = run_cli(
+        &["serve-status", "--snapshot", &ok_path.display().to_string()],
+        "",
+    );
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("records in:   900"), "{stdout}");
+
+    let bad_path = dir.join("degraded.json");
+    std::fs::write(&bad_path, render_stats_json(&degraded)).unwrap();
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "serve-status",
+            "--snapshot",
+            &bad_path.display().to_string(),
+        ],
+        "",
+    );
+    assert_eq!(code, 3, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("1 quarantined"), "{stdout}");
+    assert!(
+        stderr.contains("quarantined: stream 1 (snap/1) at record 900: operator panic"),
+        "{stderr}"
+    );
+    std::fs::remove_file(&ok_path).ok();
+    std::fs::remove_file(&bad_path).ok();
+}
+
+#[test]
+fn serve_status_error_and_usage_paths() {
+    // Nothing listens on a fresh ephemeral port: fetch errors exit 1.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+        // listener drops here, freeing the port
+    };
+    let (_, stderr, code) = run_cli(
+        &["serve-status", "--addr", &format!("127.0.0.1:{port}")],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    // Missing and conflicting sources are usage errors.
+    let (_, stderr, code) = run_cli(&["serve-status"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("exactly one of"), "{stderr}");
+    let (_, stderr, code) = run_cli(&["serve-status", "--addr", "x", "--snapshot", "y"], "");
+    assert_eq!(code, 2, "{stderr}");
+
+    // A readable file that is not a serving-stats document exits 1.
+    let dir = std::env::temp_dir().join("class-cli-smoke-status");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("not-stats.json");
+    std::fs::write(&path, "{\"schema\": \"class-run-bundle/v1\"}").unwrap();
+    let (_, stderr, code) = run_cli(
+        &["serve-status", "--snapshot", &path.display().to_string()],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("not a serving-stats document"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+
+    let (_, stderr, code) = run_cli(&["serve-status", "--format", "xml"], "");
+    assert_eq!(code, 2, "{stderr}");
+}
+
+#[test]
+fn datasets_run_emits_a_provenance_bundle_and_serves_metrics() {
+    let dir = std::env::temp_dir().join("class-cli-smoke-bundle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundle_path = dir.join("run.json");
+    let (_, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--bundle-out",
+            &bundle_path.display().to_string(),
+            // An ephemeral-port endpoint proves the flag binds and serves
+            // without hardcoding a port that CI might already use.
+            "--metrics-addr",
+            "127.0.0.1:0",
+            &fixture("TSSB/SineFreqDouble_50_900.txt"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stderr.contains("metrics: http://127.0.0.1:"), "{stderr}");
+    assert!(stderr.contains("bundle: "), "{stderr}");
+    let doc = std::fs::read_to_string(&bundle_path).expect("bundle written");
+    assert!(doc.contains("\"schema\": \"class-run-bundle/v1\""), "{doc}");
+    assert!(doc.contains("\"tool\": \"datasets-run\""), "{doc}");
+    assert!(doc.contains("\"records\": 1800"), "{doc}");
+    assert!(doc.contains("\"simd_backend\""), "{doc}");
+
+    // The bundle is loadable and self-comparable through the library
+    // path the compare_bundles binary uses.
+    let bundle = eval::RunBundle::load(bundle_path.display().to_string()).expect("parses");
+    let report = eval::compare(&bundle, &bundle, &[], None).expect("comparable to itself");
+    assert!(report.is_clean(), "{report:?}");
+
+    // An unbindable metrics address fails loudly up front.
+    let (_, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--metrics-addr",
+            "256.0.0.1:0",
+            &fixture("TSSB/SineFreqDouble_50_900.txt"),
+        ],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("binding metrics endpoint"), "{stderr}");
+    std::fs::remove_file(&bundle_path).ok();
+}
