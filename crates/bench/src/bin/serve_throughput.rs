@@ -37,6 +37,17 @@
 //! `--bundle-out PATH` additionally emits a provenance-stamped
 //! `class-run-bundle/v1` (seed, SIMD backend, git describe, config,
 //! headline metrics) for cross-run diffing with `compare_bundles`.
+//!
+//! `--socket` measures the *wire path* instead of the in-process feed:
+//! the engine opens a loopback [`stream_engine::IngestServer`] and
+//! `--producers` concurrent TCP clients register the same streams over
+//! the ingestion protocol, pump them in `--batch`-record RECORDS
+//! frames (one in flight per stream), and detach. The numbers go to
+//! `BENCH_net.json` (`class-net-throughput/v1`) by default and gate
+//! two ways: `--check` against a committed socket baseline, and
+//! `--floor-of BENCH_serve.json --floor-ratio 0.5` against the
+//! in-process figure — the wire must deliver at least that fraction of
+//! the direct feed's records/sec.
 
 use bench::perf::{json_number, json_string, regressions};
 use class_core::{
@@ -45,8 +56,9 @@ use class_core::{
 use datasets::{build_series, NoiseSpec, Regime};
 use eval::bundle::RunBundle;
 use stream_engine::{
-    feed_all, serve, Backpressure, EngineConfig, LatencyHistogram, MultiChannelReplaySource,
-    MultivariateSegmenterOperator, RingConfig, SegmenterOperator, StreamResult,
+    feed_all, serve, Backpressure, EngineConfig, IngestServer, LatencyHistogram,
+    MultiChannelReplaySource, MultivariateSegmenterOperator, NetClient, NetStats, RingConfig,
+    SegmenterOperator, StreamResult,
 };
 
 struct Preset {
@@ -167,11 +179,77 @@ fn render_serve_json(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
+fn render_net_json(
+    preset: &str,
+    shards: usize,
+    producers: usize,
+    batch: usize,
+    policy: &str,
+    simd_backend: &str,
+    jump: usize,
+    elapsed_s: f64,
+    results: &[StreamResult<u64>],
+    latency: &LatencyHistogram,
+    net: &NetStats,
+) -> String {
+    let records: u64 = results.iter().map(|r| r.records_in).sum();
+    let drops: u64 = results.iter().map(|r| r.drops).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"class-net-throughput/v1\",\n");
+    out.push_str(&format!("  \"preset\": \"{preset}\",\n"));
+    out.push_str(&format!("  \"shards\": {shards},\n"));
+    out.push_str(&format!("  \"producers\": {producers},\n"));
+    out.push_str(&format!("  \"batch\": {batch},\n"));
+    out.push_str("  \"mv_channels\": 0,\n");
+    out.push_str(&format!("  \"jump\": {jump},\n"));
+    out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
+    out.push_str(&format!("  \"simd_backend\": \"{simd_backend}\",\n"));
+    out.push_str(&format!("  \"streams\": {},\n", results.len()));
+    out.push_str(&format!("  \"records\": {records},\n"));
+    out.push_str(&format!("  \"drops\": {drops},\n"));
+    out.push_str(&format!("  \"connections\": {},\n", net.accepted));
+    out.push_str(&format!("  \"frames\": {},\n", net.frames()));
+    out.push_str(&format!(
+        "  \"throttle_events\": {},\n",
+        net.throttle_events()
+    ));
+    out.push_str(&format!(
+        "  \"protocol_errors\": {},\n",
+        net.protocol_errors()
+    ));
+    out.push_str(&format!("  \"elapsed_s\": {elapsed_s:.3},\n"));
+    out.push_str(&format!(
+        "  \"records_per_sec\": {:.1},\n",
+        records as f64 / elapsed_s.max(1e-9)
+    ));
+    out.push_str(&format!(
+        "  \"latency_p50_ns\": {},\n",
+        latency.quantile(0.5).as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"latency_p99_ns\": {},\n",
+        latency.quantile(0.99).as_nanos()
+    ));
+    out.push_str(&format!(
+        "  \"latency_max_ns\": {}\n",
+        latency.max().as_nanos()
+    ));
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
     let mut preset = &QUICK;
-    let mut out_path = "BENCH_serve.json".to_string();
+    let mut out_override: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.25;
+    let mut socket = false;
+    let mut producers = 8usize;
+    let mut batch = 256usize;
+    let mut floor_of: Option<String> = None;
+    let mut floor_ratio = 0.5;
     let mut shards = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
@@ -215,7 +293,16 @@ fn main() {
                     .parse()
                     .expect("numeric --mv-channels")
             }
-            "--out" => out_path = grab("--out"),
+            "--socket" => socket = true,
+            "--producers" => producers = grab("--producers").parse().expect("numeric --producers"),
+            "--batch" => batch = grab("--batch").parse().expect("numeric --batch"),
+            "--floor-of" => floor_of = Some(grab("--floor-of")),
+            "--floor-ratio" => {
+                floor_ratio = grab("--floor-ratio")
+                    .parse()
+                    .expect("numeric --floor-ratio")
+            }
+            "--out" => out_override = Some(grab("--out")),
             "--bundle-out" => bundle_out = Some(grab("--bundle-out")),
             "--check" => check_path = Some(grab("--check")),
             "--tolerance" => tolerance = grab("--tolerance").parse().expect("numeric --tolerance"),
@@ -223,7 +310,8 @@ fn main() {
                 eprintln!(
                     "options: --preset quick|full --shards N --streams N --ring N \
                      --policy block|drop-oldest --mv-channels C --jump N --seed N \
-                     --out PATH --bundle-out PATH --check BASELINE.json --tolerance F"
+                     --out PATH --bundle-out PATH --check BASELINE.json --tolerance F \
+                     --socket --producers N --batch N --floor-of BENCH_serve.json --floor-ratio F"
                 );
                 return;
             }
@@ -238,8 +326,34 @@ fn main() {
         "--mv-channels requires --policy block (drop-oldest would evict \
          individual channel records and desynchronize frames)"
     );
+    // The wire protocol carries scalar f64 streams; the interleaved
+    // multivariate transport is an in-process concern.
+    assert!(
+        !socket || mv_channels == 0,
+        "--socket does not support --mv-channels (the ingestion protocol \
+         carries scalar streams)"
+    );
+    assert!(
+        !socket || producers > 0,
+        "--producers must be at least 1 in --socket mode"
+    );
+    assert!(
+        floor_of.is_none() || socket,
+        "--floor-of only applies to --socket mode (it floors the wire \
+         path against the in-process figure)"
+    );
+    let out_path = out_override.unwrap_or_else(|| {
+        if socket {
+            "BENCH_net.json".to_string()
+        } else {
+            "BENCH_serve.json".to_string()
+        }
+    });
     let baseline = check_path.as_ref().map(|p| {
         std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading baseline {p}: {e}"))
+    });
+    let floor_doc = floor_of.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("reading floor document {p}: {e}"))
     });
 
     let n_streams = streams_override.unwrap_or(preset.streams);
@@ -265,8 +379,14 @@ fn main() {
     eprintln!(
         "serve_throughput: preset={} streams={n_streams} points/stream={} shards={shards} \
          ring={ring} policy={policy_name} mv_channels={mv_channels} jump={jump_eff} \
-         simd_backend={backend}",
-        preset.name, preset.points
+         simd_backend={backend}{}",
+        preset.name,
+        preset.points,
+        if socket {
+            format!(" socket(producers={producers} batch={batch})")
+        } else {
+            String::new()
+        }
     );
 
     // Per-stream record sequences: the plain series for the univariate
@@ -292,8 +412,84 @@ fn main() {
         ring: RingConfig::new(ring, policy),
     };
     let started = std::time::Instant::now();
-    let (results, live) = if mv_channels == 0 {
-        serve(config, |engine| {
+    let (results, live, net) = if socket {
+        let ring_cfg = RingConfig::new(ring, policy);
+        let (results, (acked, net)) = serve(config, |engine| {
+            let server = IngestServer::bind("127.0.0.1:0", engine.registrar(), move |_req| {
+                SegmenterOperator::new(ClassSegmenter::new(base_cfg()))
+            })
+            .expect("binding a loopback ingest listener");
+            let addr = server.addr();
+            let mut threads = Vec::new();
+            for p in 0..producers {
+                let chunk: Vec<(usize, Vec<f64>)> = data
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| k % producers == p)
+                    .map(|(k, v)| (k, v.clone()))
+                    .collect();
+                threads.push(std::thread::spawn(move || {
+                    let mut client = NetClient::connect(addr, &format!("bench-producer-{p}"))
+                        .expect("producer connects");
+                    let streams: Vec<(u32, Vec<f64>)> = chunk
+                        .into_iter()
+                        .map(|(k, values)| {
+                            let id = client
+                                .register(&format!("net-{k}"), Some(ring_cfg))
+                                .expect("producer registers");
+                            (id, values)
+                        })
+                        .collect();
+                    // One RECORDS frame in flight per stream per round:
+                    // sends pipeline across this producer's streams, then
+                    // the round's acks are collected together.
+                    let mut cursors = vec![0usize; streams.len()];
+                    loop {
+                        let mut inflight = 0usize;
+                        for (i, (id, values)) in streams.iter().enumerate() {
+                            if cursors[i] >= values.len() {
+                                continue;
+                            }
+                            let end = (cursors[i] + batch).min(values.len());
+                            client
+                                .send_records_nowait(*id, &values[cursors[i]..end])
+                                .expect("producer sends");
+                            cursors[i] = end;
+                            inflight += 1;
+                        }
+                        if inflight == 0 {
+                            break;
+                        }
+                        for _ in 0..inflight {
+                            client.recv_ack().expect("producer collects acks");
+                        }
+                    }
+                    let mut acked = 0u64;
+                    for (id, _) in &streams {
+                        acked += client.detach(*id).expect("producer detaches").received;
+                    }
+                    acked
+                }));
+            }
+            let acked: u64 = threads
+                .into_iter()
+                .map(|t| t.join().expect("producer thread completes"))
+                .sum();
+            let net = server.net_stats().stats();
+            drop(server); // releases the registrar before the body returns
+            (acked, net)
+        });
+        if matches!(policy, Backpressure::Block) {
+            let total: u64 = data.iter().map(|v| v.len() as u64).sum();
+            assert_eq!(
+                acked, total,
+                "block policy delivers every record over the wire"
+            );
+        }
+        let live = results.len();
+        (results, live, Some(net))
+    } else if mv_channels == 0 {
+        let (results, live) = serve(config, |engine| {
             let handles: Vec<_> = (0..n_streams)
                 .map(|_| {
                     engine.register(move || SegmenterOperator::new(ClassSegmenter::new(base_cfg())))
@@ -306,9 +502,10 @@ fn main() {
             let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
             feed_all(handles, &slices).expect("load generator feed completes");
             live
-        })
+        });
+        (results, live, None)
     } else {
-        serve(config, |engine| {
+        let (results, live) = serve(config, |engine| {
             let handles: Vec<_> = (0..n_streams)
                 .map(|_| {
                     engine.register(move || {
@@ -323,7 +520,8 @@ fn main() {
             let slices: Vec<&[f64]> = data.iter().map(|v| v.as_slice()).collect();
             feed_all(handles, &slices).expect("load generator feed completes");
             live
-        })
+        });
+        (results, live, None)
     };
     let elapsed = started.elapsed().as_secs_f64();
     assert_eq!(live, n_streams, "every stream live before feeding");
@@ -338,21 +536,45 @@ fn main() {
     let drops: u64 = results.iter().map(|r| r.drops).sum();
     let rps = records as f64 / elapsed.max(1e-9);
 
-    let json = render_serve_json(
-        preset.name,
-        shards,
-        policy_name,
-        backend,
-        mv_channels,
-        jump_eff,
-        elapsed,
-        &results,
-        &latency,
-    );
+    let json = match &net {
+        Some(net) => render_net_json(
+            preset.name,
+            shards,
+            producers,
+            batch,
+            policy_name,
+            backend,
+            jump_eff,
+            elapsed,
+            &results,
+            &latency,
+            net,
+        ),
+        None => render_serve_json(
+            preset.name,
+            shards,
+            policy_name,
+            backend,
+            mv_channels,
+            jump_eff,
+            elapsed,
+            &results,
+            &latency,
+        ),
+    };
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
 
     if let Some(path) = &bundle_out {
-        let mut bundle = RunBundle::new("serve-throughput").with_seed(seed);
+        let mut bundle = RunBundle::new(if socket {
+            "net-throughput"
+        } else {
+            "serve-throughput"
+        })
+        .with_seed(seed);
+        if socket {
+            bundle.config("producers", producers);
+            bundle.config("batch", batch);
+        }
         bundle.config("preset", preset.name);
         bundle.config("shards", shards);
         bundle.config("streams", n_streams);
@@ -374,9 +596,22 @@ fn main() {
         eprintln!("serve_throughput: bundle at {path}");
     }
 
-    println!("# serving engine throughput ({} preset)", preset.name);
+    println!(
+        "# serving engine throughput ({} preset{})",
+        preset.name,
+        if socket { ", wire path" } else { "" }
+    );
     println!("concurrent streams:  {live} (on {shards} shard workers)");
     println!("records served:      {records} ({drops} dropped)");
+    if let Some(net) = &net {
+        println!(
+            "wire path:           {} producers, {} frames, {} throttle events, {} protocol errors",
+            net.accepted,
+            net.frames(),
+            net.throttle_events(),
+            net.protocol_errors()
+        );
+    }
     println!("change points out:   {cps}");
     println!("wall time:           {elapsed:.3} s");
     println!("aggregate rate:      {rps:.0} records/s");
@@ -387,6 +622,59 @@ fn main() {
         latency.max()
     );
     eprintln!("wrote {out_path}");
+
+    // Wire-path floor: the socket tier must deliver at least
+    // `--floor-ratio` of the in-process feed's records/sec. Measured
+    // against a fresh in-process document from the same machine, so it
+    // gates the ingestion tier's overhead, not the hardware.
+    if let Some(floor) = floor_doc {
+        let floor_path = floor_of.as_deref().unwrap_or("");
+        let floor_backend = json_string(&floor, "simd_backend").unwrap_or_default();
+        if floor_backend != backend {
+            eprintln!(
+                "floor check SKIPPED: floor document backend {floor_backend:?} != fresh backend \
+                 {backend:?}; records/sec are not comparable across kernel backends"
+            );
+        } else {
+            let floor_preset = json_string(&floor, "preset").unwrap_or_default();
+            assert_eq!(
+                floor_preset, preset.name,
+                "floor preset mismatch: cannot floor {} against {floor_preset}",
+                preset.name
+            );
+            let floor_policy = json_string(&floor, "policy").unwrap_or_default();
+            assert_eq!(
+                floor_policy, policy_name,
+                "floor backpressure policy mismatch: cannot floor {policy_name} vs {floor_policy}",
+            );
+            let floor_shards = json_number(&floor, "shards").unwrap_or(0.0) as usize;
+            assert_eq!(
+                floor_shards, shards,
+                "floor shard-count mismatch: cannot floor {shards} vs {floor_shards}",
+            );
+            let floor_jump = json_number(&floor, "jump").unwrap_or(1.0) as usize;
+            assert_eq!(
+                floor_jump, jump_eff,
+                "floor jump-cadence mismatch: cannot floor jump={jump_eff} vs jump={floor_jump}",
+            );
+            let floor_rps =
+                json_number(&floor, "records_per_sec").expect("floor document records_per_sec");
+            let need = floor_ratio * floor_rps;
+            let ok = rps >= need;
+            eprintln!(
+                "floor check vs {floor_path}: in-process {floor_rps:.0} rec/s x {floor_ratio} = \
+                 {need:.0} rec/s required, wire {rps:.0} rec/s  {}",
+                if ok { "ok" } else { "BELOW FLOOR" }
+            );
+            if !ok {
+                eprintln!(
+                    "wire-path throughput fell below {:.0}% of the in-process feed",
+                    floor_ratio * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(baseline) = baseline {
         // Operator cost (and therefore records/sec) depends on the
@@ -402,6 +690,30 @@ fn main() {
                 check_path.as_deref().unwrap_or("")
             );
             return;
+        }
+        // A socket baseline measures the wire path, an in-process one
+        // the direct feed; never gate one mode against the other.
+        let want_schema = if socket {
+            "class-net-throughput/v1"
+        } else {
+            "class-serve-throughput/v1"
+        };
+        let base_schema = json_string(&baseline, "schema").unwrap_or_default();
+        assert_eq!(
+            base_schema, want_schema,
+            "baseline schema mismatch: cannot gate {want_schema} against {base_schema}",
+        );
+        if socket {
+            let base_producers = json_number(&baseline, "producers").unwrap_or(0.0) as usize;
+            assert_eq!(
+                base_producers, producers,
+                "baseline producer-count mismatch: cannot compare {base_producers} vs {producers}",
+            );
+            let base_batch = json_number(&baseline, "batch").unwrap_or(0.0) as usize;
+            assert_eq!(
+                base_batch, batch,
+                "baseline batch-size mismatch: cannot compare {base_batch} vs {batch}",
+            );
         }
         let base_preset = json_string(&baseline, "preset").unwrap_or_default();
         assert_eq!(

@@ -78,7 +78,7 @@ use crate::ring::{self, PushError, RingConfig, RingCounters};
 use crate::Record;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -345,6 +345,7 @@ impl std::error::Error for IngestError {}
 /// value the snapshot observed).
 #[derive(Debug)]
 struct StreamMonitor {
+    id: usize,
     shard: usize,
     name: String,
     records_in: AtomicU64,
@@ -390,6 +391,14 @@ impl StatsRegistry {
         }
     }
 
+    /// Looks up one stream's monitor by id.
+    fn monitor(&self, id: usize) -> Option<Arc<StreamMonitor>> {
+        lock_recover(&self.monitors)
+            .iter()
+            .find(|m| m.id == id)
+            .cloned()
+    }
+
     /// Takes a consistent-enough live snapshot (see [`StreamMonitor`]
     /// for the ordering contract that keeps the ledger inequality true).
     fn snapshot(&self) -> ServingStats {
@@ -411,7 +420,7 @@ impl StatsRegistry {
                 p99: Duration::ZERO,
             })
             .collect();
-        for (id, m) in monitors.iter().enumerate() {
+        for m in monitors.iter() {
             let hist = lock_recover(&m.latency).clone();
             // Ledger left-hand side first (Acquire), `pushed` last: any
             // record counted below was pushed before these loads, so the
@@ -420,7 +429,7 @@ impl StatsRegistry {
             let drops = m.counters.drops.load(Ordering::Acquire);
             let quarantined_after = m.quarantined_after.load(Ordering::Acquire);
             let pushed = m.counters.pushed.load(Ordering::Acquire);
-            let queue_depth = m.counters.depth.load(Ordering::Relaxed);
+            let queue_depth = m.counters.depth();
             let done = m.done.load(Ordering::Relaxed);
             let state = m.state();
             let agg = &mut shard_stats[m.shard];
@@ -432,7 +441,7 @@ impl StatsRegistry {
             agg.queue_depth += queue_depth;
             shard_hists[m.shard].merge(&hist);
             streams.push(StreamStats {
-                stream: id,
+                stream: m.id,
                 name: m.name.clone(),
                 shard: m.shard,
                 records_in,
@@ -450,6 +459,9 @@ impl StatsRegistry {
                 mean: hist.mean(),
             });
         }
+        // Concurrent registrars may interleave monitor insertion, so the
+        // table order is not guaranteed to be id order; the snapshot is.
+        streams.sort_by_key(|s| s.stream);
         for (agg, hist) in shard_stats.iter_mut().zip(&shard_hists) {
             agg.p50 = hist.quantile(0.5);
             agg.p99 = hist.quantile(0.99);
@@ -675,7 +687,7 @@ where
     inboxes: Vec<mpsc::Sender<NewStream<'env, Op>>>,
     workers: Vec<std::thread::ScopedJoinHandle<'scope, Vec<StreamResult<Op::Out>>>>,
     registry: Arc<StatsRegistry>,
-    registered: usize,
+    next_id: Arc<AtomicUsize>,
 }
 
 impl<'scope, 'env, Op> ServingEngine<'scope, 'env, Op>
@@ -700,7 +712,7 @@ where
             inboxes,
             workers,
             registry: Arc::new(StatsRegistry::new(shards)),
-            registered: 0,
+            next_id: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -732,42 +744,47 @@ where
         opts: StreamOptions,
         factory: impl FnOnce() -> Op + Send + 'env,
     ) -> StreamHandle {
-        let id = self.registered;
-        self.registered += 1;
-        let shards = self.workers.len();
-        let shard = match opts.shard {
-            Some(s) => s % shards,
-            None => (splitmix64(id as u64) % shards as u64) as usize,
-        };
-        let (producer, consumer) = ring::ring(opts.ring);
-        let monitor = Arc::new(StreamMonitor {
-            shard,
-            name: opts.name.unwrap_or_else(|| format!("stream-{id}")),
-            records_in: AtomicU64::new(0),
-            quarantined_after: AtomicU64::new(0),
-            healed: AtomicU64::new(0),
-            skipped: AtomicU64::new(0),
-            done: AtomicBool::new(false),
-            quarantine: Mutex::new(None),
-            latency: Mutex::new(LatencyHistogram::new()),
-            counters: producer.counters(),
-        });
-        lock_recover(&self.registry.monitors).push(Arc::clone(&monitor));
-        self.inboxes[shard]
-            .send(NewStream {
-                id,
-                consumer,
-                factory: Box::new(factory),
-                monitor,
-                timing: opts.timing,
-                guard: opts.guard,
-            })
-            .expect("registration inbox open: workers hold receivers until join()");
-        StreamHandle {
-            producer,
-            id,
-            t: 0,
-            scratch: Vec::with_capacity(FEED_CHUNK),
+        self.register_stream(opts, factory)
+            .expect("registration inbox open: workers hold receivers until join()")
+    }
+
+    /// Registers a stream at runtime, returning a typed error instead of
+    /// panicking if the engine is no longer accepting registrations.
+    /// Equivalent to [`ServingEngine::register_with`] otherwise.
+    pub fn register_stream(
+        &mut self,
+        opts: StreamOptions,
+        factory: impl FnOnce() -> Op + Send + 'env,
+    ) -> Result<StreamHandle, RegisterError> {
+        register_stream_inner(&self.inboxes, &self.registry, &self.next_id, opts, factory)
+    }
+
+    /// Detaches a stream from the live engine: closes its handle, waits
+    /// for the owning shard to drain, flush, and retire it, and returns
+    /// the stream's final (exact) ledger. The engine keeps serving every
+    /// other stream throughout — this is the shard-safe handoff the
+    /// network tier uses when a producer sends DETACH.
+    pub fn detach_stream(&self, handle: StreamHandle) -> DetachReport {
+        detach_stream_inner(&self.registry, handle)
+    }
+
+    /// A cloneable, `Send` registration surface over this engine.
+    ///
+    /// A [`Registrar`] can leave the body closure's thread — the network
+    /// ingest tier hands one clone to each producer connection thread —
+    /// and registers/detaches streams on the live engine exactly like
+    /// [`ServingEngine::register_stream`] / [`ServingEngine::detach_stream`].
+    ///
+    /// **Shutdown contract:** every clone must be dropped before the
+    /// [`serve`] body returns. Shard workers keep running while any
+    /// registrar holds their inboxes open, so a leaked clone would make
+    /// `serve` wait forever.
+    pub fn registrar(&self) -> Registrar<'env, Op> {
+        Registrar {
+            inboxes: self.inboxes.clone(),
+            registry: Arc::clone(&self.registry),
+            next_id: Arc::clone(&self.next_id),
+            default_ring: self.config.ring,
         }
     }
 
@@ -800,7 +817,8 @@ where
         // Closing the inboxes tells workers no more registrations come;
         // they exit once every assigned stream is closed and drained.
         drop(self.inboxes);
-        let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(self.registered);
+        let registered = self.next_id.load(Ordering::Relaxed);
+        let mut results: Vec<StreamResult<Op::Out>> = Vec::with_capacity(registered);
         for w in self.workers {
             results.extend(
                 w.join().expect(
@@ -810,6 +828,199 @@ where
         }
         results.sort_by_key(|r| r.stream);
         results
+    }
+}
+
+/// Registration refused: the engine is shutting down and its shard
+/// workers no longer accept new streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterError;
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream registration refused: the engine is shutting down"
+        )
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Final per-stream accounting returned by a detach. The ledger is
+/// exact: `records_in + drops + quarantined_after == pushed` — the
+/// shard has drained, flushed, and retired the stream before the
+/// detach call returns.
+#[derive(Debug, Clone)]
+pub struct DetachReport {
+    /// Stream id (registration order).
+    pub stream: usize,
+    /// Records consumed while healthy.
+    pub records_in: u64,
+    /// Records evicted by the `drop-oldest` policy.
+    pub drops: u64,
+    /// Records drained and discarded after a fault.
+    pub quarantined_after: u64,
+    /// Records accepted into the ring over the stream's lifetime.
+    pub pushed: u64,
+    /// Terminal state: [`StreamState::Done`] or quarantined.
+    pub state: StreamState,
+}
+
+/// A cloneable, `Send` registration surface over a live engine — see
+/// [`ServingEngine::registrar`] for semantics and the shutdown contract.
+pub struct Registrar<'env, Op>
+where
+    Op: Operator<In = f64>,
+    Op::Out: Send,
+{
+    inboxes: Vec<mpsc::Sender<NewStream<'env, Op>>>,
+    registry: Arc<StatsRegistry>,
+    next_id: Arc<AtomicUsize>,
+    default_ring: RingConfig,
+}
+
+impl<'env, Op> Clone for Registrar<'env, Op>
+where
+    Op: Operator<In = f64>,
+    Op::Out: Send,
+{
+    fn clone(&self) -> Self {
+        Self {
+            inboxes: self.inboxes.clone(),
+            registry: Arc::clone(&self.registry),
+            next_id: Arc::clone(&self.next_id),
+            default_ring: self.default_ring,
+        }
+    }
+}
+
+impl<'env, Op> std::fmt::Debug for Registrar<'env, Op>
+where
+    Op: Operator<In = f64>,
+    Op::Out: Send,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registrar")
+            .field("shards", &self.inboxes.len())
+            .field("default_ring", &self.default_ring)
+            .finish()
+    }
+}
+
+impl<'env, Op> Registrar<'env, Op>
+where
+    Op: Operator<In = f64> + 'env,
+    Op::Out: Send + 'env,
+{
+    /// Registers a stream on the live engine (see
+    /// [`ServingEngine::register_stream`]).
+    pub fn register_stream(
+        &self,
+        opts: StreamOptions,
+        factory: impl FnOnce() -> Op + Send + 'env,
+    ) -> Result<StreamHandle, RegisterError> {
+        register_stream_inner(&self.inboxes, &self.registry, &self.next_id, opts, factory)
+    }
+
+    /// Detaches a stream and waits for its shard to retire it (see
+    /// [`ServingEngine::detach_stream`]).
+    pub fn detach_stream(&self, handle: StreamHandle) -> DetachReport {
+        detach_stream_inner(&self.registry, handle)
+    }
+
+    /// The engine's default ring configuration, for callers (the wire
+    /// REGISTER path) that let the engine pick capacity/policy.
+    pub fn default_ring(&self) -> RingConfig {
+        self.default_ring
+    }
+
+    /// A cloneable, `'static` stats handle over the same engine.
+    pub fn stats_handle(&self) -> StatsHandle {
+        StatsHandle {
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+/// Shared registration path for [`ServingEngine::register_stream`] and
+/// [`Registrar::register_stream`].
+fn register_stream_inner<'env, Op>(
+    inboxes: &[mpsc::Sender<NewStream<'env, Op>>],
+    registry: &Arc<StatsRegistry>,
+    next_id: &AtomicUsize,
+    opts: StreamOptions,
+    factory: impl FnOnce() -> Op + Send + 'env,
+) -> Result<StreamHandle, RegisterError>
+where
+    Op: Operator<In = f64> + 'env,
+    Op::Out: Send + 'env,
+{
+    let id = next_id.fetch_add(1, Ordering::Relaxed);
+    let shards = inboxes.len();
+    let shard = match opts.shard {
+        Some(s) => s % shards,
+        None => (splitmix64(id as u64) % shards as u64) as usize,
+    };
+    let (producer, consumer) = ring::ring(opts.ring);
+    let monitor = Arc::new(StreamMonitor {
+        id,
+        shard,
+        name: opts.name.unwrap_or_else(|| format!("stream-{id}")),
+        records_in: AtomicU64::new(0),
+        quarantined_after: AtomicU64::new(0),
+        healed: AtomicU64::new(0),
+        skipped: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        quarantine: Mutex::new(None),
+        latency: Mutex::new(LatencyHistogram::new()),
+        counters: producer.counters(),
+    });
+    lock_recover(&registry.monitors).push(Arc::clone(&monitor));
+    if inboxes[shard]
+        .send(NewStream {
+            id,
+            consumer,
+            factory: Box::new(factory),
+            monitor,
+            timing: opts.timing,
+            guard: opts.guard,
+        })
+        .is_err()
+    {
+        // The worker is gone (engine tearing down): undo the monitor so
+        // the registry never advertises a stream nobody serves.
+        lock_recover(&registry.monitors).retain(|m| m.id != id);
+        return Err(RegisterError);
+    }
+    Ok(StreamHandle {
+        producer,
+        id,
+        t: 0,
+        scratch: Vec::with_capacity(FEED_CHUNK),
+    })
+}
+
+/// Shared detach path: close the handle, wait for the shard to retire
+/// the stream, report the final ledger.
+fn detach_stream_inner(registry: &Arc<StatsRegistry>, handle: StreamHandle) -> DetachReport {
+    let id = handle.id();
+    let monitor = registry
+        .monitor(id)
+        .expect("a live StreamHandle always has a registered monitor");
+    drop(handle); // closes the ring: the shard drains, flushes, retires
+    while !monitor.done.load(Ordering::Acquire) {
+        std::thread::sleep(IDLE_PARK);
+    }
+    // Acquire on `done` paired with the shard's Release store makes the
+    // final counter values below visible: the ledger is exact.
+    DetachReport {
+        stream: id,
+        records_in: monitor.records_in.load(Ordering::Acquire),
+        drops: monitor.counters.drops.load(Ordering::Acquire),
+        quarantined_after: monitor.quarantined_after.load(Ordering::Acquire),
+        pushed: monitor.counters.pushed.load(Ordering::Acquire),
+        state: monitor.state(),
     }
 }
 
@@ -1139,7 +1350,10 @@ where
                         });
                     }
                 }
-                st.monitor.done.store(true, Ordering::Relaxed);
+                // Release pairs with a detach's Acquire poll on `done`:
+                // once the close is observed, every final counter store
+                // above is too, so the detach report's ledger is exact.
+                st.monitor.done.store(true, Ordering::Release);
                 let latency = lock_recover(&st.monitor.latency).clone();
                 let state = match &st.quarantine {
                     Some((cause, at_record)) => StreamState::Quarantined {

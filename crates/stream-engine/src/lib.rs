@@ -20,6 +20,12 @@
 //!   and [`metrics`] exports those snapshots as Prometheus text
 //!   exposition / JSON over a std-only HTTP listener
 //!   ([`ServingEngine::serve_metrics`]) or periodic file snapshots,
+//! * [`net`] is the network ingestion tier: an [`IngestServer`] accepts
+//!   many TCP producers speaking a small length-prefixed binary protocol
+//!   ([`Frame`]), registering/detaching streams on the *live* engine at
+//!   runtime ([`ServingEngine::registrar`]) and surfacing each ring's
+//!   backpressure policy as protocol responses (THROTTLE / ACK drop
+//!   counts / typed ERROR),
 //! * [`parallel::run_streams`] runs a batch of in-memory streams to
 //!   completion on the engine (the §4.4 experiment shape),
 //! * a single-threaded [`Pipeline`] composes operator chains for
@@ -41,6 +47,7 @@ pub mod fault;
 pub mod guard;
 pub mod latency;
 pub mod metrics;
+pub mod net;
 pub mod operator;
 pub mod parallel;
 pub mod pipeline;
@@ -48,8 +55,9 @@ pub mod ring;
 pub mod source;
 
 pub use engine::{
-    feed_all, serve, EngineConfig, FeedReport, IngestError, QuarantineCause, RetryPolicy,
-    ServingEngine, StatsHandle, StreamHandle, StreamOptions, StreamResult, StreamState, Timing,
+    feed_all, serve, DetachReport, EngineConfig, FeedReport, IngestError, QuarantineCause,
+    RegisterError, Registrar, RetryPolicy, ServingEngine, StatsHandle, StreamHandle, StreamOptions,
+    StreamResult, StreamState, Timing,
 };
 #[cfg(feature = "fault-inject")]
 pub use fault::{
@@ -58,7 +66,14 @@ pub use fault::{
 };
 pub use guard::{GuardAction, GuardConfig, GuardTrip, GuardVerdict, InputGuard};
 pub use latency::{LatencyHistogram, ServingStats, ShardStats, StreamStats};
-pub use metrics::{render_prometheus, render_stats_json, vm_hwm_kb, MetricsServer, SnapshotWriter};
+pub use metrics::{
+    render_prometheus, render_prometheus_with_net, render_stats_json, render_stats_json_with_net,
+    vm_hwm_kb, MetricsServer, SnapshotWriter,
+};
+pub use net::{
+    AckInfo, ConnStats, ErrorCode, Frame, FrameError, IngestServer, NetClient, NetError, NetStats,
+    NetStatsHandle, RegisterRequest,
+};
 pub use operator::{
     FilterOperator, MapOperator, MultivariateSegmenterOperator, Operator, SegmenterOperator,
     TumblingWindowMean,

@@ -25,6 +25,7 @@
 
 use crate::engine::StatsHandle;
 use crate::latency::{ServingStats, ShardStats, StreamStats};
+use crate::net::{ConnStats, NetStats, NetStatsHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -103,6 +104,14 @@ fn stream_labels(s: &StreamStats) -> String {
 /// family are ordered by shard index / stream id, so two renders of the
 /// same snapshot are byte-identical (pinned by a golden-fixture test).
 pub fn render_prometheus(stats: &ServingStats) -> String {
+    render_prometheus_with_net(stats, None)
+}
+
+/// [`render_prometheus`] plus the network ingestion tier's families
+/// (`class_net_*`): engine-level connection/frame totals and one series
+/// per producer connection (`conn`/`peer` labels). With `net: None` the
+/// output is byte-identical to [`render_prometheus`].
+pub fn render_prometheus_with_net(stats: &ServingStats, net: Option<&NetStats>) -> String {
     let mut out = String::with_capacity(4096);
 
     // Engine-level gauges.
@@ -321,13 +330,145 @@ pub fn render_prometheus(stats: &ServingStats) -> String {
             s.mean.as_secs_f64()
         ));
     }
+
+    if let Some(net) = net {
+        render_net_families(&mut out, net);
+    }
     out
+}
+
+/// The per-connection label set, shared by every `class_net_conn_*`
+/// series.
+fn conn_labels(c: &ConnStats) -> String {
+    format!("conn=\"{}\",peer=\"{}\"", c.conn, escape_label(&c.peer))
+}
+
+/// A metric-family table entry over per-connection snapshots.
+type ConnFamily = (&'static str, &'static str, fn(&ConnStats) -> u64);
+
+/// Appends the network ingestion tier's metric families.
+fn render_net_families(out: &mut String, net: &NetStats) {
+    family(
+        out,
+        "class_net_connections",
+        "gauge",
+        "Producer connections currently open.",
+    );
+    out.push_str(&format!("class_net_connections {}\n", net.active));
+    family(
+        out,
+        "class_net_connections_total",
+        "counter",
+        "Producer connections ever accepted.",
+    );
+    out.push_str(&format!("class_net_connections_total {}\n", net.accepted));
+    family(
+        out,
+        "class_net_frames_total",
+        "counter",
+        "Protocol frames received across all connections.",
+    );
+    out.push_str(&format!("class_net_frames_total {}\n", net.frames()));
+    family(
+        out,
+        "class_net_records_total",
+        "counter",
+        "Record values accepted into rings over the wire.",
+    );
+    out.push_str(&format!("class_net_records_total {}\n", net.records()));
+    family(
+        out,
+        "class_net_throttle_total",
+        "counter",
+        "THROTTLE frames sent (block-policy backpressure stalls).",
+    );
+    out.push_str(&format!(
+        "class_net_throttle_total {}\n",
+        net.throttle_events()
+    ));
+    family(
+        out,
+        "class_net_errors_total",
+        "counter",
+        "Typed protocol ERROR frames sent to producers.",
+    );
+    out.push_str(&format!(
+        "class_net_errors_total {}\n",
+        net.protocol_errors()
+    ));
+
+    let conn_gauges: [ConnFamily; 2] = [
+        (
+            "class_net_conn_open",
+            "1 while the producer connection is open.",
+            |c| u64::from(c.open),
+        ),
+        (
+            "class_net_conn_streams",
+            "Streams currently attached by the connection.",
+            |c| c.streams as u64,
+        ),
+    ];
+    for (name, help, get) in conn_gauges {
+        family(out, name, "gauge", help);
+        for c in &net.connections {
+            out.push_str(&format!("{name}{{{}}} {}\n", conn_labels(c), get(c)));
+        }
+    }
+    let conn_counters: [ConnFamily; 4] = [
+        (
+            "class_net_conn_frames_total",
+            "Protocol frames received on the connection.",
+            |c| c.frames,
+        ),
+        (
+            "class_net_conn_records_total",
+            "Record values the connection fed into rings.",
+            |c| c.records,
+        ),
+        (
+            "class_net_conn_throttle_total",
+            "THROTTLE frames sent to the connection.",
+            |c| c.throttle_events,
+        ),
+        (
+            "class_net_conn_errors_total",
+            "Typed ERROR frames sent to the connection.",
+            |c| c.protocol_errors,
+        ),
+    ];
+    for (name, help, get) in conn_counters {
+        family(out, name, "counter", help);
+        for c in &net.connections {
+            out.push_str(&format!("{name}{{{}}} {}\n", conn_labels(c), get(c)));
+        }
+    }
+    family(
+        out,
+        "class_net_conn_frames_per_sec",
+        "gauge",
+        "Frames per second over the connection's lifetime.",
+    );
+    for c in &net.connections {
+        out.push_str(&format!(
+            "class_net_conn_frames_per_sec{{{}}} {}\n",
+            conn_labels(c),
+            c.frames_per_sec()
+        ));
+    }
 }
 
 /// Renders a [`ServingStats`] snapshot as a `class-serving-stats/v1`
 /// JSON document — the payload behind `GET /stats.json`, the
 /// [`SnapshotWriter`] file, and `class-cli serve-status`.
 pub fn render_stats_json(stats: &ServingStats) -> String {
+    render_stats_json_with_net(stats, None)
+}
+
+/// [`render_stats_json`] plus a `"net"` object describing the network
+/// ingestion tier (additive — the schema stays `class-serving-stats/v1`
+/// and the object is simply absent when no ingest server is attached).
+pub fn render_stats_json_with_net(stats: &ServingStats, net: Option<&NetStats>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{STATS_JSON_SCHEMA}\",\n"));
@@ -405,7 +546,47 @@ pub fn render_stats_json(stats: &ServingStats) -> String {
             if i + 1 < stats.streams.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    match net {
+        None => out.push_str("  ]\n}\n"),
+        Some(net) => {
+            out.push_str("  ],\n");
+            out.push_str("  \"net\": {\n");
+            out.push_str(&format!(
+                "    \"accepted\": {}, \"active\": {}, \"frames\": {}, \"records\": {}, \
+                 \"throttle_events\": {}, \"protocol_errors\": {},\n",
+                net.accepted,
+                net.active,
+                net.frames(),
+                net.records(),
+                net.throttle_events(),
+                net.protocol_errors()
+            ));
+            out.push_str("    \"connections\": [\n");
+            for (i, c) in net.connections.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"conn\": {}, \"peer\": \"{}\", \"open\": {}, \"streams\": {}, \
+                     \"frames\": {}, \"records\": {}, \"throttle_events\": {}, \
+                     \"protocol_errors\": {}, \"uptime_s\": {:.3}, \"frames_per_sec\": {:.1}}}{}\n",
+                    c.conn,
+                    escape_json(&c.peer),
+                    c.open,
+                    c.streams,
+                    c.frames,
+                    c.records,
+                    c.throttle_events,
+                    c.protocol_errors,
+                    c.uptime.as_secs_f64(),
+                    c.frames_per_sec(),
+                    if i + 1 < net.connections.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str("    ]\n  }\n}\n");
+        }
+    }
     out
 }
 
@@ -435,6 +616,7 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 pub struct MetricsServer {
     addr: SocketAddr,
     source: Arc<Mutex<Option<StatsHandle>>>,
+    net_source: Arc<Mutex<Option<NetStatsHandle>>>,
     stop: Arc<AtomicBool>,
     scrapes: Arc<AtomicU64>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -450,19 +632,22 @@ impl MetricsServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let source: Arc<Mutex<Option<StatsHandle>>> = Arc::new(Mutex::new(None));
+        let net_source: Arc<Mutex<Option<NetStatsHandle>>> = Arc::new(Mutex::new(None));
         let stop = Arc::new(AtomicBool::new(false));
         let scrapes = Arc::new(AtomicU64::new(0));
         let thread = {
             let source = Arc::clone(&source);
+            let net_source = Arc::clone(&net_source);
             let stop = Arc::clone(&stop);
             let scrapes = Arc::clone(&scrapes);
             std::thread::Builder::new()
                 .name("class-metrics".into())
-                .spawn(move || listen_loop(listener, &source, &stop, &scrapes))?
+                .spawn(move || listen_loop(listener, &source, &net_source, &stop, &scrapes))?
         };
         Ok(MetricsServer {
             addr,
             source,
+            net_source,
             stop,
             scrapes,
             thread: Some(thread),
@@ -477,6 +662,13 @@ impl MetricsServer {
     /// Attaches (or replaces) the stats source served from now on.
     pub fn attach(&self, handle: StatsHandle) {
         *lock(&self.source) = Some(handle);
+    }
+
+    /// Attaches (or replaces) a network ingestion tier: `/metrics`
+    /// grows the `class_net_*` families and `/stats.json` a `"net"`
+    /// object (see [`crate::IngestServer::net_stats`]).
+    pub fn attach_net(&self, handle: NetStatsHandle) {
+        *lock(&self.net_source) = Some(handle);
     }
 
     /// How many `/metrics` scrapes have been answered.
@@ -500,6 +692,7 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 fn listen_loop(
     listener: TcpListener,
     source: &Mutex<Option<StatsHandle>>,
+    net_source: &Mutex<Option<NetStatsHandle>>,
     stop: &AtomicBool,
     scrapes: &AtomicU64,
 ) {
@@ -507,7 +700,7 @@ fn listen_loop(
         match listener.accept() {
             Ok((conn, _peer)) => {
                 // A failed scrape must not take the listener down.
-                let _ = handle_conn(conn, source, scrapes);
+                let _ = handle_conn(conn, source, net_source, scrapes);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -520,6 +713,7 @@ fn listen_loop(
 fn handle_conn(
     mut conn: TcpStream,
     source: &Mutex<Option<StatsHandle>>,
+    net_source: &Mutex<Option<NetStatsHandle>>,
     scrapes: &AtomicU64,
 ) -> std::io::Result<()> {
     conn.set_nonblocking(false)?;
@@ -537,16 +731,21 @@ fn handle_conn(
     let request = String::from_utf8_lossy(&head);
     let path = request.split_whitespace().nth(1).unwrap_or("/").to_string();
     let snapshot = lock(source).as_ref().map(StatsHandle::stats);
+    let net_snapshot = lock(net_source).as_ref().map(NetStatsHandle::stats);
     let (status, content_type, body) = match (path.as_str(), snapshot) {
         ("/metrics", Some(stats)) => {
             scrapes.fetch_add(1, Ordering::Relaxed);
             (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                render_prometheus(&stats),
+                render_prometheus_with_net(&stats, net_snapshot.as_ref()),
             )
         }
-        ("/stats.json", Some(stats)) => ("200 OK", "application/json", render_stats_json(&stats)),
+        ("/stats.json", Some(stats)) => (
+            "200 OK",
+            "application/json",
+            render_stats_json_with_net(&stats, net_snapshot.as_ref()),
+        ),
         ("/metrics" | "/stats.json", None) => (
             "503 Service Unavailable",
             "text/plain; charset=utf-8",

@@ -23,7 +23,8 @@ use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::time::Duration;
 use stream_engine::{
-    feed_all, render_prometheus, render_stats_json, serve, EngineConfig, QuarantineCause,
+    feed_all, render_prometheus, render_prometheus_with_net, render_stats_json,
+    render_stats_json_with_net, serve, ConnStats, EngineConfig, NetStats, QuarantineCause,
     ServingStats, ShardStats, SnapshotWriter, StreamOptions, StreamState, StreamStats,
     TumblingWindowMean,
 };
@@ -93,6 +94,31 @@ fn fixture() -> ServingStats {
     }
 }
 
+/// A fixed ingestion-tier snapshot: two open producer connections (one
+/// with a label-escape-needing peer name) and one already closed.
+fn net_fixture() -> NetStats {
+    let mk = |conn: u64, peer: &str, open: bool| ConnStats {
+        conn,
+        peer: peer.to_string(),
+        open,
+        streams: if open { 2 } else { 0 },
+        frames: 100 + conn * 17,
+        records: 5_000 + conn * 13,
+        throttle_events: conn,
+        protocol_errors: conn / 2,
+        uptime: Duration::from_millis(2_000 + conn * 500),
+    };
+    NetStats {
+        accepted: 3,
+        active: 2,
+        connections: vec![
+            mk(0, "127.0.0.1:50001", true),
+            mk(1, "bench \"B\" \\ east\nclient", true),
+            mk(2, "127.0.0.1:50003", false),
+        ],
+    }
+}
+
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/golden/serving_stats.prom"
@@ -100,7 +126,7 @@ const GOLDEN_PATH: &str = concat!(
 
 #[test]
 fn render_matches_committed_golden_byte_for_byte() {
-    let rendered = render_prometheus(&fixture());
+    let rendered = render_prometheus_with_net(&fixture(), Some(&net_fixture()));
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &rendered).expect("writing golden fixture");
         return;
@@ -118,7 +144,7 @@ fn render_matches_committed_golden_byte_for_byte() {
 
 #[test]
 fn label_values_escape_backslash_quote_and_newline() {
-    let out = render_prometheus(&fixture());
+    let out = render_prometheus_with_net(&fixture(), Some(&net_fixture()));
     // `sensor "B" \ west` must appear with escaped quotes + backslash.
     assert!(
         out.contains(r#"name="sensor \"B\" \\ west""#),
@@ -129,6 +155,11 @@ fn label_values_escape_backslash_quote_and_newline() {
     assert!(
         out.contains(r#"name="sensor\nC""#),
         "missing escaped newline label:\n{out}"
+    );
+    // Peer labels on net series go through the same escaper.
+    assert!(
+        out.contains(r#"peer="bench \"B\" \\ east\nclient""#),
+        "missing escaped peer label:\n{out}"
     );
     for line in out.lines() {
         assert!(
@@ -210,7 +241,7 @@ fn parse_sample(line: &str) -> Option<Sample> {
 
 #[test]
 fn every_line_is_valid_exposition_syntax() {
-    let out = render_prometheus(&fixture());
+    let out = render_prometheus_with_net(&fixture(), Some(&net_fixture()));
     let mut samples = 0usize;
     let mut helped: Vec<String> = Vec::new();
     let mut typed: Vec<String> = Vec::new();
@@ -292,6 +323,42 @@ fn counters_reconcile_with_the_snapshot() {
             s.quarantined_after as f64
         );
     }
+}
+
+#[test]
+fn net_families_reconcile_and_degrade_cleanly() {
+    let stats = fixture();
+    let net = net_fixture();
+    // Without an ingest tier both renders stay byte-identical to the
+    // plain ones — attaching the network tier is purely additive.
+    assert_eq!(
+        render_prometheus_with_net(&stats, None),
+        render_prometheus(&stats)
+    );
+    assert_eq!(
+        render_stats_json_with_net(&stats, None),
+        render_stats_json(&stats)
+    );
+    let out = render_prometheus_with_net(&stats, Some(&net));
+    assert!(out.contains("class_net_connections 2\n"), "{out}");
+    assert!(out.contains("class_net_connections_total 3\n"), "{out}");
+    assert!(
+        out.contains(
+            r#"class_net_conn_frames_total{conn="1",peer="bench \"B\" \\ east\nclient"} 117"#
+        ),
+        "{out}"
+    );
+    assert!(
+        out.contains(r#"class_net_conn_open{conn="2",peer="127.0.0.1:50003"} 0"#),
+        "closed connections stay listed: {out}"
+    );
+    let json = render_stats_json_with_net(&stats, Some(&net));
+    assert!(json.contains("\"net\": {"), "{json}");
+    assert!(json.contains("\"accepted\": 3, \"active\": 2"), "{json}");
+    assert!(
+        json.contains("\"conn\": 2, \"peer\": \"127.0.0.1:50003\", \"open\": false"),
+        "{json}"
+    );
 }
 
 /// Minimal HTTP/1.1 GET against the metrics listener.

@@ -26,6 +26,17 @@
 //! class-cli serve-status --addr 127.0.0.1:9599
 //! class-cli serve-status --snapshot /var/run/class/stats.json --format tsv
 //! ```
+//!
+//! `serve` and `feed` are the two ends of the TCP ingestion tier: `serve`
+//! binds an [`stream_engine::IngestServer`] on a live serving engine so
+//! any number of producers can register streams at runtime and push
+//! values over the length-prefixed binary protocol; `feed` is such a
+//! producer, streaming local files:
+//!
+//! ```text
+//! class-cli serve --listen 127.0.0.1:9600 --window 10000 --metrics-addr 127.0.0.1:9599
+//! class-cli feed --connect 127.0.0.1:9600 sensor-a.txt sensor-b.txt
+//! ```
 
 use class_core::{ClassConfig, ClassSegmenter, StreamingSegmenter, WidthSelection, WssMethod};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -67,6 +78,8 @@ USAGE:
     class-cli [OPTIONS]                 segment a stdin/--input feed
     class-cli datasets list             list available archives
     class-cli datasets run FILE...      segment annotated archive files
+    class-cli serve --listen ADDR       run a TCP ingestion server
+    class-cli feed --connect ADDR FILE... stream files to a `serve` instance
     class-cli serve-status ...          inspect a serving engine's stats
 
 OPTIONS:
@@ -119,6 +132,36 @@ DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
         --bundle-out PATH writes a provenance-stamped run bundle
         (class-run-bundle/v1) for diffing with compare_bundles.
 
+SERVE / FEED (the TCP ingestion tier: many producers, one engine):
+    serve --listen HOST:PORT [--shards N] [--window N] [--width N]
+          [--wss METHOD] [--alpha P] [--jump N] [--ring N]
+          [--policy block|drop-oldest|error] [--metrics-addr HOST:PORT]
+          [--idle-exit SECONDS]
+        Run a ClaSS segmenter behind the binary ingestion protocol:
+        producers (e.g. `class-cli feed`) connect, register streams at
+        runtime and stream values; each stream's change points are
+        collected and printed when the server exits. The FIRST stderr
+        line is `listening on HOST:PORT` with the resolved port (bind
+        port 0 for an ephemeral one). --ring/--policy set the default
+        ring a producer gets when its REGISTER does not request one;
+        backpressure is surfaced on the wire (block -> THROTTLE frames,
+        drop-oldest -> drop counts on ACKs, error -> typed ERROR and
+        close). --idle-exit S exits once at least one producer has
+        connected and none has been active for S seconds (default:
+        serve forever). Exit status: 0 ok, 1 bind/engine error, 2
+        usage error, 3 at least one stream was quarantined.
+
+    feed --connect HOST:PORT [--batch N] [--column N] [--delimiter C]
+         [--ring N] [--policy block|drop-oldest|error] FILE...
+        Register one wire stream per FILE (named by its file stem) on a
+        running `serve` instance and stream its values in --batch-sized
+        RECORDS frames (default 512), stop-and-wait. Values parse like
+        the stdin mode (--column/--delimiter; non-numeric lines are
+        skipped). --ring/--policy request a specific ring at
+        registration (default: the server decides). Prints per-file
+        acked/dropped/throttled counts. Exit status: 0 ok, 1
+        connect/protocol/read error, 2 usage error.
+
 SERVE-STATUS (read a serving engine's stats from either source):
     serve-status (--addr HOST:PORT | --snapshot PATH) [--format text|tsv]
         --addr fetches /stats.json from a live metrics endpoint
@@ -126,7 +169,10 @@ SERVE-STATUS (read a serving engine's stats from either source):
         ServingEngine::serve_metrics listener); --snapshot reads the
         periodic JSON snapshot file a headless run maintains. Prints
         connected streams, records/sec, ingest lag (queue depth), drops
-        and quarantines; --format tsv emits one row per stream.
+        and quarantines; --format tsv emits one row per stream. When
+        the engine has a network ingestion tier attached (serve
+        --metrics-addr), text mode also prints the tier totals and one
+        row per producer connection.
 
         Exit status: 0 healthy, 1 fetch/read/parse error, 2 usage
         error, 3 the engine reports quarantined streams.
@@ -1023,6 +1069,42 @@ fn serve_status(rest: &[String]) -> i32 {
             "ingest lag:   {} records queued",
             num(&totals, "queue_depth") as u64
         );
+        // The `net` object is additive: only engines with an ingestion
+        // tier attached report it (serve --metrics-addr).
+        if let Some(net) = json.get("net") {
+            println!(
+                "ingest tier:  {} connections accepted ({} open), {} frames, \
+                 {} records, {} throttles, {} protocol errors",
+                num(net, "accepted") as u64,
+                num(net, "active") as u64,
+                num(net, "frames") as u64,
+                num(net, "records") as u64,
+                num(net, "throttle_events") as u64,
+                num(net, "protocol_errors") as u64,
+            );
+            for c in net
+                .get("connections")
+                .and_then(|v| v.as_arr())
+                .unwrap_or(&[])
+            {
+                println!(
+                    "  conn {} ({}): {}, {} streams, {} frames ({:.1}/s), \
+                     {} records, {} throttles",
+                    num(c, "conn") as u64,
+                    c.get("peer").and_then(|v| v.as_str()).unwrap_or("?"),
+                    if matches!(c.get("open"), Some(eval::Json::Bool(true))) {
+                        "open"
+                    } else {
+                        "closed"
+                    },
+                    num(c, "streams") as u64,
+                    num(c, "frames") as u64,
+                    num(c, "frames_per_sec"),
+                    num(c, "records") as u64,
+                    num(c, "throttle_events") as u64,
+                );
+            }
+        }
     }
     // Quarantine detail goes to stderr in both formats, like
     // `datasets run`, so scripts scraping stdout stay parseable.
@@ -1048,6 +1130,385 @@ fn serve_status(rest: &[String]) -> i32 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `serve` / `feed` — the TCP ingestion tier from the command line
+// ---------------------------------------------------------------------------
+
+/// Parses a `--policy` value into a ring backpressure policy.
+fn parse_policy(v: &str) -> Result<stream_engine::Backpressure, String> {
+    match v {
+        "block" => Ok(stream_engine::Backpressure::Block),
+        "drop-oldest" => Ok(stream_engine::Backpressure::DropOldest),
+        "error" => Ok(stream_engine::Backpressure::Error),
+        other => Err(format!(
+            "--policy must be block, drop-oldest or error, got {other}"
+        )),
+    }
+}
+
+struct ServeArgs {
+    listen: String,
+    shards: usize,
+    window: usize,
+    width: Option<usize>,
+    wss: WssMethod,
+    alpha: f64,
+    jump: Option<usize>,
+    ring: usize,
+    policy: stream_engine::Backpressure,
+    metrics_addr: Option<String>,
+    idle_exit: Option<f64>,
+}
+
+fn parse_serve_args(rest: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        listen: String::new(),
+        shards: 2,
+        window: 10_000,
+        width: None,
+        wss: WssMethod::Suss,
+        alpha: 1e-50,
+        jump: None,
+        ring: stream_engine::RingConfig::default().capacity,
+        policy: stream_engine::Backpressure::Block,
+        metrics_addr: None,
+        idle_exit: None,
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => out.listen = grab("--listen")?,
+            "--shards" => {
+                let s: usize = grab("--shards")?.parse().map_err(|_| "numeric --shards")?;
+                if s == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                out.shards = s;
+            }
+            "--window" => out.window = grab("--window")?.parse().map_err(|_| "numeric --window")?,
+            "--width" => out.width = Some(grab("--width")?.parse().map_err(|_| "numeric --width")?),
+            "--wss" => {
+                out.wss = match grab("--wss")?.as_str() {
+                    "suss" => WssMethod::Suss,
+                    "fft" => WssMethod::FftDominant,
+                    "acf" => WssMethod::Acf,
+                    "mwf" => WssMethod::Mwf,
+                    other => return Err(format!("unknown WSS method {other}")),
+                }
+            }
+            "--alpha" => out.alpha = grab("--alpha")?.parse().map_err(|_| "numeric --alpha")?,
+            "--jump" => {
+                let j: usize = grab("--jump")?.parse().map_err(|_| "numeric --jump")?;
+                if j == 0 {
+                    return Err("--jump must be at least 1".into());
+                }
+                out.jump = Some(j);
+            }
+            "--ring" => {
+                let c: usize = grab("--ring")?.parse().map_err(|_| "numeric --ring")?;
+                if c == 0 {
+                    return Err("--ring must hold at least one record".into());
+                }
+                out.ring = c;
+            }
+            "--policy" => out.policy = parse_policy(&grab("--policy")?)?,
+            "--metrics-addr" => out.metrics_addr = Some(grab("--metrics-addr")?),
+            "--idle-exit" => {
+                let s: f64 = grab("--idle-exit")?
+                    .parse()
+                    .map_err(|_| "numeric --idle-exit")?;
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(format!(
+                        "--idle-exit must be a positive number of seconds, got {s}"
+                    ));
+                }
+                out.idle_exit = Some(s);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if out.listen.is_empty() {
+        return Err("serve needs --listen HOST:PORT (use port 0 for an ephemeral port)".into());
+    }
+    Ok(out)
+}
+
+/// `class-cli serve`: bind a TCP ingestion server on a live serving
+/// engine and step wire-registered ClaSS streams until idle (or forever).
+fn serve_cmd(rest: &[String]) -> i32 {
+    let args = match parse_serve_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let mut cfg = ClassConfig::with_window_size(args.window);
+    cfg.width = match args.width {
+        Some(w) => WidthSelection::Fixed(w),
+        None => WidthSelection::Learn(args.wss),
+    };
+    cfg.log10_alpha = args.alpha.log10();
+    if let Some(j) = args.jump {
+        cfg.jump = j;
+    }
+
+    let engine_cfg = stream_engine::EngineConfig {
+        shards: args.shards,
+        ring: stream_engine::RingConfig::new(args.ring, args.policy),
+    };
+    let started = std::time::Instant::now();
+    let (results, code) = stream_engine::serve(engine_cfg, |engine| {
+        let server = match stream_engine::IngestServer::bind(
+            args.listen.as_str(),
+            engine.registrar(),
+            move |_req: &stream_engine::RegisterRequest| {
+                stream_engine::SegmenterOperator::new(ClassSegmenter::new(cfg.clone()))
+            },
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: binding {}: {e}", args.listen);
+                return 1;
+            }
+        };
+        // First stderr line by contract: scripts bind port 0 and parse
+        // the resolved address from here.
+        eprintln!("listening on {}", server.addr());
+        let metrics = match &args.metrics_addr {
+            Some(addr) => match stream_engine::MetricsServer::bind(addr) {
+                Ok(m) => {
+                    m.attach(engine.stats_handle());
+                    m.attach_net(server.net_stats());
+                    eprintln!("metrics: http://{}/metrics", m.addr());
+                    Some(m)
+                }
+                Err(e) => {
+                    eprintln!("error: binding metrics endpoint {addr}: {e}");
+                    return 1;
+                }
+            },
+            None => None,
+        };
+        let stats = server.net_stats();
+        let poll = std::time::Duration::from_millis(100);
+        let mut idle_since: Option<std::time::Instant> = None;
+        loop {
+            std::thread::sleep(poll);
+            let Some(limit) = args.idle_exit else {
+                continue;
+            };
+            let snap = stats.stats();
+            if snap.accepted > 0 && snap.active == 0 {
+                let since = *idle_since.get_or_insert_with(std::time::Instant::now);
+                if since.elapsed().as_secs_f64() >= limit {
+                    break;
+                }
+            } else {
+                idle_since = None;
+            }
+        }
+        let snap = stats.stats();
+        eprintln!(
+            "shutting down after {} connections, {} frames, {} records on the wire",
+            snap.accepted,
+            snap.frames(),
+            snap.records()
+        );
+        drop(metrics);
+        drop(server);
+        0
+    });
+    if code != 0 {
+        return code;
+    }
+    println!(
+        "served {} wire streams in {:.1} s",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
+    let mut code = 0;
+    for r in &results {
+        let mut found: Vec<u64> = r.output.iter().map(|rec| rec.value).collect();
+        found.sort_unstable();
+        found.dedup();
+        println!(
+            "stream {}: {} records, {} drops, {} change points [{}]",
+            r.stream,
+            r.records_in,
+            r.drops,
+            found.len(),
+            fmt_cps(&found)
+        );
+        if let Some((cause, at_record)) = r.quarantine() {
+            eprintln!(
+                "quarantined: stream {} at record {at_record}: {cause}",
+                r.stream
+            );
+            code = EXIT_QUARANTINED;
+        }
+    }
+    code
+}
+
+struct FeedArgs {
+    connect: String,
+    batch: usize,
+    column: usize,
+    delimiter: char,
+    ring: Option<usize>,
+    policy: Option<stream_engine::Backpressure>,
+    files: Vec<String>,
+}
+
+fn parse_feed_args(rest: &[String]) -> Result<FeedArgs, String> {
+    let mut out = FeedArgs {
+        connect: String::new(),
+        batch: 512,
+        column: 0,
+        delimiter: ',',
+        ring: None,
+        policy: None,
+        files: Vec::new(),
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--connect" => out.connect = grab("--connect")?,
+            "--batch" => {
+                let b: usize = grab("--batch")?.parse().map_err(|_| "numeric --batch")?;
+                if b == 0 {
+                    return Err("--batch must send at least one record per frame".into());
+                }
+                out.batch = b;
+            }
+            "--column" => out.column = grab("--column")?.parse().map_err(|_| "numeric --column")?,
+            "--delimiter" => out.delimiter = grab("--delimiter")?.chars().next().unwrap_or(','),
+            "--ring" => {
+                let c: usize = grab("--ring")?.parse().map_err(|_| "numeric --ring")?;
+                if c == 0 {
+                    return Err("--ring must hold at least one record".into());
+                }
+                out.ring = Some(c);
+            }
+            "--policy" => out.policy = Some(parse_policy(&grab("--policy")?)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown argument {flag}")),
+            file => out.files.push(file.to_string()),
+        }
+    }
+    if out.connect.is_empty() {
+        return Err("feed needs --connect HOST:PORT".into());
+    }
+    if out.files.is_empty() {
+        return Err("feed needs at least one FILE".into());
+    }
+    Ok(out)
+}
+
+/// Reads one value per line from `path` exactly like the stdin mode:
+/// pick a delimited column, skip lines that do not parse.
+fn read_values(path: &str, column: usize, delimiter: char) -> Result<Vec<f64>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut values = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| format!("{path}: read failure: {e}"))?;
+        let field = line.split(delimiter).nth(column).unwrap_or("");
+        if let Ok(x) = field.trim().parse::<f64>() {
+            values.push(x); // headers and malformed lines are skipped
+        }
+    }
+    if values.is_empty() {
+        return Err(format!("{path}: no numeric values in column {column}"));
+    }
+    Ok(values)
+}
+
+/// `class-cli feed`: stream local files to a running `serve` instance,
+/// one wire stream per file, stop-and-wait batches.
+fn feed_cmd(rest: &[String]) -> i32 {
+    let args = match parse_feed_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    // A requested ring only travels on REGISTER when either knob is
+    // given; otherwise capacity 0 asks for the server's default.
+    let req_ring = match (args.ring, args.policy) {
+        (None, None) => None,
+        (cap, pol) => Some(stream_engine::RingConfig::new(
+            cap.unwrap_or_else(|| stream_engine::RingConfig::default().capacity),
+            pol.unwrap_or(stream_engine::Backpressure::Block),
+        )),
+    };
+    let client_name = format!("class-cli-feed/{}", std::process::id());
+    let mut client = match stream_engine::NetClient::connect(args.connect.as_str(), &client_name) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting {}: {e}", args.connect);
+            return 1;
+        }
+    };
+    // ACK `received`/`drops` are cumulative per stream (= per file here);
+    // the client's throttle counter spans the connection, so that one is
+    // reported as a per-file delta.
+    let mut throttled_before = 0u64;
+    for file in &args.files {
+        let values = match read_values(file, args.column, args.delimiter) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let name = std::path::Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(file.as_str());
+        let id = match client.register(name, req_ring) {
+            Ok(id) => id,
+            Err(e) => {
+                eprintln!("error: {file}: register: {e}");
+                return 1;
+            }
+        };
+        for chunk in values.chunks(args.batch) {
+            if let Err(e) = client.send_records(id, chunk) {
+                eprintln!("error: {file}: send: {e}");
+                return 1;
+            }
+        }
+        let ack = match client.detach(id) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {file}: detach: {e}");
+                return 1;
+            }
+        };
+        let throttled = client.throttle_events();
+        println!(
+            "fed {name}: {} records read, {} acked, {} dropped, {} throttle events",
+            values.len(),
+            ack.received,
+            ack.drops,
+            throttled - throttled_before,
+        );
+        throttled_before = throttled;
+    }
+    0
+}
+
 fn fmt_cps(cps: &[u64]) -> String {
     cps.iter()
         .map(|c| c.to_string())
@@ -1063,6 +1524,12 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("serve-status") {
         std::process::exit(serve_status(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("serve") {
+        std::process::exit(serve_cmd(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("feed") {
+        std::process::exit(feed_cmd(&raw[1..]));
     }
     let args = parse_args();
     let mut cfg = ClassConfig::with_window_size(args.window);

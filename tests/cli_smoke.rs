@@ -86,6 +86,120 @@ fn text_format_skips_headers_and_prints_a_summary() {
 }
 
 #[test]
+fn serve_and_feed_round_trip_over_tcp() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join("class-cli-smoke-net");
+    std::fs::create_dir_all(&dir).unwrap();
+    let data_path = dir.join("two-regime.txt");
+    std::fs::write(&data_path, two_regime_input()).unwrap();
+
+    // An ephemeral-port server: the resolved address is, by contract,
+    // the first stderr line.
+    let mut serve = Command::new(CLI)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--window",
+            "2000",
+            "--alpha",
+            "1e-15",
+            "--idle-exit",
+            "0.5",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn class-cli serve");
+    let mut serve_err = std::io::BufReader::new(serve.stderr.take().expect("stderr piped"));
+    let mut first = String::new();
+    serve_err.read_line(&mut first).expect("read listen line");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first stderr line: {first:?}"))
+        .to_string();
+
+    // Feed the same file twice: ACK `received` is cumulative per
+    // *stream*, so each registration must report its own full count.
+    let data_arg = data_path.display().to_string();
+    let (stdout, stderr, code) = run_cli(&["feed", "--connect", &addr, &data_arg, &data_arg], "");
+    assert_eq!(code, 0, "feed failed: {stderr}");
+    assert_eq!(
+        stdout
+            .matches("fed two-regime: 6000 records read, 6000 acked, 0 dropped")
+            .count(),
+        2,
+        "{stdout}"
+    );
+
+    // The producer detached, so --idle-exit shuts the server down and
+    // its stdout carries the terminal per-stream ledger.
+    let out = serve.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "serve exit");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 serve stdout");
+    assert!(stdout.contains("served 2 wire streams"), "{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("stream 1:")),
+        "{stdout}"
+    );
+    let row = stdout
+        .lines()
+        .find(|l| l.starts_with("stream 0:"))
+        .unwrap_or_else(|| panic!("no stream row in {stdout:?}"));
+    assert!(row.contains("6000 records, 0 drops"), "{row}");
+    let cps: Vec<i64> = row
+        .split_once('[')
+        .and_then(|(_, rest)| rest.strip_suffix(']'))
+        .unwrap_or_else(|| panic!("no change point list in {row:?}"))
+        .split_whitespace()
+        .map(|c| c.parse().expect("numeric change point"))
+        .collect();
+    assert!(
+        cps.iter().any(|&cp| (cp - 3000).abs() < 500),
+        "no change point near 3000 over the wire; got {cps:?}"
+    );
+    std::fs::remove_file(&data_path).ok();
+}
+
+#[test]
+fn serve_and_feed_usage_errors_exit_2() {
+    let (_, stderr, code) = run_cli(&["serve"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--listen"), "{stderr}");
+
+    let (_, stderr, code) = run_cli(&["serve", "--listen", "127.0.0.1:0", "--policy", "x"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--policy must be"), "{stderr}");
+
+    let (_, stderr, code) = run_cli(&["feed", "--connect", "127.0.0.1:1"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("at least one FILE"), "{stderr}");
+
+    // A connect failure (nothing listening) is a runtime error, not usage.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let dir = std::env::temp_dir().join("class-cli-smoke-net");
+    std::fs::create_dir_all(&dir).unwrap();
+    let f = dir.join("tiny.txt");
+    std::fs::write(&f, "1\n2\n3\n").unwrap();
+    let (_, stderr, code) = run_cli(
+        &[
+            "feed",
+            "--connect",
+            &format!("127.0.0.1:{port}"),
+            &f.display().to_string(),
+        ],
+        "",
+    );
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("error: connecting"), "{stderr}");
+    std::fs::remove_file(&f).ok();
+}
+
+#[test]
 fn help_exits_cleanly_and_unknown_flags_do_not() {
     let (stdout, _, code) = run_cli(&["--help"], "");
     assert_eq!(code, 0);
