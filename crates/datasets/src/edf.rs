@@ -1,0 +1,1206 @@
+//! EDF(+) record ingestion: the native distribution format of the Sleep DB
+//! archive (polysomnography; Kemp et al.'s European Data Format).
+//!
+//! An EDF file is one self-contained binary file:
+//!
+//! * a **256-byte fixed header** of space-padded ASCII fields — version
+//!   (`0`), patient, recording identification, start date/time, the total
+//!   header size, a reserved block (`EDF+C` for a continuous EDF+
+//!   recording), the data-record count, the record duration in seconds and
+//!   the signal count;
+//! * **256 bytes of signal headers per signal**, field-contiguous (all
+//!   labels, then all transducer types, then all physical dimensions,
+//!   calibration ranges, prefilter notes, samples-per-record counts and
+//!   per-signal reserved blocks);
+//! * `n_records` **data records**, each holding `samples_per_record`
+//!   little-endian 16-bit two's-complement samples per signal, in signal
+//!   order. Physical values are recovered per signal via the linear
+//!   calibration `(digital - dig_min) * (phys_max - phys_min) /
+//!   (dig_max - dig_min) + phys_min`.
+//!
+//! This module implements a **strict subset** tailored to the repo's
+//! annotated-archive layout, mirroring [`crate::wfdb`]:
+//!
+//! * the recording-identification field carries the annotated temporal
+//!   pattern width as `width=<w>` (the `# width=` comment of our `.hea`
+//!   headers);
+//! * every data signal shares one samples-per-record count, so the record
+//!   has a single sampling frequency `spr / duration`;
+//! * an optional `EDF Annotations` channel — last signal, canonical
+//!   calibration — carries EDF+ time-stamped annotation lists (TALs):
+//!   each record opens with its timekeeping TAL
+//!   (`+<onset>\x14\x14\x00`) and segment boundaries are stored as
+//!   `+<seconds>\x14cp\x14\x00` annotations in the record containing
+//!   them;
+//! * digital samples outside a signal's `[dig_min, dig_max]` calibration
+//!   range map to `NaN` in physical units ([`digitize`] writes
+//!   `dig_min - 1`), so dead-sensor gaps survive the trip.
+//!
+//! The writer is the formatting source of truth (golden fixtures are
+//! generated through it), every parser error carries the offending byte
+//! offset in the [`ParseError`] file-level idiom, and round-trips are
+//! byte-identical: `parse(write(r)) == r` and `write(parse(bytes)) ==
+//! bytes` for writer-shaped files.
+
+use crate::formats::ParseError;
+
+/// Label reserved for the EDF+ annotations channel.
+pub const ANNOTATIONS_LABEL: &str = "EDF Annotations";
+
+/// Upper bound on the declared signal count (shared with the WFDB parser
+/// rationale: the count sizes allocations, so absurd headers must be
+/// rejected, not trusted).
+const MAX_SIGNALS: usize = 1024;
+
+/// TAL separator between the onset/duration block and each annotation
+/// text.
+const TAL_SEP: u8 = 0x14;
+/// TAL duration marker (not part of the strict subset — rejected).
+const TAL_DUR: u8 = 0x15;
+
+/// One data signal of an EDF record: identification, calibration and the
+/// raw digital samples (concatenated across data records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdfSignal {
+    /// Signal label (e.g. `EEG Fpz-Cz`); must not be the reserved
+    /// [`ANNOTATIONS_LABEL`].
+    pub label: String,
+    /// Transducer type (free text, may be empty).
+    pub transducer: String,
+    /// Physical dimension (e.g. `uV`, may be empty).
+    pub dimension: String,
+    /// Physical value corresponding to `dig_min`.
+    pub phys_min: f64,
+    /// Physical value corresponding to `dig_max`.
+    pub phys_max: f64,
+    /// Digital calibration minimum (must leave NaN headroom:
+    /// `> i16::MIN`).
+    pub dig_min: i16,
+    /// Digital calibration maximum (`> dig_min`).
+    pub dig_max: i16,
+    /// Prefiltering note (free text, may be empty).
+    pub prefilter: String,
+    /// Digital samples, concatenated over all data records. Values
+    /// outside `[dig_min, dig_max]` are NaN markers.
+    pub samples: Vec<i16>,
+}
+
+impl EdfSignal {
+    /// Converts one digital sample to physical units (`NaN` for values
+    /// outside the calibration range).
+    pub fn physical_value(&self, d: i16) -> f64 {
+        if d < self.dig_min || d > self.dig_max {
+            return f64::NAN;
+        }
+        (d - self.dig_min) as f64 * (self.phys_max - self.phys_min)
+            / (self.dig_max as f64 - self.dig_min as f64)
+            + self.phys_min
+    }
+}
+
+/// One fully-loaded EDF record: header metadata, per-signal digital
+/// samples and the segment annotations recovered from (or destined for)
+/// the `EDF Annotations` channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdfRecord {
+    /// Record name (the file stem; EDF headers carry no record name).
+    pub name: String,
+    /// Patient identification field (free text, may be empty).
+    pub patient: String,
+    /// Start date, `dd.mm.yy`.
+    pub start_date: String,
+    /// Start time, `hh.mm.ss`.
+    pub start_time: String,
+    /// Number of data records.
+    pub n_records: usize,
+    /// Duration of one data record in seconds.
+    pub duration: f64,
+    /// Annotated temporal pattern width (the `width=<w>` recording
+    /// field).
+    pub width: usize,
+    /// Samples-per-record of the `EDF Annotations` channel (each sample
+    /// is 2 bytes of TAL text); `0` means the channel is absent and
+    /// `change_points` must be empty.
+    pub ann_samples_per_record: usize,
+    /// The data signals, in file order (the annotations channel is not
+    /// listed — it is synthesized from `change_points` on write).
+    pub signals: Vec<EdfSignal>,
+    /// Segment-boundary annotations, strictly ascending sample indices.
+    pub change_points: Vec<u64>,
+}
+
+impl EdfRecord {
+    /// Number of data signals.
+    pub fn n_signals(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Samples per data signal (across all records).
+    pub fn n_samples(&self) -> usize {
+        self.signals.first().map_or(0, |s| s.samples.len())
+    }
+
+    /// Samples per record of every data signal.
+    pub fn samples_per_record(&self) -> usize {
+        self.n_samples() / self.n_records.max(1)
+    }
+
+    /// Sampling frequency in Hz (`samples_per_record / duration`).
+    pub fn fs(&self) -> f64 {
+        self.samples_per_record() as f64 / self.duration
+    }
+
+    /// Converts the digital samples to physical units, channel-major,
+    /// with out-of-calibration samples mapping to `NaN`.
+    pub fn physical(&self) -> Vec<Vec<f64>> {
+        self.signals
+            .iter()
+            .map(|sig| sig.samples.iter().map(|&d| sig.physical_value(d)).collect())
+            .collect()
+    }
+}
+
+/// Quantizes one physical value to a digital sample: `NaN` becomes the
+/// out-of-range marker `dig_min - 1`, finite values are rounded onto the
+/// signal's calibration line and clamped to `[dig_min, dig_max]`.
+pub fn digitize(x: f64, sig: &EdfSignal) -> i16 {
+    if x.is_nan() {
+        return sig
+            .dig_min
+            .checked_sub(1)
+            .expect("validated dig_min leaves NaN headroom");
+    }
+    let d = ((x - sig.phys_min) * (sig.dig_max as f64 - sig.dig_min as f64)
+        / (sig.phys_max - sig.phys_min))
+        .round()
+        + sig.dig_min as f64;
+    d.clamp(sig.dig_min as f64, sig.dig_max as f64) as i16
+}
+
+/// Checks a `dd.mm.yy` / `hh.mm.ss` clock field shape.
+fn valid_clock_field(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 8
+        && b[2] == b'.'
+        && b[5] == b'.'
+        && [0, 1, 3, 4, 6, 7].iter().all(|&i| b[i].is_ascii_digit())
+}
+
+/// Checks that a header string field survives the pad-with-spaces /
+/// trim-on-parse round-trip: printable ASCII, no leading/trailing blanks.
+fn header_text_ok(s: &str) -> bool {
+    s.trim_matches(' ') == s && s.bytes().all(|b| b == b' ' || b.is_ascii_graphic())
+}
+
+/// Whether a number formats into an EDF header field of `width` bytes.
+fn fits_field(value: &str, width: usize) -> bool {
+    value.len() <= width
+}
+
+/// Validates the record invariants shared by the writer and the loader.
+pub fn validate_edf(rec: &EdfRecord) -> Result<(), ParseError> {
+    if rec.name.is_empty() {
+        return Err(ParseError::file_level("record has no name"));
+    }
+    if rec.signals.is_empty() {
+        return Err(ParseError::file_level("record declares no data signals"));
+    }
+    let has_ann = rec.ann_samples_per_record > 0;
+    let ns = rec.signals.len() + has_ann as usize;
+    if ns > MAX_SIGNALS {
+        return Err(ParseError::file_level(format!(
+            "{ns} signals exceed the supported maximum {MAX_SIGNALS}"
+        )));
+    }
+    if rec.n_records == 0 {
+        return Err(ParseError::file_level("record count must be >= 1"));
+    }
+    if !(rec.duration.is_finite() && rec.duration > 0.0) {
+        return Err(ParseError::file_level(format!(
+            "record duration must be positive, got {}",
+            rec.duration
+        )));
+    }
+    for (what, value, width) in [
+        ("patient", rec.patient.as_str(), 80),
+        ("start date", rec.start_date.as_str(), 8),
+        ("start time", rec.start_time.as_str(), 8),
+    ] {
+        if !header_text_ok(value) || value.len() > width {
+            return Err(ParseError::file_level(format!(
+                "{what} field `{value}` does not fit an EDF header"
+            )));
+        }
+    }
+    if !valid_clock_field(&rec.start_date) || !valid_clock_field(&rec.start_time) {
+        return Err(ParseError::file_level(format!(
+            "start date/time `{}`/`{}` must be `dd.mm.yy`/`hh.mm.ss`",
+            rec.start_date, rec.start_time
+        )));
+    }
+    if rec.width < 2 {
+        return Err(ParseError::file_level(format!(
+            "annotated width must be >= 2, got {}",
+            rec.width
+        )));
+    }
+    for (fit, what) in [
+        (fits_field(&rec.n_records.to_string(), 8), "record count"),
+        (fits_field(&rec.duration.to_string(), 8), "record duration"),
+        (
+            fits_field(&rec.ann_samples_per_record.to_string(), 8),
+            "annotation samples-per-record",
+        ),
+    ] {
+        if !fit {
+            return Err(ParseError::file_level(format!(
+                "{what} does not format into its 8-byte header field"
+            )));
+        }
+    }
+    let n = rec.n_samples();
+    if n == 0 {
+        return Err(ParseError::file_level("record contains no samples"));
+    }
+    if n % rec.n_records != 0 {
+        return Err(ParseError::file_level(format!(
+            "{n} samples do not divide into {} records",
+            rec.n_records
+        )));
+    }
+    let spr = n / rec.n_records;
+    if !fits_field(&spr.to_string(), 8) {
+        return Err(ParseError::file_level(
+            "samples-per-record does not format into its 8-byte header field",
+        ));
+    }
+    for (c, sig) in rec.signals.iter().enumerate() {
+        if sig.label == ANNOTATIONS_LABEL {
+            return Err(ParseError::file_level(format!(
+                "signal {c} uses the reserved `{ANNOTATIONS_LABEL}` label"
+            )));
+        }
+        for (what, value, width) in [
+            ("label", sig.label.as_str(), 16),
+            ("transducer", sig.transducer.as_str(), 80),
+            ("dimension", sig.dimension.as_str(), 8),
+            ("prefilter", sig.prefilter.as_str(), 80),
+        ] {
+            if !header_text_ok(value) || value.len() > width {
+                return Err(ParseError::file_level(format!(
+                    "signal {c} {what} `{value}` does not fit an EDF header"
+                )));
+            }
+        }
+        if !(sig.phys_min.is_finite() && sig.phys_max.is_finite() && sig.phys_min < sig.phys_max) {
+            return Err(ParseError::file_level(format!(
+                "signal {c} physical range [{}, {}] is not ascending",
+                sig.phys_min, sig.phys_max
+            )));
+        }
+        if sig.dig_min >= sig.dig_max {
+            return Err(ParseError::file_level(format!(
+                "signal {c} digital range [{}, {}] is not ascending",
+                sig.dig_min, sig.dig_max
+            )));
+        }
+        if sig.dig_min == i16::MIN {
+            return Err(ParseError::file_level(format!(
+                "signal {c} digital minimum {} leaves no NaN headroom",
+                sig.dig_min
+            )));
+        }
+        for (what, value) in [
+            ("physical minimum", sig.phys_min.to_string()),
+            ("physical maximum", sig.phys_max.to_string()),
+        ] {
+            if !fits_field(&value, 8) {
+                return Err(ParseError::file_level(format!(
+                    "signal {c} {what} `{value}` does not format into its 8-byte field"
+                )));
+            }
+        }
+        if sig.samples.len() != n {
+            return Err(ParseError::file_level(format!(
+                "signal {c} holds {} samples, expected {n}",
+                sig.samples.len()
+            )));
+        }
+    }
+    let mut prev = 0u64;
+    for (i, &cp) in rec.change_points.iter().enumerate() {
+        if i > 0 && cp <= prev {
+            return Err(ParseError::file_level(format!(
+                "change points must be strictly ascending: {cp} after {prev}"
+            )));
+        }
+        if cp == 0 || cp as usize >= n {
+            return Err(ParseError::file_level(format!(
+                "change point {cp} outside the record interior (len {n})"
+            )));
+        }
+        prev = cp;
+    }
+    if !has_ann && !rec.change_points.is_empty() {
+        return Err(ParseError::file_level(
+            "change points need an `EDF Annotations` channel (ann_samples_per_record is 0)",
+        ));
+    }
+    if has_ann {
+        for r in 0..rec.n_records {
+            let need = annotation_block(rec, r).len();
+            if need > 2 * rec.ann_samples_per_record {
+                return Err(ParseError::file_level(format!(
+                    "record {r} needs {need} annotation bytes, the channel holds {}",
+                    2 * rec.ann_samples_per_record
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends a space-padded fixed-width ASCII header field.
+fn push_field(out: &mut Vec<u8>, value: &str, width: usize) {
+    debug_assert!(value.len() <= width, "`{value}` overflows {width} bytes");
+    out.extend_from_slice(value.as_bytes());
+    out.resize(out.len() + (width - value.len()), b' ');
+}
+
+/// Renders record `r`'s unpadded TAL block: the timekeeping annotation
+/// followed by one `cp` annotation per change point inside the record.
+fn annotation_block(rec: &EdfRecord, r: usize) -> Vec<u8> {
+    let spr = rec.samples_per_record();
+    let fs = rec.fs();
+    let mut block = Vec::new();
+    block.extend_from_slice(format!("+{}\x14\x14\0", r as f64 * rec.duration).as_bytes());
+    for &cp in &rec.change_points {
+        if cp as usize / spr == r {
+            block.extend_from_slice(format!("+{}\x14cp\x14\0", cp as f64 / fs).as_bytes());
+        }
+    }
+    block
+}
+
+/// Serializes a record into EDF bytes, byte-exactly re-parseable.
+///
+/// # Panics
+/// Panics if the record fails [`validate_edf`] — the writer is only for
+/// validated records (fixture generation and tests).
+pub fn write_edf(rec: &EdfRecord) -> Vec<u8> {
+    if let Err(e) = validate_edf(rec) {
+        panic!("write_edf requires a validated record: {e}");
+    }
+    let has_ann = rec.ann_samples_per_record > 0;
+    let ns = rec.signals.len() + has_ann as usize;
+    let header_bytes = 256 * (ns + 1);
+    let spr = rec.samples_per_record();
+    let record_size = 2 * (rec.signals.len() * spr + rec.ann_samples_per_record);
+    let mut out = Vec::with_capacity(header_bytes + rec.n_records * record_size);
+
+    push_field(&mut out, "0", 8);
+    push_field(&mut out, &rec.patient, 80);
+    push_field(&mut out, &format!("width={}", rec.width), 80);
+    push_field(&mut out, &rec.start_date, 8);
+    push_field(&mut out, &rec.start_time, 8);
+    push_field(&mut out, &header_bytes.to_string(), 8);
+    push_field(&mut out, "EDF+C", 44);
+    push_field(&mut out, &rec.n_records.to_string(), 8);
+    push_field(&mut out, &rec.duration.to_string(), 8);
+    push_field(&mut out, &ns.to_string(), 4);
+
+    // Signal headers are field-contiguous: every signal's label, then
+    // every transducer, and so on. The annotations channel is last with
+    // its canonical calibration.
+    macro_rules! signal_fields {
+        ($width:expr, $data:expr, $ann:expr) => {
+            for sig in &rec.signals {
+                push_field(&mut out, &$data(sig), $width);
+            }
+            if has_ann {
+                push_field(&mut out, $ann, $width);
+            }
+        };
+    }
+    signal_fields!(16, |s: &EdfSignal| s.label.clone(), ANNOTATIONS_LABEL);
+    signal_fields!(80, |s: &EdfSignal| s.transducer.clone(), "");
+    signal_fields!(8, |s: &EdfSignal| s.dimension.clone(), "");
+    signal_fields!(8, |s: &EdfSignal| s.phys_min.to_string(), "0");
+    signal_fields!(8, |s: &EdfSignal| s.phys_max.to_string(), "1");
+    signal_fields!(8, |s: &EdfSignal| s.dig_min.to_string(), "-32768");
+    signal_fields!(8, |s: &EdfSignal| s.dig_max.to_string(), "32767");
+    signal_fields!(80, |s: &EdfSignal| s.prefilter.clone(), "");
+    signal_fields!(
+        8,
+        |_s: &EdfSignal| spr.to_string(),
+        &rec.ann_samples_per_record.to_string()
+    );
+    signal_fields!(32, |_s: &EdfSignal| String::new(), "");
+    debug_assert_eq!(out.len(), header_bytes);
+
+    for r in 0..rec.n_records {
+        for sig in &rec.signals {
+            for &d in &sig.samples[r * spr..(r + 1) * spr] {
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        if has_ann {
+            let block = annotation_block(rec, r);
+            out.extend_from_slice(&block);
+            out.resize(
+                out.len() + (2 * rec.ann_samples_per_record - block.len()),
+                0,
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Reads a fixed-width header field as trimmed ASCII, locating failures
+/// by byte offset.
+fn field<'a>(bytes: &'a [u8], start: usize, len: usize, what: &str) -> Result<&'a str, ParseError> {
+    let raw = &bytes[start..start + len];
+    if !raw.iter().all(|&b| b == b' ' || b.is_ascii_graphic()) {
+        return Err(ParseError::file_level(format!(
+            "non-ASCII {what} field at byte {start}"
+        )));
+    }
+    Ok(std::str::from_utf8(raw)
+        .expect("printable ASCII is UTF-8")
+        .trim_matches(' '))
+}
+
+/// Header-side view of one signal before the data records are read.
+struct SignalHeader {
+    label: String,
+    transducer: String,
+    dimension: String,
+    phys_min: f64,
+    phys_max: f64,
+    dig_min: i16,
+    dig_max: i16,
+    prefilter: String,
+    spr: usize,
+}
+
+/// One parsed TAL: onset seconds plus its `\x14`-terminated texts.
+struct Tal<'a> {
+    onset: f64,
+    texts: Vec<&'a str>,
+}
+
+/// Parses one TAL starting at `pos` inside `block`; returns the TAL and
+/// the position just past its terminating `\x00`. `file_offset` is the
+/// block's absolute position, for error messages.
+fn parse_tal<'a>(
+    block: &'a [u8],
+    pos: usize,
+    file_offset: usize,
+) -> Result<(Tal<'a>, usize), ParseError> {
+    let at = |p: usize| file_offset + p;
+    if !matches!(block.get(pos), Some(b'+' | b'-')) {
+        return Err(ParseError::file_level(format!(
+            "annotation onset must start with `+` or `-` at byte {}",
+            at(pos)
+        )));
+    }
+    let mut end = pos + 1;
+    while end < block.len() && block[end] != TAL_SEP && block[end] != TAL_DUR {
+        end += 1;
+    }
+    if end >= block.len() {
+        return Err(ParseError::file_level(format!(
+            "unterminated annotation onset at byte {}",
+            at(pos)
+        )));
+    }
+    if block[end] == TAL_DUR {
+        return Err(ParseError::file_level(format!(
+            "annotation durations are not supported at byte {}",
+            at(end)
+        )));
+    }
+    let onset_str = std::str::from_utf8(&block[pos..end])
+        .ok()
+        .filter(|s| s.is_ascii())
+        .ok_or_else(|| {
+            ParseError::file_level(format!("non-ASCII annotation onset at byte {}", at(pos)))
+        })?;
+    let onset: f64 = onset_str
+        .parse()
+        .ok()
+        .filter(|o: &f64| o.is_finite())
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "bad annotation onset `{onset_str}` at byte {}",
+                at(pos)
+            ))
+        })?;
+    let mut texts = Vec::new();
+    let mut cur = end + 1;
+    while block.get(cur) != Some(&0) {
+        let mut text_end = cur;
+        while text_end < block.len() && block[text_end] != TAL_SEP {
+            if block[text_end] == 0 {
+                break;
+            }
+            text_end += 1;
+        }
+        if text_end >= block.len() || block[text_end] != TAL_SEP {
+            return Err(ParseError::file_level(format!(
+                "unterminated annotation text at byte {}",
+                at(cur)
+            )));
+        }
+        let text = std::str::from_utf8(&block[cur..text_end])
+            .ok()
+            .filter(|s| s.bytes().all(|b| b == b' ' || b.is_ascii_graphic()))
+            .ok_or_else(|| {
+                ParseError::file_level(format!("non-ASCII annotation text at byte {}", at(cur)))
+            })?;
+        texts.push(text);
+        cur = text_end + 1;
+    }
+    if cur >= block.len() {
+        return Err(ParseError::file_level(format!(
+            "annotation missing its `\\0` terminator at byte {}",
+            at(pos)
+        )));
+    }
+    Ok((Tal { onset, texts }, cur + 1))
+}
+
+/// Record-timing geometry threaded through annotation parsing: enough
+/// to map a TAL onset (seconds) back to a sample index and check it
+/// landed in its own record.
+struct AnnGeometry {
+    duration: f64,
+    fs: f64,
+    spr: usize,
+    n_samples: usize,
+}
+
+/// Parses one record's annotation block: the timekeeping TAL, then one
+/// change point per non-empty annotation, then zero padding.
+fn parse_annotation_block(
+    block: &[u8],
+    file_offset: usize,
+    r: usize,
+    geom: &AnnGeometry,
+    out: &mut Vec<u64>,
+) -> Result<(), ParseError> {
+    let mut pos = 0usize;
+    let mut first = true;
+    while pos < block.len() && block[pos] != 0 {
+        let (tal, next) = parse_tal(block, pos, file_offset)?;
+        if first {
+            first = false;
+            if tal.texts != [""] {
+                return Err(ParseError::file_level(format!(
+                    "record {r} must open with its timekeeping annotation at byte {file_offset}"
+                )));
+            }
+            let want = r as f64 * geom.duration;
+            if tal.onset != want {
+                return Err(ParseError::file_level(format!(
+                    "record {r} timekeeping onset {} != record start {want} at byte {file_offset}",
+                    tal.onset
+                )));
+            }
+        } else {
+            if tal.texts.len() != 1 || tal.texts[0].is_empty() {
+                return Err(ParseError::file_level(format!(
+                    "expected one non-empty annotation text at byte {}",
+                    file_offset + pos
+                )));
+            }
+            let cp = (tal.onset * geom.fs).round();
+            if !(cp >= 1.0 && cp < geom.n_samples as f64) {
+                return Err(ParseError::file_level(format!(
+                    "annotation at {}s maps outside the record interior at byte {}",
+                    tal.onset,
+                    file_offset + pos
+                )));
+            }
+            let cp = cp as u64;
+            if cp as usize / geom.spr != r {
+                return Err(ParseError::file_level(format!(
+                    "annotation at {}s (sample {cp}) stored in record {r}, not its own, at byte {}",
+                    tal.onset,
+                    file_offset + pos
+                )));
+            }
+            out.push(cp);
+        }
+        pos = next;
+    }
+    if first {
+        return Err(ParseError::file_level(format!(
+            "record {r} has no timekeeping annotation at byte {file_offset}"
+        )));
+    }
+    if let Some(bad) = block[pos..].iter().position(|&b| b != 0) {
+        return Err(ParseError::file_level(format!(
+            "non-zero annotation padding at byte {}",
+            file_offset + pos + bad
+        )));
+    }
+    Ok(())
+}
+
+/// Parses EDF bytes into a record named after the file stem. Strictness
+/// mirrors the writer: every structural deviation is an error carrying
+/// the offending byte offset, never a shorter or reinterpreted record.
+pub fn parse_edf(stem: &str, bytes: &[u8]) -> Result<EdfRecord, ParseError> {
+    if bytes.len() < 256 {
+        return Err(ParseError::file_level(format!(
+            "file holds {} bytes, the fixed EDF header needs 256",
+            bytes.len()
+        )));
+    }
+    let version = field(bytes, 0, 8, "version")?;
+    if version != "0" {
+        return Err(ParseError::file_level(format!(
+            "unsupported EDF version `{version}` at byte 0"
+        )));
+    }
+    let patient = field(bytes, 8, 80, "patient")?.to_string();
+    let recording = field(bytes, 88, 80, "recording")?;
+    let width: usize = recording
+        .strip_prefix("width=")
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "expected `width=<w>` recording field at byte 88, got `{recording}`"
+            ))
+        })?;
+    let start_date = field(bytes, 168, 8, "start date")?.to_string();
+    if !valid_clock_field(&start_date) {
+        return Err(ParseError::file_level(format!(
+            "expected `dd.mm.yy` start date at byte 168, got `{start_date}`"
+        )));
+    }
+    let start_time = field(bytes, 176, 8, "start time")?.to_string();
+    if !valid_clock_field(&start_time) {
+        return Err(ParseError::file_level(format!(
+            "expected `hh.mm.ss` start time at byte 176, got `{start_time}`"
+        )));
+    }
+    let header_bytes_field = field(bytes, 184, 8, "header size")?;
+    let header_bytes: usize = header_bytes_field.parse().map_err(|_| {
+        ParseError::file_level(format!(
+            "bad header size `{header_bytes_field}` at byte 184"
+        ))
+    })?;
+    let reserved = field(bytes, 192, 44, "reserved")?;
+    if reserved != "EDF+C" {
+        return Err(ParseError::file_level(format!(
+            "expected `EDF+C` reserved field at byte 192, got `{reserved}`"
+        )));
+    }
+    let n_records_field = field(bytes, 236, 8, "record count")?;
+    let n_records: usize = n_records_field
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "bad record count `{n_records_field}` at byte 236 (expected >= 1)"
+            ))
+        })?;
+    let duration_field = field(bytes, 244, 8, "record duration")?;
+    let duration: f64 = duration_field
+        .parse()
+        .ok()
+        .filter(|d: &f64| d.is_finite() && *d > 0.0)
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "bad record duration `{duration_field}` at byte 244"
+            ))
+        })?;
+    let ns_field = field(bytes, 252, 4, "signal count")?;
+    let ns: usize = ns_field
+        .parse()
+        .ok()
+        .filter(|&n| (1..=MAX_SIGNALS).contains(&n))
+        .ok_or_else(|| {
+            ParseError::file_level(format!(
+                "bad signal count `{ns_field}` at byte 252 (expected 1..={MAX_SIGNALS})"
+            ))
+        })?;
+    if header_bytes != 256 * (ns + 1) {
+        return Err(ParseError::file_level(format!(
+            "header size {header_bytes} at byte 184 does not match {} for {ns} signals",
+            256 * (ns + 1)
+        )));
+    }
+    if bytes.len() < header_bytes {
+        return Err(ParseError::file_level(format!(
+            "file holds {} bytes, the signal headers end at {header_bytes}",
+            bytes.len()
+        )));
+    }
+
+    // Field-contiguous signal headers.
+    let labels_at = 256;
+    let transducers_at = labels_at + ns * 16;
+    let dimensions_at = transducers_at + ns * 80;
+    let phys_min_at = dimensions_at + ns * 8;
+    let phys_max_at = phys_min_at + ns * 8;
+    let dig_min_at = phys_max_at + ns * 8;
+    let dig_max_at = dig_min_at + ns * 8;
+    let prefilter_at = dig_max_at + ns * 8;
+    let spr_at = prefilter_at + ns * 80;
+    let reserved_at = spr_at + ns * 8;
+    debug_assert_eq!(reserved_at + ns * 32, header_bytes);
+
+    let parse_f64 = |at: usize, what: &str| -> Result<f64, ParseError> {
+        let s = field(bytes, at, 8, what)?;
+        s.parse()
+            .ok()
+            .filter(|v: &f64| v.is_finite())
+            .ok_or_else(|| ParseError::file_level(format!("bad {what} `{s}` at byte {at}")))
+    };
+    let parse_i16 = |at: usize, what: &str| -> Result<i16, ParseError> {
+        let s = field(bytes, at, 8, what)?;
+        s.parse::<i32>()
+            .ok()
+            .and_then(|v| i16::try_from(v).ok())
+            .ok_or_else(|| ParseError::file_level(format!("bad {what} `{s}` at byte {at}")))
+    };
+
+    let mut headers = Vec::with_capacity(ns);
+    for i in 0..ns {
+        let spr_field = field(bytes, spr_at + i * 8, 8, "samples-per-record")?;
+        let spr: usize = spr_field.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+            ParseError::file_level(format!(
+                "bad samples-per-record `{spr_field}` at byte {}",
+                spr_at + i * 8
+            ))
+        })?;
+        let reserved = field(bytes, reserved_at + i * 32, 32, "signal reserved")?;
+        if !reserved.is_empty() {
+            return Err(ParseError::file_level(format!(
+                "non-empty signal reserved field at byte {}",
+                reserved_at + i * 32
+            )));
+        }
+        headers.push(SignalHeader {
+            label: field(bytes, labels_at + i * 16, 16, "label")?.to_string(),
+            transducer: field(bytes, transducers_at + i * 80, 80, "transducer")?.to_string(),
+            dimension: field(bytes, dimensions_at + i * 8, 8, "dimension")?.to_string(),
+            phys_min: parse_f64(phys_min_at + i * 8, "physical minimum")?,
+            phys_max: parse_f64(phys_max_at + i * 8, "physical maximum")?,
+            dig_min: parse_i16(dig_min_at + i * 8, "digital minimum")?,
+            dig_max: parse_i16(dig_max_at + i * 8, "digital maximum")?,
+            prefilter: field(bytes, prefilter_at + i * 80, 80, "prefilter")?.to_string(),
+            spr,
+        });
+    }
+
+    // The annotations channel, if present, must be the last signal.
+    let ann_count = headers
+        .iter()
+        .filter(|h| h.label == ANNOTATIONS_LABEL)
+        .count();
+    if ann_count > 1 {
+        return Err(ParseError::file_level(format!(
+            "{ann_count} `{ANNOTATIONS_LABEL}` channels (at most one is supported)"
+        )));
+    }
+    let has_ann = ann_count == 1;
+    if has_ann && headers.last().map(|h| h.label.as_str()) != Some(ANNOTATIONS_LABEL) {
+        return Err(ParseError::file_level(format!(
+            "the `{ANNOTATIONS_LABEL}` channel must be the last signal"
+        )));
+    }
+    let data_n = ns - has_ann as usize;
+    if data_n == 0 {
+        return Err(ParseError::file_level("record declares no data signals"));
+    }
+    if has_ann {
+        let h = headers.last().expect("has_ann implies a last header");
+        let canonical = h.phys_min == 0.0
+            && h.phys_max == 1.0
+            && h.dig_min == i16::MIN
+            && h.dig_max == i16::MAX
+            && h.transducer.is_empty()
+            && h.dimension.is_empty()
+            && h.prefilter.is_empty();
+        if !canonical {
+            return Err(ParseError::file_level(format!(
+                "the `{ANNOTATIONS_LABEL}` channel must carry the canonical calibration \
+                 (physical 0..1, digital -32768..32767, empty text fields)"
+            )));
+        }
+    }
+    let spr = headers[0].spr;
+    for (i, h) in headers[..data_n].iter().enumerate() {
+        if h.spr != spr {
+            return Err(ParseError::file_level(format!(
+                "signal {i} samples-per-record {} differs from signal 0's {spr} \
+                 (mixed sampling rates are not supported)",
+                h.spr
+            )));
+        }
+        // Both bounds are finite (parse_f64 rejects NaN/inf), so >= is
+        // the exact complement of an ascending range.
+        if h.phys_min >= h.phys_max {
+            return Err(ParseError::file_level(format!(
+                "signal {i} physical range [{}, {}] is not ascending at byte {}",
+                h.phys_min,
+                h.phys_max,
+                phys_min_at + i * 8
+            )));
+        }
+        if h.dig_min >= h.dig_max {
+            return Err(ParseError::file_level(format!(
+                "signal {i} digital range [{}, {}] is not ascending at byte {}",
+                h.dig_min,
+                h.dig_max,
+                dig_min_at + i * 8
+            )));
+        }
+        if h.dig_min == i16::MIN {
+            return Err(ParseError::file_level(format!(
+                "signal {i} digital minimum {} leaves no NaN headroom at byte {}",
+                h.dig_min,
+                dig_min_at + i * 8
+            )));
+        }
+    }
+    let ann_spr = if has_ann { headers[data_n].spr } else { 0 };
+
+    // Exact geometry: the byte length must match the declared record
+    // layout, like the WFDB `.dat` parser.
+    let record_size = headers
+        .iter()
+        .try_fold(0usize, |acc, h| acc.checked_add(h.spr.checked_mul(2)?))
+        .ok_or_else(|| ParseError::file_level("declared record geometry overflows"))?;
+    let expected = record_size
+        .checked_mul(n_records)
+        .and_then(|d| d.checked_add(header_bytes))
+        .ok_or_else(|| ParseError::file_level("declared record geometry overflows"))?;
+    if bytes.len() != expected {
+        return Err(ParseError::file_level(format!(
+            "file holds {} bytes, expected {expected} for {n_records} records of {record_size} bytes",
+            bytes.len()
+        )));
+    }
+
+    let n_samples = spr * n_records;
+    let fs = spr as f64 / duration;
+    let mut signals: Vec<EdfSignal> = headers[..data_n]
+        .iter()
+        .map(|h| EdfSignal {
+            label: h.label.clone(),
+            transducer: h.transducer.clone(),
+            dimension: h.dimension.clone(),
+            phys_min: h.phys_min,
+            phys_max: h.phys_max,
+            dig_min: h.dig_min,
+            dig_max: h.dig_max,
+            prefilter: h.prefilter.clone(),
+            samples: Vec::with_capacity(n_samples),
+        })
+        .collect();
+    let mut change_points = Vec::new();
+    let mut offset = header_bytes;
+    for r in 0..n_records {
+        for sig in signals.iter_mut() {
+            for _ in 0..spr {
+                sig.samples
+                    .push(i16::from_le_bytes([bytes[offset], bytes[offset + 1]]));
+                offset += 2;
+            }
+        }
+        if has_ann {
+            let block = &bytes[offset..offset + 2 * ann_spr];
+            parse_annotation_block(
+                block,
+                offset,
+                r,
+                &AnnGeometry {
+                    duration,
+                    fs,
+                    spr,
+                    n_samples,
+                },
+                &mut change_points,
+            )?;
+            offset += 2 * ann_spr;
+        }
+    }
+
+    let rec = EdfRecord {
+        name: stem.to_string(),
+        patient,
+        start_date,
+        start_time,
+        n_records,
+        duration,
+        width,
+        ann_samples_per_record: ann_spr,
+        signals,
+        change_points,
+    };
+    validate_edf(&rec)?;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> EdfRecord {
+        EdfRecord {
+            name: "psg01".into(),
+            patient: "X anonymous".into(),
+            start_date: "02.01.24".into(),
+            start_time: "23.30.00".into(),
+            n_records: 3,
+            duration: 1.0,
+            width: 4,
+            ann_samples_per_record: 24,
+            signals: vec![
+                EdfSignal {
+                    label: "EEG Fpz-Cz".into(),
+                    transducer: "AgAgCl electrode".into(),
+                    dimension: "uV".into(),
+                    phys_min: -250.0,
+                    phys_max: 250.0,
+                    dig_min: -2048,
+                    dig_max: 2047,
+                    prefilter: "HP:0.5Hz".into(),
+                    samples: vec![0, 100, -100, 200, 400, -400, 800, -800, 0, 50, -50, 2047],
+                },
+                EdfSignal {
+                    label: "EMG chin".into(),
+                    transducer: String::new(),
+                    dimension: "uV".into(),
+                    phys_min: -100.0,
+                    phys_max: 100.0,
+                    dig_min: -1000,
+                    dig_max: 1000,
+                    prefilter: String::new(),
+                    // -1001 is outside the calibration range: a NaN marker.
+                    samples: vec![0, 10, -10, 20, 40, -40, 80, -80, 0, 5, -1001, 1000],
+                },
+            ],
+            change_points: vec![5, 9],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let rec = demo();
+        validate_edf(&rec).unwrap();
+        let bytes = write_edf(&rec);
+        assert_eq!(bytes.len(), 256 * 4 + 3 * (2 * (2 * 4 + 24)));
+        let back = parse_edf("psg01", &bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(write_edf(&back), bytes);
+    }
+
+    #[test]
+    fn header_fields_land_where_the_spec_says() {
+        let bytes = write_edf(&demo());
+        assert_eq!(&bytes[0..8], b"0       ");
+        assert_eq!(&bytes[88..94], b"width=");
+        assert_eq!(&bytes[168..176], b"02.01.24");
+        assert_eq!(&bytes[192..197], b"EDF+C");
+        assert_eq!(&bytes[252..256], b"3   ");
+        // ns = 3 signals: labels at 256, 16 bytes each.
+        assert_eq!(&bytes[256..266], b"EEG Fpz-Cz");
+        assert_eq!(&bytes[288..303], b"EDF Annotations");
+    }
+
+    #[test]
+    fn truncated_and_misdeclared_files_are_errors() {
+        let bytes = write_edf(&demo());
+        let e = parse_edf("psg01", &bytes[..100]).unwrap_err();
+        assert!(e.msg.contains("needs 256"), "{e}");
+        let e = parse_edf("psg01", &bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(e.msg.contains("expected"), "{e}");
+        // Oversized files are errors too, not ignored tails.
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0, 0]);
+        assert!(parse_edf("psg01", &long).is_err());
+    }
+
+    #[test]
+    fn bad_version_and_recording_fields_are_located() {
+        let mut bytes = write_edf(&demo());
+        bytes[0] = b'7';
+        let e = parse_edf("psg01", &bytes).unwrap_err();
+        assert!(e.msg.contains("version `7`"), "{e}");
+        assert!(e.msg.contains("byte 0"), "{e}");
+
+        let mut bytes = write_edf(&demo());
+        bytes[88] = b'x';
+        let e = parse_edf("psg01", &bytes).unwrap_err();
+        assert!(e.msg.contains("byte 88"), "{e}");
+    }
+
+    #[test]
+    fn calibration_errors_carry_their_byte_offset() {
+        // ns = 3: dig_min array starts after the labels, transducers,
+        // dimensions and both physical arrays: 256 + 3*(16+80+8+8+8).
+        let rec = demo();
+        let bytes = write_edf(&rec);
+        let dig_min_at = 256 + 3 * (16 + 80 + 8 + 8 + 8);
+        assert_eq!(&bytes[dig_min_at..dig_min_at + 5], b"-2048");
+        // Collapse signal 0's digital range: dig_min = dig_max = 2047.
+        let mut bad = bytes.clone();
+        bad[dig_min_at..dig_min_at + 8].copy_from_slice(b"2047    ");
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(e.msg.contains("not ascending"), "{e}");
+        assert!(e.msg.contains(&format!("byte {dig_min_at}")), "{e}");
+    }
+
+    #[test]
+    fn mixed_sampling_rates_are_rejected() {
+        let bytes = write_edf(&demo());
+        let spr_at = 256 + 3 * (16 + 80 + 8 + 8 + 8 + 8 + 8 + 80);
+        assert_eq!(&bytes[spr_at..spr_at + 1], b"4");
+        let mut bad = bytes.clone();
+        // Bump signal 1's samples-per-record without touching the data.
+        bad[spr_at + 8..spr_at + 16].copy_from_slice(b"5       ");
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(
+            e.msg.contains("differs") || e.msg.contains("expected"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn annotations_channel_is_strictly_checked() {
+        // Two annotation channels.
+        let bytes = write_edf(&demo());
+        let labels_at = 256;
+        let mut bad = bytes.clone();
+        bad[labels_at..labels_at + 16].copy_from_slice(b"EDF Annotations ");
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(e.msg.contains("at most one"), "{e}");
+
+        // Non-canonical annotation calibration.
+        let dig_max_at = 256 + 3 * (16 + 80 + 8 + 8 + 8 + 8);
+        let mut bad = bytes.clone();
+        bad[dig_max_at + 2 * 8..dig_max_at + 3 * 8].copy_from_slice(b"100     ");
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(e.msg.contains("canonical"), "{e}");
+    }
+
+    #[test]
+    fn annotation_padding_and_onsets_are_strict() {
+        let rec = demo();
+        let bytes = write_edf(&rec);
+        // The first record's annotation block sits after its 2 signals'
+        // 4 samples each.
+        let ann_at = 256 * 4 + 2 * (2 * 4);
+        assert_eq!(bytes[ann_at], b'+');
+        // Flip a padding byte to non-zero.
+        let mut bad = bytes.clone();
+        let pad_at = ann_at + 2 * rec.ann_samples_per_record - 1;
+        assert_eq!(bad[pad_at], 0);
+        bad[pad_at] = b'x';
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(e.msg.contains("padding"), "{e}");
+        assert!(e.msg.contains(&format!("byte {pad_at}")), "{e}");
+
+        // Corrupt the timekeeping onset of record 1.
+        let rec1_ann_at = ann_at + 2 * rec.ann_samples_per_record + 2 * (2 * 4);
+        let mut bad = bytes.clone();
+        assert_eq!(&bad[rec1_ann_at..rec1_ann_at + 2], b"+1");
+        bad[rec1_ann_at + 1] = b'7';
+        let e = parse_edf("psg01", &bad).unwrap_err();
+        assert!(e.msg.contains("timekeeping"), "{e}");
+    }
+
+    #[test]
+    fn physical_scaling_and_nan_marker() {
+        let rec = demo();
+        let phys = rec.physical();
+        // Signal 0: (0 - -2048) * 500/4095 - 250.
+        let expect = 2048.0 * 500.0 / 4095.0 - 250.0;
+        assert!((phys[0][0] - expect).abs() < 1e-12);
+        // Signal 1's -1001 is outside [-1000, 1000]: NaN.
+        assert!(phys[1][10].is_nan());
+        assert_eq!(phys[1][11], 100.0);
+        // digitize inverts (NaN maps to dig_min - 1, then back to NaN).
+        for (c, sig) in rec.signals.iter().enumerate() {
+            for (t, &d) in sig.samples.iter().enumerate() {
+                let digit = digitize(phys[c][t], sig);
+                if phys[c][t].is_nan() {
+                    assert_eq!(digit, sig.dig_min - 1);
+                    assert!(sig.physical_value(digit).is_nan());
+                } else {
+                    assert_eq!(digit, d, "signal {c} sample {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_structural_violations() {
+        let mut rec = demo();
+        rec.width = 1;
+        assert!(validate_edf(&rec).is_err());
+
+        let mut rec = demo();
+        rec.change_points = vec![9, 5];
+        assert!(validate_edf(&rec).is_err());
+
+        let mut rec = demo();
+        rec.change_points = vec![12];
+        assert!(validate_edf(&rec).is_err(), "cp at len is outside");
+
+        let mut rec = demo();
+        rec.signals[1].samples.pop();
+        assert!(validate_edf(&rec).is_err());
+
+        let mut rec = demo();
+        rec.ann_samples_per_record = 0;
+        assert!(validate_edf(&rec).is_err(), "cps need an ann channel");
+
+        let mut rec = demo();
+        rec.ann_samples_per_record = 3;
+        assert!(validate_edf(&rec).is_err(), "ann channel too small");
+
+        let mut rec = demo();
+        rec.signals[0].dig_min = i16::MIN;
+        assert!(validate_edf(&rec).is_err(), "no NaN headroom");
+
+        let mut rec = demo();
+        rec.start_date = "2.1.2024".into();
+        assert!(validate_edf(&rec).is_err());
+    }
+
+    #[test]
+    fn records_without_annotations_channel_roundtrip() {
+        let mut rec = demo();
+        rec.ann_samples_per_record = 0;
+        rec.change_points.clear();
+        let bytes = write_edf(&rec);
+        assert_eq!(bytes.len(), 256 * 3 + 3 * (2 * (2 * 4)));
+        let back = parse_edf("psg01", &bytes).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(write_edf(&back), bytes);
+    }
+
+    #[test]
+    fn fs_derives_from_spr_and_duration() {
+        let rec = demo();
+        assert_eq!(rec.samples_per_record(), 4);
+        assert_eq!(rec.fs(), 4.0);
+        assert_eq!(rec.n_samples(), 12);
+    }
+}

@@ -7,7 +7,8 @@
 //! * **Real archives** — parsers for the univariate TSSB/FLOSS-style
 //!   `.txt` and UTSA-style `.csv` file formats and the multi-channel
 //!   WFDB `.hea`/`.dat`/`.atr` record triples ([`wfdb`], formats 16 and
-//!   212) and wide `.csv` files the six data archives ship as
+//!   212), EDF(+) recordings ([`edf`], Sleep DB's native form) and wide
+//!   `.csv` files the six data archives ship as
 //!   ([`formats`], [`loader`]), plus a manifest layer ([`manifest`])
 //!   that discovers archives from a `CLASS_DATA_DIR` directory tree (one
 //!   subdirectory per archive, one file — or WFDB triple — per series).
@@ -19,6 +20,16 @@
 //!   ground-truth change points (see EXPERIMENTS.md for the substitution
 //!   rationale). The manifest layer falls back to these whenever a real
 //!   archive is absent, so every consumer handles both transparently.
+//!
+//! Error contract: everything reachable from on-disk input fails loudly
+//! and typed — [`ParseError`] with `line:col` (or byte-offset) location
+//! for format violations, [`LoadError`] wrapping I/O and classification
+//! failures, and manifest discovery that reports every unrecognized
+//! file it passes over ([`DiskArchive::skipped`], surfaced as per-file
+//! warnings and counts by `class-cli datasets list`) rather than
+//! dropping it silently. `unwrap()` is confined to test code; the handful of
+//! `expect()`s in parser internals assert invariants already enforced
+//! by validation, never file contents.
 //!
 //! ```
 //! use datasets::{Archive, GenConfig, resolve_archive, SeriesOrigin};
@@ -37,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod archives;
+pub mod edf;
 pub mod formats;
 pub mod loader;
 pub mod manifest;
@@ -46,15 +58,17 @@ pub mod series;
 pub mod wfdb;
 
 pub use archives::{all_series, archive_series, benchmark_series, Archive, ArchiveSpec, GenConfig};
+pub use edf::{EdfRecord, EdfSignal};
 pub use formats::{MultivariateRaw, ParseError, RawSeries};
 pub use loader::{
     annotate_multivariate, classify_series_file, load_multivariate_file, load_series_file,
     parse_multivariate_file, parse_series_file, serialize_series, LoadError, SeriesKind,
 };
 pub use manifest::{
-    fixtures_dir, resolve_all_series, resolve_archive, resolve_archive_series,
-    resolve_benchmark_series, resolve_multivariate_archive, resolve_multivariate_series, DataDir,
-    DiskArchive, SeriesOrigin, DATA_DIR_ENV,
+    fixtures_dir, resolve_all_series, resolve_archive, resolve_archive_channels,
+    resolve_archive_series, resolve_benchmark_series, resolve_channel_series,
+    resolve_multivariate_archive, resolve_multivariate_series, DataDir, DiskArchive, SeriesOrigin,
+    DATA_DIR_ENV,
 };
 pub use multivariate::{generate_multivariate, MultivariateSeries, MultivariateSpec};
 pub use regimes::Regime;

@@ -2,14 +2,16 @@
 //! the archive-name interner that lets loaded series share the
 //! [`AnnotatedSeries::archive`] representation with synthetic ones.
 //!
-//! Four on-disk formats are dispatched here — univariate TSSB/FLOSS-style
+//! Five on-disk formats are dispatched here — univariate TSSB/FLOSS-style
 //! `.txt` and UTSA-style `.csv` ([`load_series_file`]), and multi-channel
-//! WFDB `.hea`/`.dat`/`.atr` triples and wide `.csv`
-//! ([`load_multivariate_file`]). Extensions match **case-insensitively**
+//! WFDB `.hea`/`.dat`/`.atr` triples, EDF(+) `.edf` recordings and wide
+//! `.csv` ([`load_multivariate_file`]). Extensions match
+//! **case-insensitively**
 //! (archives unpacked on case-preserving filesystems ship `.TXT`/`.CSV`
 //! files); `.csv` is disambiguated by sniffing the header — `value,label`
 //! is univariate, two-plus channel columns are wide.
 
+use crate::edf;
 use crate::formats::{self, MultivariateRaw, ParseError, RawSeries};
 use crate::multivariate::MultivariateSeries;
 use crate::series::AnnotatedSeries;
@@ -89,7 +91,10 @@ fn extension_lc(path: &Path) -> Option<String> {
 /// case-insensitively). `.csv` may still turn out multivariate — see
 /// [`classify_series_file`].
 pub fn is_series_file(path: &Path) -> bool {
-    matches!(extension_lc(path).as_deref(), Some("txt" | "csv" | "hea"))
+    matches!(
+        extension_lc(path).as_deref(),
+        Some("txt" | "csv" | "hea" | "edf")
+    )
 }
 
 /// Which loader a series file belongs to.
@@ -108,7 +113,7 @@ pub enum SeriesKind {
 pub fn classify_series_file(path: &Path) -> std::io::Result<Option<SeriesKind>> {
     match extension_lc(path).as_deref() {
         Some("txt") => Ok(Some(SeriesKind::Univariate)),
-        Some("hea") => Ok(Some(SeriesKind::Multivariate)),
+        Some("hea" | "edf") => Ok(Some(SeriesKind::Multivariate)),
         Some("csv") => {
             use std::io::BufRead;
             let file = std::fs::File::open(path)?;
@@ -226,10 +231,11 @@ fn companion_path(dir: &Path, stem: &str, ext: &str) -> PathBuf {
 }
 
 /// Parses one multivariate archive file — a WFDB `.hea` header (pulling
-/// in its `.dat` signal and `.atr` annotation companions) or a wide
-/// `.csv` — into a [`MultivariateRaw`], without archive stamping. Errors
-/// name the specific file that broke (a corrupt `.dat` reports the
-/// `.dat` path, not the header's).
+/// in its `.dat` signal and `.atr` annotation companions), a
+/// self-contained EDF(+) `.edf` recording or a wide `.csv` — into a
+/// [`MultivariateRaw`], without archive stamping. Errors name the
+/// specific file that broke (a corrupt `.dat` reports the `.dat` path,
+/// not the header's).
 pub fn parse_multivariate_file(path: &Path) -> Result<MultivariateRaw, LoadError> {
     let wrap = |p: &Path, error: ParseError| LoadError {
         path: p.to_path_buf(),
@@ -288,10 +294,35 @@ pub fn parse_multivariate_file(path: &Path) -> Result<MultivariateRaw, LoadError
             let body = std::fs::read_to_string(path).map_err(|e| LoadError::io(path, e))?;
             formats::parse_wide_csv(stem, &body).map_err(|e| wrap(path, e))
         }
+        Some("edf") => {
+            let bytes = std::fs::read(path).map_err(|e| LoadError::io(path, e))?;
+            let record = edf::parse_edf(stem, &bytes).map_err(|e| wrap(path, e))?;
+            let channel_names = record
+                .signals
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if s.label.is_empty() {
+                        format!("ch{i}")
+                    } else {
+                        s.label.clone()
+                    }
+                })
+                .collect();
+            let raw = MultivariateRaw {
+                channels: record.physical(),
+                name: record.name,
+                channel_names,
+                change_points: record.change_points,
+                width: record.width,
+            };
+            formats::validate_multivariate(&raw).map_err(|e| wrap(path, e))?;
+            Ok(raw)
+        }
         other => Err(wrap(
             path,
             ParseError::file_level(format!(
-                "unsupported extension {other:?} (expected .hea or a wide .csv)"
+                "unsupported extension {other:?} (expected .hea, .edf or a wide .csv)"
             )),
         )),
     }
@@ -455,6 +486,77 @@ mod tests {
         // A wrong *stem* in the signal line is still rejected.
         let e = wfdb::parse_header("R9", "R9 1 250 4\nr9.dat 16 100(0)/mV\n# width=2\n");
         assert!(e.is_err(), "stem case must match exactly");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn edf_files_load_as_multivariate_series() {
+        use crate::edf::{self, EdfRecord, EdfSignal};
+        let dir = std::env::temp_dir().join("class-datasets-loader-edf");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = EdfRecord {
+            name: "sleep1".into(),
+            patient: String::new(),
+            start_date: "01.01.24".into(),
+            start_time: "00.00.00".into(),
+            n_records: 2,
+            duration: 1.0,
+            width: 3,
+            ann_samples_per_record: 16,
+            signals: vec![
+                EdfSignal {
+                    label: "EEG".into(),
+                    transducer: String::new(),
+                    dimension: "uV".into(),
+                    phys_min: -100.0,
+                    phys_max: 100.0,
+                    dig_min: -1000,
+                    dig_max: 1000,
+                    prefilter: String::new(),
+                    samples: vec![0, 100, -100, 200, 0, -200],
+                },
+                EdfSignal {
+                    label: String::new(),
+                    transducer: String::new(),
+                    dimension: "uV".into(),
+                    phys_min: -10.0,
+                    phys_max: 10.0,
+                    dig_min: -100,
+                    dig_max: 100,
+                    prefilter: String::new(),
+                    samples: vec![0, 10, -10, 20, 0, -20],
+                },
+            ],
+            change_points: vec![3],
+        };
+        let path = dir.join("sleep1.edf");
+        std::fs::write(&path, edf::write_edf(&rec)).unwrap();
+        assert!(is_series_file(&path));
+        assert_eq!(
+            classify_series_file(&path).unwrap(),
+            Some(SeriesKind::Multivariate)
+        );
+        let s = load_multivariate_file(&path, "SleepDB").unwrap();
+        assert_eq!(s.name, "sleepdb/sleep1");
+        assert_eq!(s.archive, "SleepDB");
+        assert_eq!(s.n_channels(), 2);
+        assert_eq!(s.change_points, vec![3]);
+        assert_eq!(s.width, 3);
+        assert_eq!(s.channels[0][1], 100.0 * 200.0 / 2000.0 - 0.0); // 10.0
+        let raw = parse_multivariate_file(&path).unwrap();
+        assert_eq!(
+            raw.channel_names,
+            vec!["EEG".to_string(), "ch1".to_string()]
+        );
+
+        // A corrupt byte surfaces the EDF parser's byte-offset error
+        // under the file's path.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'9';
+        std::fs::write(&path, &bytes).unwrap();
+        let e = load_multivariate_file(&path, "SleepDB").unwrap_err();
+        assert!(e.path.ends_with("sleep1.edf"), "{e}");
+        assert!(e.to_string().contains("byte 0"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,7 +9,7 @@
 //! modelling broken or irrelevant sensors.
 
 use crate::regimes::{gaussian, Regime};
-use crate::series::random_segment_lengths;
+use crate::series::{random_segment_lengths, AnnotatedSeries};
 use class_core::stats::SplitMix64;
 
 /// A multivariate annotated series: channel-major values plus the shared
@@ -54,6 +54,24 @@ impl MultivariateSeries {
     /// `channels` directly).
     pub fn row(&self, t: usize) -> Vec<f64> {
         self.channels.iter().map(|c| c[t]).collect()
+    }
+
+    /// Extracts every channel as its own addressable univariate series —
+    /// the paper's Table 3 protocol scores each channel of a multivariate
+    /// record separately. Channel `c` becomes `<name>/ch<c>`, keeping the
+    /// record's shared change points, width and archive provenance.
+    pub fn extract_channels(&self) -> Vec<AnnotatedSeries> {
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(c, values)| AnnotatedSeries {
+                name: format!("{}/ch{c}", self.name),
+                values: values.clone(),
+                change_points: self.change_points.clone(),
+                width: self.width,
+                archive: self.archive,
+            })
+            .collect()
     }
 }
 
@@ -234,6 +252,20 @@ mod tests {
                     "channel {c} flat across cp {cp}: ratio {ratio}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn extract_channels_yields_addressable_univariate_series() {
+        let mv = generate_multivariate(&MultivariateSpec::default());
+        let channels = mv.extract_channels();
+        assert_eq!(channels.len(), mv.n_channels());
+        for (c, s) in channels.iter().enumerate() {
+            assert_eq!(s.name, format!("{}/ch{c}", mv.name));
+            assert_eq!(s.values, mv.channels[c]);
+            assert_eq!(s.change_points, mv.change_points);
+            assert_eq!(s.width, mv.width);
+            assert_eq!(s.archive, mv.archive);
         }
     }
 

@@ -3,14 +3,17 @@
 //! and stay in sync with the deterministic generator that produced them.
 //!
 //! The fixtures directory is laid out exactly like a `CLASS_DATA_DIR`
-//! tree (`TSSB/*.txt`, `UTSA/*.csv`) plus a `malformed/` directory holding
-//! deliberately broken files for the loader error paths. To regenerate
+//! tree (`TSSB/*.txt`, `UTSA/*.csv`, WFDB triples under `ArrDB/`, wide
+//! CSVs under `mHealth/`, EDF recordings under `SleepDB/`) plus a
+//! `malformed/` directory holding deliberately broken files for the
+//! loader error paths. To regenerate
 //! after changing the formats or the fixture specs:
 //!
 //! ```sh
 //! cargo test -p datasets --test fixtures -- --ignored regen_fixtures
 //! ```
 
+use datasets::edf::{self, EdfRecord, EdfSignal};
 use datasets::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
 use datasets::{
     build_series, fixtures_dir, load_multivariate_file, load_series_file, parse_multivariate_file,
@@ -399,6 +402,173 @@ fn wfdb_fixture_specs() -> Vec<WfdbRecord> {
     out
 }
 
+/// The bundled EDF fixtures (archive `SleepDB`, the paper's native EDF
+/// archive): two polysomnography-flavoured records, each with two data
+/// channels sharing one regime change, plus an `EDF Annotations` channel
+/// carrying the change point as a TAL.
+fn edf_fixture_specs() -> Vec<EdfRecord> {
+    let sine = |period: f64, amp: f64| Regime::Sine {
+        period,
+        amp,
+        phase: 0.0,
+    };
+    let harm = |period: f64, amps: [f64; 3]| Regime::Harmonics { period, amps };
+    let signal = |label: &str, phys: f64, dig: i16| EdfSignal {
+        label: label.into(),
+        transducer: "AgAgCl electrode".into(),
+        dimension: "uV".into(),
+        phys_min: -phys,
+        phys_max: phys,
+        dig_min: -dig,
+        dig_max: dig,
+        prefilter: "HP:0.5Hz".into(),
+        samples: Vec::new(),
+    };
+    let digitize_channel = |xs: &[f64], sig: &EdfSignal| -> Vec<i16> {
+        xs.iter().map(|&x| edf::digitize(x, sig)).collect()
+    };
+    let mut out = Vec::new();
+    {
+        // psg01: alpha-like oscillation slowing and sharpening at the
+        // boundary, 20 one-second records at 100 Hz.
+        let lens = [1000usize, 1000];
+        let mut eeg1 = signal("EEG Fpz-Cz", 4.0, 2048);
+        let mut eeg2 = signal("EEG Pz-Oz", 4.0, 2048);
+        eeg1.samples = digitize_channel(
+            &channel(
+                &[
+                    (harm(25.0, [1.0, 0.5, 0.25]), lens[0]),
+                    (harm(14.0, [1.5, 0.4, 0.3]), lens[1]),
+                ],
+                0xF5001,
+            ),
+            &eeg1,
+        );
+        eeg2.samples = digitize_channel(
+            &channel(
+                &[(sine(32.0, 1.1), lens[0]), (sine(16.0, 1.3), lens[1])],
+                0xF5002,
+            ),
+            &eeg2,
+        );
+        out.push(EdfRecord {
+            name: "psg01".into(),
+            patient: "X anonymous".into(),
+            start_date: "02.01.24".into(),
+            start_time: "23.30.00".into(),
+            n_records: 20,
+            duration: 1.0,
+            width: 25,
+            ann_samples_per_record: 16,
+            signals: vec![eeg1, eeg2],
+            change_points: boundaries(&lens),
+        });
+    }
+    {
+        // psg02: respiration-modulated EOG against an EMG burst change.
+        let lens = [1200usize, 800];
+        let mut eog = signal("EOG horizontal", 5.0, 1000);
+        let mut emg = signal("EMG submental", 5.0, 1000);
+        eog.samples = digitize_channel(
+            &channel(
+                &[
+                    (
+                        Regime::RespLike {
+                            period: 60.0,
+                            amp: 1.2,
+                            modulation: 0.2,
+                        },
+                        lens[0],
+                    ),
+                    (
+                        Regime::RespLike {
+                            period: 34.0,
+                            amp: 1.5,
+                            modulation: 0.4,
+                        },
+                        lens[1],
+                    ),
+                ],
+                0xF5003,
+            ),
+            &eog,
+        );
+        emg.samples = digitize_channel(
+            &channel(
+                &[
+                    (
+                        Regime::EcgLike {
+                            period: 50.0,
+                            amp: 1.4,
+                            jitter: 0.04,
+                        },
+                        lens[0],
+                    ),
+                    (
+                        Regime::EcgLike {
+                            period: 30.0,
+                            amp: 1.2,
+                            jitter: 0.06,
+                        },
+                        lens[1],
+                    ),
+                ],
+                0xF5004,
+            ),
+            &emg,
+        );
+        out.push(EdfRecord {
+            name: "psg02".into(),
+            patient: "X anonymous".into(),
+            start_date: "03.01.24".into(),
+            start_time: "22.45.00".into(),
+            n_records: 20,
+            duration: 1.0,
+            width: 30,
+            ann_samples_per_record: 16,
+            signals: vec![eog, emg],
+            change_points: boundaries(&lens),
+        });
+    }
+    out
+}
+
+/// The deliberately broken EDF fixture: writer output for a small valid
+/// record with the signal-0 digital-minimum header field overwritten so
+/// the digital range collapses. The parser must pin the error to the
+/// field's byte offset. Returns `(file name, bytes, pinned offset)`.
+fn malformed_edf_fixture() -> (&'static str, Vec<u8>, usize) {
+    let signal = |label: &str| EdfSignal {
+        label: label.into(),
+        transducer: String::new(),
+        dimension: "mV".into(),
+        phys_min: -1.0,
+        phys_max: 1.0,
+        dig_min: -100,
+        dig_max: 100,
+        prefilter: String::new(),
+        samples: vec![0, 25, -25, 50],
+    };
+    let rec = EdfRecord {
+        name: "BadCalib".into(),
+        patient: "X anonymous".into(),
+        start_date: "05.06.21".into(),
+        start_time: "03.15.00".into(),
+        n_records: 1,
+        duration: 1.0,
+        width: 2,
+        ann_samples_per_record: 8,
+        signals: vec![signal("ECG1"), signal("ECG2")],
+        change_points: vec![2],
+    };
+    let mut bytes = edf::write_edf(&rec);
+    // ns = 3 (two data signals + annotations); the signal-0 dig-min field
+    // sits after the label/transducer/dimension/phys-min/phys-max arrays.
+    let dig_min_at = 256 + 3 * (16 + 80 + 8 + 8 + 8);
+    bytes[dig_min_at..dig_min_at + 8].copy_from_slice(b"100     ");
+    ("BadCalib.edf", bytes, dig_min_at)
+}
+
 /// The mixed-case univariate fixture: archives unpacked on
 /// case-preserving filesystems ship upper-case extensions, which the
 /// loader's extension dispatch must accept (regression: it used to be
@@ -471,6 +641,15 @@ fn regen_fixtures() {
         )
         .unwrap();
     }
+    let sleep = root.join("SleepDB");
+    fs::create_dir_all(&sleep).unwrap();
+    for rec in edf_fixture_specs() {
+        fs::write(
+            sleep.join(format!("{}.edf", rec.name)),
+            edf::write_edf(&rec),
+        )
+        .unwrap();
+    }
     let mixed = root.join("MixedCase");
     fs::create_dir_all(&mixed).unwrap();
     let (file, series) = mixed_case_fixture();
@@ -484,6 +663,8 @@ fn regen_fixtures() {
     for (file, content, _) in malformed_multivariate_specs() {
         fs::write(bad.join(file), content).unwrap();
     }
+    let (file, bytes, _) = malformed_edf_fixture();
+    fs::write(bad.join(file), bytes).unwrap();
 }
 
 fn fixture_files(archive: &str) -> Vec<std::path::PathBuf> {
@@ -597,7 +778,7 @@ fn discovery_separates_real_and_malformed_archives() {
         .collect();
     assert!(names.iter().any(|n| n == "malformed"));
     let clean: Vec<&String> = names.iter().filter(|n| *n != "malformed").collect();
-    assert_eq!(clean.len(), 5, "{names:?}");
+    assert_eq!(clean.len(), 6, "{names:?}");
 }
 
 #[test]
@@ -667,6 +848,73 @@ fn bundled_wfdb_fixtures_roundtrip_byte_identically() {
         let phys = spec.physical();
         for (c, chan) in raw.channels.iter().enumerate() {
             assert_eq!(chan, &phys[c], "{}: channel {c} drifted", spec.name);
+        }
+    }
+}
+
+#[test]
+fn bundled_edf_fixtures_roundtrip_byte_identically() {
+    let want = edf_fixture_specs();
+    let disk = DataDir::open(fixtures_dir())
+        .find("SleepDB")
+        .unwrap()
+        .expect("bundled SleepDB fixtures present");
+    assert!(disk.files.is_empty(), "SleepDB fixtures are EDF-only");
+    assert_eq!(disk.multivariate_files.len(), want.len());
+    for spec in &want {
+        let path = disk.dir.join(format!("{}.edf", spec.name));
+        let on_disk = fs::read(&path).unwrap();
+        assert_eq!(
+            on_disk,
+            edf::write_edf(spec),
+            "{} does not re-serialize byte-identically",
+            path.display()
+        );
+        // The parser recovers the full record, annotations included.
+        let rec =
+            edf::parse_edf(&spec.name, &on_disk).unwrap_or_else(|e| panic!("fixture rotted: {e}"));
+        assert_eq!(&rec, spec, "{}: parsed form drifted", spec.name);
+        // And the loader sees the physical channels.
+        let raw = parse_multivariate_file(&path).unwrap_or_else(|e| panic!("fixture rotted: {e}"));
+        assert_eq!(raw.n_channels(), spec.n_signals());
+        assert_eq!(raw.change_points, spec.change_points);
+        assert_eq!(raw.width, spec.width);
+        let phys = spec.physical();
+        for (c, chan) in raw.channels.iter().enumerate() {
+            assert_eq!(chan, &phys[c], "{}: channel {c} drifted", spec.name);
+        }
+    }
+}
+
+/// The committed malformed EDF file must keep failing at the exact byte
+/// offset of the corrupted calibration field (file-level error: line 0).
+#[test]
+fn malformed_edf_fixture_fails_at_pinned_byte_offset() {
+    let (file, bytes, offset) = malformed_edf_fixture();
+    let path = fixtures_dir().join("malformed").join(file);
+    assert_eq!(
+        fs::read(&path).unwrap(),
+        bytes,
+        "{file}: committed bytes drifted"
+    );
+    let err =
+        load_multivariate_file(&path, "malformed").expect_err(&format!("{file} should not load"));
+    assert_eq!((err.error.line, err.error.col), (0, 0), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains(file), "{msg}");
+    assert!(msg.contains(&format!("at byte {offset}")), "{msg}");
+}
+
+#[test]
+fn edf_fixture_records_have_clear_annotated_structure() {
+    for rec in edf_fixture_specs() {
+        edf::validate_edf(&rec).unwrap();
+        assert!(rec.n_samples() >= 1500, "{}: too short", rec.name);
+        assert!(!rec.change_points.is_empty(), "{}", rec.name);
+        assert_eq!(rec.n_signals(), 2, "{}", rec.name);
+        // Fixtures stay NaN-free so every channel is scoreable end to end.
+        for chan in rec.physical() {
+            assert!(chan.iter().all(|v| v.is_finite()), "{}", rec.name);
         }
     }
 }

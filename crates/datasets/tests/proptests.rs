@@ -1,10 +1,12 @@
 //! Property-based round-trips for the multivariate archive parsers:
 //! arbitrary channel counts / lengths / calibrations serialize and parse
-//! back **byte-identically** for wide-CSV and **value-exactly** (post
-//! gain/baseline scaling) for WFDB formats 16 and 212 — including `NaN`
+//! back **byte-identically** for wide-CSV and EDF(+) and
+//! **value-exactly** (post gain/baseline or physical/digital scaling)
+//! for WFDB formats 16 and 212 and EDF — including `NaN`
 //! (invalid-sample) and flat-line channels.
 
 use class_core::stats::SplitMix64;
+use datasets::edf::{self, EdfRecord, EdfSignal};
 use datasets::formats::{parse_wide_csv, write_wide_csv, MultivariateRaw};
 use datasets::wfdb::{self, SignalSpec, WfdbFormat, WfdbRecord};
 use proptest::prelude::*;
@@ -169,6 +171,84 @@ proptest! {
         let parsed = WfdbRecord { samples, ..rec.clone() };
         let want = rec.physical();
         for (c, chan) in parsed.physical().iter().enumerate() {
+            prop_assert!(same_values(chan, &want[c]), "channel {} drifted", c);
+        }
+    }
+
+    #[test]
+    fn edf_roundtrip_is_byte_identical(
+        seed in any::<u64>(),
+        n_signals in 1usize..4,
+        n_records in 1usize..6,
+        spr in 1usize..40,
+        has_ann in any::<bool>(),
+        width in 2usize..500,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let len = spr * n_records;
+        let duration = [1.0, 0.5, 2.0][rng.next_below(3) as usize];
+        // Change points need the annotations channel to be stored; 64
+        // text samples (128 bytes) comfortably hold the worst-case TAL
+        // block, and `validate_edf` rejects any overflow regardless.
+        let change_points = if has_ann { draw_cps(&mut rng, len, 4) } else { Vec::new() };
+        let signals: Vec<EdfSignal> = (0..n_signals)
+            .map(|c| {
+                let dig_min = -1 - rng.next_below(2000) as i16;
+                let dig_max = 1 + rng.next_below(2000) as i16;
+                let span = (dig_max as i64 - dig_min as i64 + 2) as u64;
+                let all_nan = rng.next_below(7) == 0;
+                EdfSignal {
+                    label: format!("sig{c}"),
+                    transducer: "thermistor".into(),
+                    dimension: "uV".into(),
+                    phys_min: -((1 + rng.next_below(100)) as f64),
+                    phys_max: (1 + rng.next_below(100)) as f64,
+                    dig_min,
+                    dig_max,
+                    prefilter: String::new(),
+                    // `dig_min - 1` is the out-of-calibration NaN marker.
+                    samples: (0..len)
+                        .map(|_| {
+                            if all_nan || rng.next_below(13) == 0 {
+                                dig_min - 1
+                            } else {
+                                dig_min + rng.next_below(span) as i16
+                            }
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let rec = EdfRecord {
+            name: format!("e{:x}", seed & 0xFFFF),
+            patient: "X anonymous".into(),
+            start_date: "02.01.24".into(),
+            start_time: "23.30.00".into(),
+            n_records,
+            duration,
+            width,
+            ann_samples_per_record: if has_ann { 64 } else { 0 },
+            signals,
+            change_points,
+        };
+        edf::validate_edf(&rec)
+            .map_err(|e| TestCaseError::fail(format!("generated record invalid: {e}")))?;
+
+        // Full-record round-trip: annotations, calibration and the raw
+        // digital samples all survive write -> parse exactly.
+        let bytes = edf::write_edf(&rec);
+        let back = edf::parse_edf(&rec.name, &bytes)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&back, &rec);
+
+        // Byte-identity: re-serialization reproduces the file exactly.
+        prop_assert_eq!(edf::write_edf(&back), bytes);
+
+        // Physical values are exact post calibration, NaN markers
+        // included: identical digital samples scale through identical
+        // calibration lines.
+        let want = rec.physical();
+        for (c, chan) in back.physical().iter().enumerate() {
             prop_assert!(same_values(chan, &want[c]), "channel {} drifted", c);
         }
     }

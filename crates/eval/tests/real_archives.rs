@@ -54,6 +54,95 @@ fn run_matrix_accepts_file_backed_archives() {
     );
 }
 
+/// The paper's Table 3 univariate protocol: every channel of every data
+/// archive — file-backed (WFDB, wide-CSV, EDF fixtures) or synthetic
+/// fallback — is addressable as its own `…/ch<c>` series and flows
+/// through `run_matrix` with archive provenance intact.
+#[test]
+fn run_matrix_scores_extracted_channels_of_all_six_data_archives() {
+    let dir = DataDir::open(fixtures_dir());
+    // Clamp the synthetic fallbacks to their 6k-sample floor: this test
+    // exercises the per-channel plumbing, not segmentation power.
+    let cfg = datasets::GenConfig {
+        scale: 0.05,
+        ..Default::default()
+    };
+    let series =
+        datasets::resolve_channel_series(&cfg, Some(&dir)).expect("all six data archives resolve");
+
+    // Every data archive contributes, and every series is an extracted
+    // channel with an addressable id. Disk-backed series carry their
+    // fixture directory name, synthetic ones the Table 1 name, so compare
+    // under the manifest's name normalization (case/space-insensitive).
+    let norm = |s: &str| -> String {
+        s.chars()
+            .filter(|c| !matches!(c, ' ' | '-' | '_'))
+            .flat_map(char::to_lowercase)
+            .collect()
+    };
+    let data_archives = ["mHealth", "Arr DB", "VE DB", "PAMAP", "Sleep DB", "WESAD"];
+    for name in data_archives {
+        assert!(
+            series.iter().any(|s| norm(s.archive) == norm(name)),
+            "archive {name} missing from the per-channel pass"
+        );
+    }
+    for s in &series {
+        assert!(s.name.contains("/ch"), "{} is not a channel id", s.name);
+        assert!(!s.change_points.is_empty(), "{}", s.name);
+    }
+    // The bundled EDF fixtures surface as disk-backed Sleep DB channels.
+    for id in [
+        "sleepdb/psg01/ch0",
+        "sleepdb/psg01/ch1",
+        "sleepdb/psg02/ch0",
+    ] {
+        assert!(
+            series
+                .iter()
+                .any(|s| s.name == id && norm(s.archive) == "sleepdb"),
+            "extracted EDF channel {id} missing"
+        );
+    }
+
+    // Score a slice covering every archive (two channels each): the
+    // matrix plumbing is identical per row, and the full set is too slow
+    // for an unoptimized tier-1 run.
+    let mut picked: Vec<AnnotatedSeries> = Vec::new();
+    for name in data_archives {
+        picked.extend(
+            series
+                .iter()
+                .filter(|s| norm(s.archive) == norm(name))
+                .take(2)
+                .cloned(),
+        );
+    }
+    assert_eq!(picked.len(), 2 * data_archives.len());
+    let algos = vec![AlgoSpec::Baseline {
+        kind: competitors::CompetitorKind::Window,
+        window_size: 500,
+    }];
+    let results = run_matrix(&algos, &picked, 4);
+    assert_eq!(results.len(), picked.len());
+    for r in &results {
+        assert!(
+            (0.0..=1.0).contains(&r.covering),
+            "{}: {}",
+            r.series,
+            r.covering
+        );
+        assert!(
+            data_archives.iter().any(|a| norm(a) == norm(r.archive)),
+            "{}: unexpected archive {}",
+            r.series,
+            r.archive
+        );
+    }
+    // Channel ids survive into the result rows.
+    assert!(results.iter().any(|r| r.series == "sleepdb/psg01/ch0"));
+}
+
 #[test]
 fn file_backed_and_synthetic_series_mix_in_one_matrix() {
     let mut series = fixture_series();

@@ -97,23 +97,31 @@ OPTIONS:
     --help             print this help
 
 DATASETS SUBCOMMANDS (annotated archives: real files, fixtures, synthetic):
-    datasets list [--data-dir PATH]
+    datasets list [--data-dir PATH] [--format text|tsv]
         List archives under --data-dir (default: $CLASS_DATA_DIR), the
         bundled golden fixtures, and the synthetic Table 1 stand-ins.
+        Files discovery cannot classify are warned about on stderr and
+        counted per archive (the `skipped` column in --format tsv) —
+        never silently dropped.
     datasets run FILE... [--window N] [--alpha P] [--width N] [--rate R]
                          [--jump N] [--channels K] [--fusion quorum|any|N]
+                         [--extract-channels]
                          [--guard-nan-burst N] [--guard-flatline N]
                          [--metrics-addr HOST:PORT] [--bundle-out PATH]
                          [--format text|tsv]
         Load annotated archive files — univariate TSSB/FLOSS-style .txt /
         UTSA-style .csv, or multi-channel WFDB .hea (with .dat/.atr
-        companions) / wide .csv — replay each through the serving engine
-        (--rate records/sec simulates a live feed; default: unpaced), and
-        report Covering and detection delay against the files'
-        ground-truth annotations. Multi-channel files run the fused
-        multivariate segmenter: --fusion picks the vote fusion (quorum =
-        majority, any = union, N = quorum of N channels) and --channels K
-        keeps only the K highest-variance channels after a probe phase.
+        companions) / EDF(+) .edf / wide .csv — replay each through the
+        serving engine (--rate records/sec simulates a live feed;
+        default: unpaced), and report Covering and detection delay
+        against the files' ground-truth annotations. Multi-channel files
+        run the fused multivariate segmenter: --fusion picks the vote
+        fusion (quorum = majority, any = union, N = quorum of N
+        channels) and --channels K keeps only the K highest-variance
+        channels after a probe phase. --extract-channels instead scores
+        every channel as its own `<name>/ch<c>` univariate stream
+        against the record's shared annotations (the paper's
+        per-channel protocol).
 
         Degraded-input policy: --guard-nan-burst N quarantines a stream
         after N consecutive non-finite values (isolated ones are healed
@@ -253,6 +261,7 @@ struct DatasetsRunArgs {
     tsv: bool,
     channels: Option<usize>,
     fusion: FusionChoice,
+    extract_channels: bool,
     jump: Option<usize>,
     guard_nan_burst: Option<usize>,
     guard_flatline: Option<usize>,
@@ -305,6 +314,7 @@ fn datasets_main(args: Vec<String>) -> ! {
 
 fn datasets_list(rest: &[String]) -> i32 {
     let mut data_dir = datasets::DataDir::from_env();
+    let mut tsv = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -315,6 +325,14 @@ fn datasets_list(rest: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => tsv = false,
+                Some("tsv") => tsv = true,
+                other => {
+                    eprintln!("error: --format must be text or tsv, got {other:?}");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("error: unknown argument {other}");
                 return 2;
@@ -322,55 +340,108 @@ fn datasets_list(rest: &[String]) -> i32 {
         }
     }
 
-    let list_tree = |label: &str, dir: &datasets::DataDir| match dir.archives() {
+    if tsv {
+        println!("source\tarchive\tseries_files\tmultivariate_files\tskipped");
+    }
+    // Files the discovery walk could not classify are never silently
+    // dropped: each one gets a stderr warning, and the per-archive
+    // skipped count shows up in both output formats.
+    let list_tree = |source: &str, label: &str, dir: &datasets::DataDir| match dir.archives() {
         Ok(archives) if !archives.is_empty() => {
-            println!("{label} ({}):", dir.root().display());
+            if !tsv {
+                println!("{label} ({}):", dir.root().display());
+            }
             for a in archives {
-                let mv = a.multivariate_files.len();
-                let mv_note = if mv > 0 {
-                    format!(" + {mv} multi-channel")
+                for p in &a.skipped {
+                    eprintln!(
+                        "warning: {}: skipped {}: not a recognized series file",
+                        a.name,
+                        p.display()
+                    );
+                }
+                if tsv {
+                    println!(
+                        "{source}\t{}\t{}\t{}\t{}",
+                        a.name,
+                        a.files.len(),
+                        a.multivariate_files.len(),
+                        a.skipped.len()
+                    );
                 } else {
-                    String::new()
-                };
-                println!(
-                    "  {:<12} {:>4} series files{mv_note}",
-                    a.name,
-                    a.files.len()
-                );
+                    let mv = a.multivariate_files.len();
+                    let mv_note = if mv > 0 {
+                        format!(" + {mv} multi-channel")
+                    } else {
+                        String::new()
+                    };
+                    let skip_note = if a.skipped.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({} skipped)", a.skipped.len())
+                    };
+                    println!(
+                        "  {:<12} {:>4} series files{mv_note}{skip_note}",
+                        a.name,
+                        a.files.len()
+                    );
+                }
             }
         }
-        Ok(_) => println!("{label} ({}): no archives", dir.root().display()),
-        Err(e) => println!("{label} ({}): unreadable: {e}", dir.root().display()),
+        Ok(_) => {
+            if !tsv {
+                println!("{label} ({}): no archives", dir.root().display());
+            }
+        }
+        Err(e) => {
+            if tsv {
+                eprintln!(
+                    "warning: {label} ({}): unreadable: {e}",
+                    dir.root().display()
+                );
+            } else {
+                println!("{label} ({}): unreadable: {e}", dir.root().display());
+            }
+        }
     };
 
     match &data_dir {
-        Some(dir) => list_tree("real archives", dir),
-        None => println!(
+        Some(dir) => list_tree("real", "real archives", dir),
+        None if !tsv => println!(
             "real archives: none (set {} or pass --data-dir)",
             datasets::DATA_DIR_ENV
         ),
+        None => {}
     }
-    println!();
+    if !tsv {
+        println!();
+    }
     list_tree(
+        "fixtures",
         "bundled fixtures",
         &datasets::DataDir::open(datasets::fixtures_dir()),
     );
-    println!();
-    println!("synthetic stand-ins (Table 1 profiles):");
+    if !tsv {
+        println!();
+        println!("synthetic stand-ins (Table 1 profiles):");
+    }
     for a in datasets::Archive::all() {
         let spec = a.spec();
-        println!(
-            "  {:<12} {:>4} series, median length {:>9}, median segments {:>3}{}",
-            spec.name,
-            spec.n_series,
-            spec.len.1,
-            spec.segments.1,
-            if spec.is_benchmark {
-                "  [benchmark]"
-            } else {
-                ""
-            }
-        );
+        if tsv {
+            println!("synthetic\t{}\t{}\t0\t0", spec.name, spec.n_series);
+        } else {
+            println!(
+                "  {:<12} {:>4} series, median length {:>9}, median segments {:>3}{}",
+                spec.name,
+                spec.n_series,
+                spec.len.1,
+                spec.segments.1,
+                if spec.is_benchmark {
+                    "  [benchmark]"
+                } else {
+                    ""
+                }
+            );
+        }
     }
     0
 }
@@ -385,6 +456,7 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
         tsv: false,
         channels: None,
         fusion: FusionChoice::Quorum,
+        extract_channels: false,
         jump: None,
         guard_nan_burst: None,
         guard_flatline: None,
@@ -446,6 +518,7 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
                 }
                 out.guard_flatline = Some(n);
             }
+            "--extract-channels" => out.extract_channels = true,
             "--metrics-addr" => out.metrics_addr = Some(grab("--metrics-addr")?),
             "--bundle-out" => out.bundle_out = Some(grab("--bundle-out")?),
             "--fusion" => {
@@ -469,6 +542,16 @@ fn parse_datasets_run_args(rest: &[String]) -> Result<DatasetsRunArgs, String> {
     }
     if out.files.is_empty() {
         return Err("datasets run needs at least one FILE".into());
+    }
+    if out.extract_channels {
+        // Fused-path knobs have no meaning when every channel runs as
+        // its own univariate stream.
+        if out.channels.is_some() {
+            return Err("--channels applies to the fused run, not --extract-channels".into());
+        }
+        if !matches!(out.fusion, FusionChoice::Quorum) {
+            return Err("--fusion applies to the fused run, not --extract-channels".into());
+        }
     }
     Ok(out)
 }
@@ -586,6 +669,45 @@ fn run_univariate_file(
             return 1;
         }
     };
+    replay_univariate_series(args, series, metrics, tally)
+}
+
+/// Replays one extracted multi-channel file per channel: each channel of
+/// the record becomes its own `<name>/ch<c>` univariate stream scored
+/// against the record's shared annotations — the paper's per-channel
+/// protocol, as opposed to the fused run.
+fn run_extracted_channels(
+    args: &DatasetsRunArgs,
+    path: &std::path::Path,
+    archive: &str,
+    metrics: Option<&stream_engine::MetricsServer>,
+    tally: &mut RunTally,
+) -> i32 {
+    let series = match datasets::load_multivariate_file(path, archive) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut code = 0;
+    for channel in series.extract_channels() {
+        code = replay_univariate_series(args, channel, metrics, tally);
+        if code != 0 {
+            break;
+        }
+    }
+    code
+}
+
+/// The shared engine replay for one univariate series (file-loaded or
+/// channel-extracted): one stream on one shard, scored and printed.
+fn replay_univariate_series(
+    args: &DatasetsRunArgs,
+    series: datasets::AnnotatedSeries,
+    metrics: Option<&stream_engine::MetricsServer>,
+    tally: &mut RunTally,
+) -> i32 {
     let mut cfg =
         ClassConfig::with_window_size(args.window.unwrap_or_else(|| series.len().min(10_000)));
     cfg.width = WidthSelection::Fixed(args.width.unwrap_or(series.width));
@@ -856,7 +978,7 @@ fn datasets_run(rest: &[String]) -> i32 {
             Ok(Some(kind)) => kind,
             Ok(None) => {
                 eprintln!(
-                    "error: {}: not a loadable series file (expected .txt, .csv or .hea)",
+                    "error: {}: not a loadable series file (expected .txt, .csv, .hea or .edf)",
                     path.display()
                 );
                 code = 1;
@@ -871,6 +993,9 @@ fn datasets_run(rest: &[String]) -> i32 {
         code = match kind {
             datasets::SeriesKind::Univariate => {
                 run_univariate_file(&args, path, archive, metrics.as_ref(), &mut tally)
+            }
+            datasets::SeriesKind::Multivariate if args.extract_channels => {
+                run_extracted_channels(&args, path, archive, metrics.as_ref(), &mut tally)
             }
             datasets::SeriesKind::Multivariate => {
                 run_multivariate_file(&args, path, archive, metrics.as_ref(), &mut tally)

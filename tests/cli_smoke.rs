@@ -388,6 +388,161 @@ fn datasets_run_scores_a_wide_csv_fixture_with_fusion_knobs() {
 }
 
 #[test]
+fn datasets_run_scores_an_edf_fixture_through_the_serving_engine() {
+    let (stdout, stderr, code) = run_cli(&["datasets", "run", &fixture("SleepDB/psg01.edf")], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(
+        stdout.contains("series: sleepdb/psg01 (SleepDB)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("channels: 2"), "{stdout}");
+    assert!(stdout.contains("true cps: [1000]"), "{stdout}");
+    let cov_line = stdout
+        .lines()
+        .find(|l| l.starts_with("covering: "))
+        .unwrap_or_else(|| panic!("no covering line in {stdout}"));
+    let cov: f64 = cov_line["covering: ".len()..].trim().parse().unwrap();
+    assert!(cov > 0.6, "covering too low for a clear change: {cov_line}");
+    assert!(
+        stdout.contains("detection rate: 1.00"),
+        "annotated change undetected: {stdout}"
+    );
+}
+
+#[test]
+fn datasets_run_extract_channels_scores_each_channel_separately() {
+    // The per-channel protocol: one TSV row per channel, each an
+    // addressable `<record>/ch<c>` univariate stream scored against the
+    // record's shared annotations. Works for every multi-channel format;
+    // EDF and wide-CSV cover both binary and text loaders.
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--extract-channels",
+            "--format",
+            "tsv",
+            &fixture("SleepDB/psg01.edf"),
+            &fixture("mHealth/AnkleGait.csv"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "{stdout}");
+    assert!(
+        lines[1].starts_with("sleepdb/psg01/ch0\t2000\t25\t1000\t"),
+        "{stdout}"
+    );
+    assert!(
+        lines[2].starts_with("sleepdb/psg01/ch1\t2000\t25\t1000\t"),
+        "{stdout}"
+    );
+    assert!(
+        lines[3].starts_with("mhealth/AnkleGait/ch0\t2200\t30\t1100\t"),
+        "{stdout}"
+    );
+    // Every extracted row is a single-channel stream.
+    for row in &lines[1..] {
+        assert!(row.ends_with("\t1"), "{row}");
+    }
+
+    // A univariate file passes through extraction mode unchanged.
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "run",
+            "--extract-channels",
+            &fixture("TSSB/SineFreqDouble_50_900.txt"),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("series: tssb/SineFreqDouble"), "{stdout}");
+
+    // Fused-path knobs are rejected in extraction mode.
+    for extra in [&["--fusion", "any"][..], &["--channels", "2"][..]] {
+        let mut args = vec!["datasets", "run", "--extract-channels"];
+        args.extend_from_slice(extra);
+        let file = fixture("mHealth/AnkleGait.csv");
+        args.push(&file);
+        let (_, stderr, code) = run_cli(&args, "");
+        assert_eq!(code, 2, "{extra:?}: {stderr}");
+        assert!(stderr.contains("--extract-channels"), "{stderr}");
+    }
+}
+
+#[test]
+fn datasets_run_reports_malformed_edf_with_its_byte_offset() {
+    // The committed BadCalib.edf has its signal-0 digital-minimum header
+    // field corrupted; the loader pins the error to that field's offset
+    // (256-byte fixed header + 3 signals x label/transducer/dimension/
+    // phys-min/phys-max fields).
+    let offset = 256 + 3 * (16 + 80 + 8 + 8 + 8);
+    let (_, stderr, code) = run_cli(&["datasets", "run", &fixture("malformed/BadCalib.edf")], "");
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("BadCalib.edf"), "{stderr}");
+    assert!(stderr.contains(&format!("at byte {offset}")), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn datasets_list_tsv_counts_skipped_files_and_fixtures_have_none() {
+    let (stdout, stderr, code) = run_cli(&["datasets", "list", "--format", "tsv"], "");
+    assert_eq!(code, 0, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines[0], "source\tarchive\tseries_files\tmultivariate_files\tskipped",
+        "{stdout}"
+    );
+    let fixture_rows: Vec<&&str> = lines
+        .iter()
+        .filter(|l| l.starts_with("fixtures\t"))
+        .collect();
+    assert!(fixture_rows.len() >= 6, "{stdout}");
+    // The silent-skip audit bar: discovery classifies every bundled
+    // fixture file, so the skipped column is 0 across the tree.
+    for row in &fixture_rows {
+        assert!(row.ends_with("\t0"), "unclassified fixture files: {row}");
+    }
+    assert!(
+        fixture_rows
+            .iter()
+            .any(|r| r.starts_with("fixtures\tSleepDB\t0\t2\t0")),
+        "{stdout}"
+    );
+    assert!(
+        stderr.lines().all(|l| !l.contains("skipped")),
+        "fixture tree produced skip warnings: {stderr}"
+    );
+
+    // A directory with a stray unloadable file surfaces it: warned on
+    // stderr, counted in the skipped column.
+    let dir = std::env::temp_dir().join("class-cli-smoke-skip");
+    let arch = dir.join("Strays");
+    std::fs::create_dir_all(&arch).unwrap();
+    std::fs::write(arch.join("Tone_4_3.txt"), "0.5\n1.5\n-0.25\n2\n7.125\n").unwrap();
+    std::fs::write(arch.join("notes.rec"), "raw dump\n").unwrap();
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "datasets",
+            "list",
+            "--format",
+            "tsv",
+            "--data-dir",
+            &dir.display().to_string(),
+        ],
+        "",
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("real\tStrays\t1\t0\t1"), "{stdout}");
+    assert!(
+        stderr.contains("notes.rec") && stderr.contains("skipped"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn datasets_run_tsv_is_byte_identical_across_runs() {
     // The acceptance bar for the multivariate serving path: scoring a
     // WFDB record and a wide-CSV file (plus a univariate control) is

@@ -149,7 +149,7 @@ fn jump_ahead_cadence_matches_per_point_on_every_fixture() {
 fn multivariate_fixture_series() -> Vec<MultivariateSeries> {
     let dir = DataDir::open(fixtures_dir());
     let mut out = Vec::new();
-    for archive in ["ArrDB", "mHealth"] {
+    for archive in ["ArrDB", "mHealth", "SleepDB"] {
         let disk = dir
             .find(archive)
             .unwrap()
@@ -160,7 +160,7 @@ fn multivariate_fixture_series() -> Vec<MultivariateSeries> {
         );
     }
     assert!(
-        out.len() >= 4,
+        out.len() >= 6,
         "multivariate fixture set shrank to {}",
         out.len()
     );
@@ -233,6 +233,54 @@ fn streaming_multivariate_agrees_with_batch_per_channel_fusion() {
                  streaming: {streaming:?}\n  batch: {batch:?}",
                 series.name
             );
+        }
+    }
+}
+
+#[test]
+fn extracted_channels_match_fused_path_per_channel_votes() {
+    // The per-channel extraction pass (paper Table 3's univariate
+    // protocol) must be the *same computation* the fused path runs per
+    // channel: an extracted channel scored as a standalone series has to
+    // reproduce the votes that channel casts inside the fusion oracle —
+    // exactly for the batch path, within the localisation tolerance for
+    // the streaming path.
+    for series in multivariate_fixture_series() {
+        let tol = 5 * series.width as u64;
+        for (c, chan) in series.extract_channels().into_iter().enumerate() {
+            assert_eq!(chan.name, format!("{}/ch{c}", series.name));
+            assert_eq!(
+                chan.values, series.channels[c],
+                "{}: values drifted",
+                chan.name
+            );
+            assert_eq!(chan.width, series.width);
+            let mut clasp = ClaspConfig::new(series.width);
+            clasp.log10_alpha = LOG10_ALPHA;
+            let votes: Vec<u64> = clasp_segment(&series.channels[c], &clasp)
+                .into_iter()
+                .map(|x| x as u64)
+                .collect();
+            assert_eq!(
+                batch_clasp(&chan),
+                votes,
+                "{}: extracted batch run diverged from the fused path's votes",
+                chan.name
+            );
+            // Uninformative (pure-noise) channels cast no votes; the
+            // streaming contract only binds where the channel has
+            // structure to find.
+            if votes.is_empty() {
+                continue;
+            }
+            let streamed = stream_class(&chan);
+            if let Some((side, cp)) = unmatched(&streamed, &votes, tol) {
+                panic!(
+                    "{}: {side} change point {cp} has no counterpart within {tol}\n  \
+                     streamed extraction: {streamed:?}\n  fused-path votes: {votes:?}",
+                    chan.name
+                );
+            }
         }
     }
 }
